@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short bench figures examples vet fmt
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem -run XXX ./...
+
+# Regenerate every table and figure of the paper (DESIGN.md maps them).
+figures:
+	go run ./cmd/scbench all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/patterns
+	go run ./examples/silica
+	go run ./examples/scaling

@@ -1,0 +1,396 @@
+// Package sctuple_test holds the benchmark harness: one testing.B
+// benchmark per table/figure of the paper (DESIGN.md maps them), plus
+// the ablation benches for the design choices called out there.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Printable report versions of the figures live in cmd/scbench.
+package sctuple_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/bench"
+	"sctuple/internal/cell"
+	"sctuple/internal/comm"
+	"sctuple/internal/core"
+	"sctuple/internal/geom"
+	"sctuple/internal/md"
+	"sctuple/internal/parmd"
+	"sctuple/internal/perfmodel"
+	"sctuple/internal/potential"
+	"sctuple/internal/tuple"
+	"sctuple/internal/workload"
+)
+
+// --- Pattern construction (paper Tables 2-5, Figures 5-6) ---
+
+func BenchmarkPatternGen(b *testing.B) {
+	for n := 2; n <= 4; n++ {
+		b.Run(fmt.Sprintf("SC-n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.SC(n)
+			}
+		})
+		b.Run(fmt.Sprintf("FS-n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.GenerateFS(n)
+			}
+		})
+	}
+}
+
+func BenchmarkPatternCompleteness(b *testing.B) {
+	for n := 2; n <= 3; n++ {
+		sc := core.SC(n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !sc.IsComplete() {
+					b.Fatal("incomplete")
+				}
+			}
+		})
+	}
+}
+
+// --- Tuple enumeration (Figure 7 and §5.1 search costs) ---
+
+// silicaBench builds a uniform silica configuration binned on a
+// lattice with the given cell side.
+func silicaBench(b *testing.B, n int, cellSide float64) ([]geom.Vec3, *cell.Binning) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	cfg := workload.UniformSilica(rng, n)
+	lat, err := cell.NewLattice(cfg.Box, cellSide)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg.Pos, cell.NewBinning(lat, cfg.Pos)
+}
+
+func BenchmarkFig7TripletCount(b *testing.B) {
+	pos, bin := silicaBench(b, 3000, 2.6)
+	for _, tc := range []struct {
+		name    string
+		pattern *core.Pattern
+		dedup   tuple.Dedup
+	}{
+		{"SC", core.SC(3), tuple.DedupAuto},
+		{"FS", core.FS(3), tuple.DedupNone},
+	} {
+		e, err := tuple.NewEnumerator(bin, tc.pattern, 2.6, tc.dedup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			var emitted int64
+			for i := 0; i < b.N; i++ {
+				st := e.Count(pos)
+				emitted = st.Emitted
+			}
+			b.ReportMetric(float64(emitted), "triplets")
+		})
+	}
+}
+
+func BenchmarkEnumeratePairs(b *testing.B) {
+	pos, bin := silicaBench(b, 3000, 5.5)
+	for _, shell := range []core.Shell{core.ShellFull, core.ShellHalf, core.ShellEighth} {
+		e, err := tuple.NewEnumerator(bin, shell.Pattern(), 5.5, tuple.DedupAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(shell.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Count(pos)
+			}
+		})
+	}
+}
+
+func BenchmarkEnumerateTriplets(b *testing.B) {
+	pos, bin := silicaBench(b, 3000, 2.6)
+	for _, tc := range []struct {
+		name    string
+		pattern *core.Pattern
+	}{
+		{"SC", core.SC(3)},
+		{"FS", core.FS(3)},
+	} {
+		e, err := tuple.NewEnumerator(bin, tc.pattern, 2.6, tuple.DedupAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Count(pos)
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationCollapse isolates the R-COLLAPSE phase: the
+// OC-shifted but uncollapsed pattern must search about twice as hard
+// for the identical force set.
+func BenchmarkAblationCollapse(b *testing.B) {
+	pos, bin := silicaBench(b, 3000, 2.6)
+	shiftOnly := core.OCShift(core.GenerateFS(3))
+	for _, tc := range []struct {
+		name    string
+		pattern *core.Pattern
+	}{
+		{"with-collapse", core.SC(3)},
+		{"without-collapse", shiftOnly},
+	} {
+		e, err := tuple.NewEnumerator(bin, tc.pattern, 2.6, tuple.DedupAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			var st tuple.Stats
+			for i := 0; i < b.N; i++ {
+				st = e.Count(pos)
+			}
+			b.ReportMetric(float64(st.Candidates), "candidates")
+		})
+	}
+}
+
+// BenchmarkAblationShift isolates OC-SHIFT: collapse-only (half-shell
+// style) versus the full SC pattern. Search cost is equal; the win is
+// the footprint, reported as a metric.
+func BenchmarkAblationShift(b *testing.B) {
+	pos, bin := silicaBench(b, 3000, 2.6)
+	collapseOnly := core.RCollapse(core.GenerateFS(3))
+	for _, tc := range []struct {
+		name    string
+		pattern *core.Pattern
+	}{
+		{"with-shift", core.SC(3)},
+		{"without-shift", collapseOnly},
+	} {
+		e, err := tuple.NewEnumerator(bin, tc.pattern, 2.6, tuple.DedupAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Count(pos)
+			}
+			b.ReportMetric(float64(tc.pattern.ImportVolume(8)), "import-cells-l8")
+		})
+	}
+}
+
+// BenchmarkAblationHybridPrune contrasts Hybrid-MD's pair-list triplet
+// pruning against the SC cell search on the same silica system — the
+// §5 trade-off driving Figure 8's crossover.
+func BenchmarkAblationHybridPrune(b *testing.B) {
+	model := potential.NewSilicaModel()
+	rng := rand.New(rand.NewSource(2))
+	cfg := workload.UniformSilica(rng, 3000)
+	sys, err := md.NewSystem(cfg, model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines := map[string]md.Engine{}
+	sc, err := md.NewCellEngine(model, sys.Box, md.FamilySC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines["cell-search"] = sc
+	hy, err := md.NewHybridEngine(model, sys.Box)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engines["list-prune"] = hy
+	for _, name := range []string{"cell-search", "list-prune"} {
+		e := engines[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Compute(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(e.Stats().SearchCandidates), "candidates")
+		})
+	}
+}
+
+// --- Full force evaluation (§5 workload, serial engines) ---
+
+func BenchmarkForceSilica(b *testing.B) {
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(4, 4, 4)
+	cfg.Thermalize(rand.New(rand.NewSource(3)), model, 300)
+	sys, err := md.NewSystem(cfg, model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, e md.Engine) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Compute(sys); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(sys.N()), "atoms")
+	}
+	scE, _ := md.NewCellEngine(model, sys.Box, md.FamilySC)
+	fsE, _ := md.NewCellEngine(model, sys.Box, md.FamilyFS)
+	hyE, _ := md.NewHybridEngine(model, sys.Box)
+	b.Run("SC-MD", func(b *testing.B) { run(b, scE) })
+	b.Run("FS-MD", func(b *testing.B) { run(b, fsE) })
+	b.Run("Hybrid-MD", func(b *testing.B) { run(b, hyE) })
+}
+
+// --- Parallel stepping (Figure 8/9 substrate) ---
+
+func BenchmarkParallelStep(b *testing.B) {
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(4, 4, 4)
+	cfg.Thermalize(rand.New(rand.NewSource(4)), model, 300)
+	for _, scheme := range parmd.Schemes() {
+		b.Run(scheme.String(), func(b *testing.B) {
+			cart := comm.NewCart(8)
+			for i := 0; i < b.N; i++ {
+				if _, err := parmd.Run(cfg, model, parmd.Options{
+					Scheme: scheme, Cart: cart, Dt: 1, Steps: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRouting compares SC-MD's 3-step forwarded octant
+// import against the full-shell 6-step exchange at equal physics,
+// reporting the measured per-step halo traffic.
+func BenchmarkAblationRouting(b *testing.B) {
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(4, 4, 4)
+	for _, tc := range []struct {
+		name   string
+		scheme parmd.Scheme
+	}{
+		{"octant-3step", parmd.SchemeSC},
+		{"fullshell-6step", parmd.SchemeFS},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cart := comm.NewCart(8)
+			var imported int64
+			for i := 0; i < b.N; i++ {
+				res, err := parmd.Run(cfg, model, parmd.Options{
+					Scheme: tc.scheme, Cart: cart, Dt: 1, Steps: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				imported = res.MaxRank().AtomsImported
+			}
+			b.ReportMetric(float64(imported), "halo-atoms")
+		})
+	}
+}
+
+// --- Figures 8 and 9 (performance-model generation) ---
+
+func BenchmarkFig8Model(b *testing.B) {
+	for _, m := range perfmodel.Machines() {
+		mod, err := perfmodel.NewModel(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(m.Name, func(b *testing.B) {
+			grains := bench.DefaultFig8Grains()
+			for i := 0; i < b.N; i++ {
+				rows := mod.Fig8(grains)
+				if len(rows) != len(grains) {
+					b.Fatal("short sweep")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig9Model(b *testing.B) {
+	mod, err := perfmodel.NewModel(perfmodel.BlueGeneQ())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := []int{64, 256, 1024, 4096, 16384, 32768}
+	for i := 0; i < b.N; i++ {
+		rows := mod.Fig9(0.79e6, tasks, 64)
+		if len(rows) != len(tasks) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkBinning(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := workload.UniformSilica(rng, 10000)
+	lat, err := cell.NewLattice(cfg.Box, 5.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin := cell.NewBinning(lat, cfg.Pos)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bin.Rebin(cfg.Pos)
+	}
+}
+
+func BenchmarkCommHaloRing(b *testing.B) {
+	// A 3-step ring exchange of a 10 KB payload across 8 ranks: the
+	// communication substrate's overhead floor.
+	w := comm.NewWorld(8)
+	payload := make([]byte, 10240)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := w.Run(func(p *comm.Proc) error {
+			for step := 0; step < 3; step++ {
+				next := (p.Rank() + 1) % p.Size()
+				prev := (p.Rank() + p.Size() - 1) % p.Size()
+				buf := append([]byte(nil), payload...)
+				p.SendRecv(next, step, buf, prev, step)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVashishtaPair(b *testing.B) {
+	model := potential.NewSilicaModel()
+	pair := model.Terms[0]
+	pos := []geom.Vec3{{}, geom.V(2.2, 1.1, 0.7)}
+	f := make([]geom.Vec3, 2)
+	sp := []int32{0, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pair.Eval(sp, pos, f)
+	}
+}
+
+func BenchmarkVashishtaTriplet(b *testing.B) {
+	model := potential.NewSilicaModel()
+	trip := model.Terms[1]
+	pos := []geom.Vec3{geom.V(1.6, 0, 0), {}, geom.V(0, 1.6, 0.4)}
+	f := make([]geom.Vec3, 3)
+	sp := []int32{1, 0, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trip.Eval(sp, pos, f)
+	}
+}

@@ -1,0 +1,282 @@
+// Command scmd runs many-body molecular-dynamics simulations with the
+// shift-collapse n-tuple engines:
+//
+//	scmd -model silica -engine sc -cells 3 -steps 100 -temp 300
+//	scmd -model lj -engine hybrid -atoms 864 -steps 500 -dt 2
+//	scmd -model silica -engine sc -ranks 8 -steps 100
+//
+// Models: silica (Vashishta SiO₂, the paper's benchmark application),
+// lj (Lennard-Jones argon), sw (Stillinger-Weber silicon), torsion
+// (LJ + 4-body dihedral). Engines: sc (SC-MD), fs (FS-MD), hybrid
+// (Hybrid-MD). With -ranks > 1 the run uses the parallel message-
+// passing stack of the paper's benchmarks (in-process ranks).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"sctuple/internal/analysis"
+	"sctuple/internal/comm"
+	"sctuple/internal/md"
+	"sctuple/internal/parmd"
+	"sctuple/internal/potential"
+	"sctuple/internal/trajio"
+	"sctuple/internal/workload"
+)
+
+func main() {
+	var (
+		modelName  = flag.String("model", "silica", "potential model: silica, lj, sw, torsion")
+		engineName = flag.String("engine", "sc", "force engine: sc, fs, hybrid")
+		atoms      = flag.Int("atoms", 0, "atom count for fluid workloads (lj, torsion)")
+		cells      = flag.Int("cells", 3, "supercell count per axis for crystal workloads (silica, sw)")
+		steps      = flag.Int("steps", 100, "MD steps")
+		dt         = flag.Float64("dt", 1.0, "time step (fs)")
+		temp       = flag.Float64("temp", 300, "initial temperature (K)")
+		thermostat = flag.Float64("thermostat", 0, "Berendsen target temperature (K), 0 = NVE")
+		ranks      = flag.Int("ranks", 1, "parallel ranks (in-process); 1 = serial")
+		every      = flag.Int("report", 20, "report interval (steps)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		trajPath   = flag.String("traj", "", "write an extended-XYZ trajectory to this file (serial runs)")
+		analyze    = flag.Bool("analyze", false, "print structure analysis (RDF peaks, angles) after the run")
+		skin       = flag.Float64("skin", 0, "Verlet-list skin (Å) for the hybrid engine; 0 rebuilds every step")
+		workers    = flag.Int("workers", 1, "worker goroutines for the sc/fs engines (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	opts := serialOpts{traj: *trajPath, analyze: *analyze, skin: *skin, workers: *workers}
+	if err := run(*modelName, *engineName, *atoms, *cells, *steps, *dt, *temp, *thermostat, *ranks, *every, *seed, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "scmd:", err)
+		os.Exit(1)
+	}
+}
+
+// serialOpts carries the optional serial-run features.
+type serialOpts struct {
+	traj    string
+	analyze bool
+	skin    float64
+	workers int
+}
+
+func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermostat float64, ranks, every int, seed int64, opts serialOpts) error {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		model *potential.Model
+		cfg   *workload.Config
+	)
+	switch modelName {
+	case "silica":
+		model = potential.NewSilicaModel()
+		cfg = workload.BetaCristobalite(cells, cells, cells)
+	case "lj":
+		model = potential.NewLJModel(0.0104, 3.4, 8.5, 39.948)
+		if atoms == 0 {
+			atoms = 864
+		}
+		cfg = workload.LJFluid(rng, atoms, 0.55, 3.4)
+	case "sw":
+		model = potential.NewStillingerWeberModel(potential.SiliconSW(), 28.0855)
+		if atoms == 0 {
+			atoms = 1000
+		}
+		cfg = workload.LJFluid(rng, atoms, 0.45, 2.0951)
+	case "torsion":
+		model = potential.NewTorsionModel(0.05, 1.8, 0.02, 1.0, 2.5, 12.0)
+		if atoms == 0 {
+			atoms = 512
+		}
+		cfg = workload.LJFluid(rng, atoms, 0.2, 1.0)
+	default:
+		return fmt.Errorf("unknown model %q", modelName)
+	}
+	if temp > 0 {
+		cfg.Thermalize(rng, model, temp)
+	}
+	fmt.Printf("model %s: %d atoms in %v\n", model.Name, cfg.N(), cfg.Box)
+
+	if ranks > 1 {
+		if opts.traj != "" {
+			return fmt.Errorf("-traj is supported for serial runs only")
+		}
+		return runParallel(cfg, model, engineName, steps, dt, ranks, every)
+	}
+	return runSerial(cfg, model, engineName, steps, dt, thermostat, every, opts)
+}
+
+func runSerial(cfg *workload.Config, model *potential.Model, engineName string, steps int, dt, thermostat float64, every int, opts serialOpts) error {
+	sys, err := md.NewSystem(cfg, model)
+	if err != nil {
+		return err
+	}
+	var engine md.Engine
+	switch engineName {
+	case "sc", "fs":
+		fam := md.FamilySC
+		if engineName == "fs" {
+			fam = md.FamilyFS
+		}
+		if opts.workers == 1 {
+			engine, err = md.NewCellEngine(model, sys.Box, fam)
+		} else {
+			engine, err = md.NewConcurrentCellEngine(model, sys.Box, fam, opts.workers)
+		}
+	case "hybrid":
+		if opts.skin > 0 {
+			engine, err = md.NewHybridEngineSkin(model, sys.Box, opts.skin)
+		} else {
+			engine, err = md.NewHybridEngine(model, sys.Box)
+		}
+	default:
+		return fmt.Errorf("unknown engine %q", engineName)
+	}
+	if err != nil {
+		return err
+	}
+	sim, err := md.NewSim(sys, engine, dt)
+	if err != nil {
+		return err
+	}
+	if thermostat > 0 {
+		sim.Therm = &md.Berendsen{Target: thermostat, Tau: 100}
+	}
+	var traj *os.File
+	if opts.traj != "" {
+		traj, err = os.Create(opts.traj)
+		if err != nil {
+			return err
+		}
+		defer traj.Close()
+	}
+	names := make([]string, sys.N())
+	for i, sp := range sys.Species {
+		names[i] = model.Species[sp].Name
+	}
+	writeFrame := func() error {
+		if traj == nil {
+			return nil
+		}
+		return trajio.WriteFrame(traj, &trajio.Frame{
+			Box:     sys.Box,
+			Names:   names,
+			Pos:     sys.Pos,
+			Comment: fmt.Sprintf("step=%d", sim.Steps()),
+		})
+	}
+	fmt.Printf("engine %s, dt %g fs, %d steps\n", engine.Name(), dt, steps)
+	fmt.Printf("%8s %14s %14s %14s %10s\n", "step", "PE (eV)", "KE (eV)", "E total (eV)", "T (K)")
+	report := func() {
+		fmt.Printf("%8d %14.4f %14.4f %14.4f %10.1f\n",
+			sim.Steps(), sim.PotentialEnergy(), sys.KineticEnergy(), sim.TotalEnergy(), sys.Temperature())
+	}
+	report()
+	if err := writeFrame(); err != nil {
+		return err
+	}
+	start := time.Now()
+	for sim.Steps() < steps {
+		n := min(every, steps-sim.Steps())
+		if err := sim.Run(n); err != nil {
+			return err
+		}
+		report()
+		if err := writeFrame(); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	st := sim.CumulativeStats()
+	fmt.Printf("\n%.2f ms/step; search candidates %d, tuples evaluated %d",
+		elapsed.Seconds()*1e3/float64(steps), st.SearchCandidates, st.TuplesEvaluated)
+	if st.PairListEntries > 0 {
+		fmt.Printf(", pair-list entries %d", st.PairListEntries)
+	}
+	fmt.Println()
+	if hy, ok := engine.(*md.HybridEngine); ok && opts.skin > 0 {
+		fmt.Printf("Verlet list rebuilt %d times over %d force evaluations (skin %.2f Å)\n",
+			hy.ListRebuilds(), sim.Steps()+1, opts.skin)
+	}
+	if opts.traj != "" {
+		fmt.Printf("trajectory written to %s\n", opts.traj)
+	}
+	if opts.analyze {
+		return printStructure(sys, model)
+	}
+	return nil
+}
+
+// printStructure reports simple structural observables of the final
+// configuration via the tuple-engine-backed analysis package.
+func printStructure(sys *md.System, model *potential.Model) error {
+	fmt.Println("\nstructure analysis:")
+	rmax := model.MaxCutoff()
+	g, err := analysis.RDF(sys.Box, sys.Pos, sys.Species, -1, -1, rmax, 110)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  total g(r): first peak at %.2f Å\n", g.FirstPeak())
+	if len(model.Species) == 2 {
+		cross, err := analysis.RDF(sys.Box, sys.Pos, sys.Species, 0, 1, rmax, 110)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s-%s g(r): first peak at %.2f Å\n",
+			model.Species[0].Name, model.Species[1].Name, cross.FirstPeak())
+		bond := cross.FirstPeak() * 1.3
+		coord, err := analysis.Coordination(sys.Box, sys.Pos, sys.Species, 0, 1, bond)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s coordination by %s (r < %.2f Å): %.2f\n",
+			model.Species[0].Name, model.Species[1].Name, bond, coord)
+		ang, err := analysis.AngleDistribution(sys.Box, sys.Pos, sys.Species, 1, 0, bond, 90)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s-%s-%s angle peak: %.1f° (%d samples)\n",
+			model.Species[1].Name, model.Species[0].Name, model.Species[1].Name,
+			ang.Peak, ang.Samples)
+	}
+	return nil
+}
+
+func runParallel(cfg *workload.Config, model *potential.Model, engineName string, steps int, dt float64, ranks, every int) error {
+	var scheme parmd.Scheme
+	switch engineName {
+	case "sc":
+		scheme = parmd.SchemeSC
+	case "fs":
+		scheme = parmd.SchemeFS
+	case "hybrid":
+		scheme = parmd.SchemeHybrid
+	default:
+		return fmt.Errorf("unknown engine %q", engineName)
+	}
+	cart := comm.NewCart(ranks)
+	fmt.Printf("engine %v on %d ranks (%v topology), dt %g fs, %d steps\n",
+		scheme, ranks, cart.Dims, dt, steps)
+	start := time.Now()
+	res, err := parmd.Run(cfg, model, parmd.Options{
+		Scheme: scheme, Cart: cart, Dt: dt, Steps: steps, TraceEnergies: true,
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%8s %14s %14s %14s\n", "step", "PE (eV)", "KE (eV)", "E total (eV)")
+	for s := 0; s < len(res.Energies); s += max(1, every) {
+		e := res.Energies[s]
+		fmt.Printf("%8d %14.4f %14.4f %14.4f\n", s+1, e.Potential, e.Kinetic, e.Total())
+	}
+	maxRank := res.MaxRank()
+	fmt.Printf("\n%.2f ms/step wall; comm %d messages, %.2f MB total\n",
+		elapsed.Seconds()*1e3/float64(max(1, steps)),
+		res.Comm.Messages, float64(res.Comm.Bytes)/1e6)
+	fmt.Printf("max rank: %d owned atoms, %d halo atoms imported, %d search candidates\n",
+		maxRank.OwnedAtoms, maxRank.AtomsImported, maxRank.SearchCandidates)
+	return nil
+}

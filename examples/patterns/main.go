@@ -1,0 +1,77 @@
+// Patterns: a tour of the computation-pattern algebra at the heart of
+// the paper — the shift-collapse pipeline, its invariants, and what it
+// buys.
+//
+// The program walks the three phases of the SC algorithm for triplets
+// (n = 3), verifies the completeness and redundancy properties the
+// paper proves (Lemmas 1-6, Theorems 1-2), and prints the cardinality
+// and import-volume tables that Figures 5 and 6 illustrate.
+//
+// Run with: go run ./examples/patterns
+package main
+
+import (
+	"fmt"
+
+	"sctuple/internal/core"
+	"sctuple/internal/geom"
+)
+
+func main() {
+	fmt.Println("The shift-collapse algorithm, phase by phase (n = 3)")
+	fmt.Println("====================================================")
+
+	// Phase 1: GENERATE-FS enumerates all 27^(n-1) nearest-neighbor
+	// paths — complete but redundant (Lemma 1).
+	fs := core.GenerateFS(3)
+	fmt.Printf("\nGENERATE-FS: %d paths (27² = %d), footprint %d cells, complete: %v\n",
+		fs.Len(), core.FSPathCount(3), fs.Footprint(), fs.IsComplete())
+	fmt.Printf("  redundant σ-classes covered twice: %d\n", fs.RedundancyCount())
+
+	// Phase 2: OC-SHIFT pushes every path into the first octant.
+	// Theorem 1 (path-shift invariance) guarantees the force set is
+	// unchanged; the cell coverage shrinks into [0, n-1]³.
+	oc := core.OCShift(fs)
+	lo, hi := oc.BoundingBox()
+	fmt.Printf("\nOC-SHIFT: still %d paths, coverage now %v..%v (footprint %d), complete: %v\n",
+		oc.Len(), lo, hi, oc.Footprint(), oc.IsComplete())
+
+	// Phase 3: R-COLLAPSE removes one path of every reflective twin
+	// pair (σ(p') = σ(p⁻¹), Lemma 3); self-reflective paths stay.
+	sc := core.RCollapse(oc)
+	fmt.Printf("\nR-COLLAPSE: %d paths (Eq. 29 predicts %d), redundancy now %d, complete: %v\n",
+		sc.Len(), core.SCPathCount(3), sc.RedundancyCount(), sc.IsComplete())
+
+	// A reflective twin pair, concretely.
+	p := core.NewPath(geom.IV(0, 0, 0), geom.IV(1, 0, 0), geom.IV(1, 1, 0))
+	twin := p.ReflectiveTwin()
+	fmt.Printf("\nExample (Lemma 6): path %v\n", p)
+	fmt.Printf("  reflective twin RPT(p) = p⁻¹ - v₂ = %v\n", twin)
+	fmt.Printf("  σ(p⁻¹) = σ(RPT(p)): %v — both generate the same force set\n",
+		p.Inverse().Sigma().Equal(twin.Sigma()))
+
+	// The pair case recovers the classic shell methods (§4.3).
+	fmt.Println("\nPair computation (n = 2) recovers the classic shells:")
+	for _, s := range []core.Shell{core.ShellFull, core.ShellHalf, core.ShellEighth} {
+		pat := s.Pattern()
+		fmt.Printf("  %-13s |Ψ| = %2d, footprint = %2d\n", s.String()+":", pat.Len(), pat.Footprint())
+	}
+	fmt.Printf("  SC(2) ≡ eighth shell: %v\n", core.SC(2).EquivalentTo(core.EighthShellPair()))
+
+	// What the compact coverage buys in parallel: import volumes for a
+	// cubic per-processor domain (Eq. 33).
+	fmt.Println("\nImport volume for an l³-cell domain (Eq. 33):")
+	fmt.Printf("  %3s %12s %12s %8s\n", "l", "SC (n=3)", "FS (n=3)", "FS/SC")
+	for _, l := range []int{2, 4, 8, 16} {
+		scV := core.SC(3).ImportVolume(l)
+		fsV := core.FS(3).ImportVolume(l)
+		fmt.Printf("  %3d %12d %12d %8.2f\n", l, scV, fsV, float64(fsV)/float64(scV))
+	}
+
+	// Search-space compaction for growing n.
+	fmt.Println("\nSearch-space compaction (|ΨFS|/|ΨSC| → 2, §4.1):")
+	for n := 2; n <= 6; n++ {
+		fmt.Printf("  n=%d: %8d → %8d paths (ratio %.3f)\n",
+			n, core.FSPathCount(n), core.SCPathCount(n), core.SearchCostRatioFSOverSC(n))
+	}
+}

@@ -1,0 +1,73 @@
+// Scaling: the paper's parallel story in miniature — real in-process
+// parallel MD over message-passing ranks, followed by the calibrated
+// performance model that extends the curves to cluster scale.
+//
+// Part 1 runs the same silica system on 1, 2, 4, and 8 ranks with all
+// three codes, reporting the per-rank work decomposition (critical-path
+// search cost), halo import volumes, and message counts from the actual
+// communication layer. (Wall-clock speedup additionally needs as many
+// hardware cores as ranks — the decomposition numbers are meaningful on
+// any host.) Part 2 prints the modeled strong-scaling table of
+// Figure 9(a).
+//
+// Run with: go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"sctuple/internal/bench"
+	"sctuple/internal/comm"
+	"sctuple/internal/parmd"
+	"sctuple/internal/perfmodel"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+func main() {
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(5, 5, 5)
+	cfg.Thermalize(rand.New(rand.NewSource(11)), model, 300)
+	const steps = 10
+	fmt.Printf("part 1: real parallel runs — %d silica atoms, %d steps each\n\n", cfg.N(), steps)
+
+	fmt.Printf("%-10s %6s %10s %16s %9s %14s %10s\n",
+		"scheme", "ranks", "ms/step", "max-rank search", "balance", "halo atoms/st", "messages")
+	for _, scheme := range parmd.Schemes() {
+		var search1 int64
+		for _, p := range []int{1, 2, 4, 8} {
+			cart := comm.NewCart(p)
+			start := time.Now()
+			res, err := parmd.Run(cfg, model, parmd.Options{
+				Scheme: scheme, Cart: cart, Dt: 1.0, Steps: steps,
+			})
+			if err != nil {
+				log.Fatalf("%v on %d ranks: %v", scheme, p, err)
+			}
+			perStep := time.Since(start).Seconds() * 1e3 / steps
+			maxRank := res.MaxRank()
+			if p == 1 {
+				search1 = maxRank.SearchCandidates
+			}
+			// "balance" is the critical-path compression: the ideal is
+			// p, reached when the max rank carries exactly 1/p of the
+			// single-rank search work.
+			fmt.Printf("%-10v %6d %10.2f %16d %9.2f %14d %10d\n",
+				scheme, p, perStep, maxRank.SearchCandidates,
+				float64(search1)/float64(maxRank.SearchCandidates),
+				maxRank.AtomsImported/int64(steps+1), res.Comm.Messages)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("part 2: the calibrated cluster model (Figure 9a)")
+	fmt.Println()
+	if err := bench.Fig9Report(os.Stdout, perfmodel.IntelXeon(),
+		0.88e6, []int{12, 48, 192, 768}, 12, 1); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module sctuple
+
+go 1.22

@@ -1,0 +1,249 @@
+// Package analysis computes structural observables of atomic
+// configurations using the same n-tuple machinery the force engines
+// run on: radial distribution functions from the pair (n = 2) force
+// set and bond-angle distributions from the triplet (n = 3) force set.
+// It doubles as a downstream consumer of the public tuple API and as a
+// physics check that the silica model produces silica-like structure.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"sctuple/internal/cell"
+	"sctuple/internal/core"
+	"sctuple/internal/geom"
+	"sctuple/internal/tuple"
+)
+
+// Histogram is a uniform-bin histogram over [Min, Max).
+type Histogram struct {
+	Min, Max float64
+	Counts   []int64
+	total    int64
+}
+
+// NewHistogram builds a histogram with the given bin count.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if !(max > min) || bins < 1 {
+		panic(fmt.Sprintf("analysis: invalid histogram [%g, %g) × %d", min, max, bins))
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int64, bins)}
+}
+
+// Add records one sample; out-of-range samples are dropped.
+func (h *Histogram) Add(x float64) {
+	if x < h.Min || x >= h.Max {
+		return
+	}
+	i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of recorded samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// BinWidth returns the bin width.
+func (h *Histogram) BinWidth() float64 {
+	return (h.Max - h.Min) / float64(len(h.Counts))
+}
+
+// ArgMax returns the center of the most populated bin.
+func (h *Histogram) ArgMax() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// RDFResult holds a radial distribution function g(r): the local pair
+// density relative to the ideal-gas expectation.
+type RDFResult struct {
+	R []float64 // bin centers (Å)
+	G []float64 // g(r)
+}
+
+// FirstPeak returns the position of the maximum of g(r), the nearest-
+// neighbor distance.
+func (r RDFResult) FirstPeak() float64 {
+	best := 0
+	for i := range r.G {
+		if r.G[i] > r.G[best] {
+			best = i
+		}
+	}
+	if len(r.R) == 0 {
+		return 0
+	}
+	return r.R[best]
+}
+
+// RDF computes the partial radial distribution function g_ab(r) for
+// species pair (a, b) up to rmax, using an eighth-shell pair
+// enumeration. Pass a = b = -1 for the total g(r).
+func RDF(box geom.Box, pos []geom.Vec3, species []int32, a, b int32, rmax float64, bins int) (RDFResult, error) {
+	if (a < 0) != (b < 0) {
+		return RDFResult{}, fmt.Errorf("analysis: species selectors must be both concrete or both -1")
+	}
+	lat, err := cell.NewLattice(box, rmax)
+	if err != nil {
+		return RDFResult{}, fmt.Errorf("analysis: %w", err)
+	}
+	if !lat.MinSpanOK(3) {
+		return RDFResult{}, fmt.Errorf("analysis: box %v too small for rmax %g (needs ≥ 3 cells per side)", box, rmax)
+	}
+	bin := cell.NewBinning(lat, pos)
+	e, err := tuple.NewEnumerator(bin, core.SC(2), rmax, tuple.DedupAuto)
+	if err != nil {
+		return RDFResult{}, fmt.Errorf("analysis: %w", err)
+	}
+	h := NewHistogram(0, rmax, bins)
+	nA, nB := 0, 0
+	for i := range species {
+		if a < 0 || species[i] == a {
+			nA++
+		}
+		if b < 0 || species[i] == b {
+			nB++
+		}
+	}
+	e.Visit(pos, func(atoms []int32, p []geom.Vec3) {
+		sa, sb := species[atoms[0]], species[atoms[1]]
+		match := (a < 0 && b < 0) ||
+			(sa == a && sb == b) || (sa == b && sb == a)
+		if !match {
+			return
+		}
+		h.Add(p[1].Sub(p[0]).Norm())
+	})
+	res := RDFResult{R: make([]float64, bins), G: make([]float64, bins)}
+	// Normalize against the ideal-gas expectation for the number of
+	// unordered matching pairs in the shell [r, r+dr): nA(nA-1)/2 for
+	// same-species (or total), nA·nB for a cross pair.
+	var pairNorm float64
+	if a == b || (a < 0 && b < 0) {
+		pairNorm = float64(nA) * float64(nA-1) / 2
+	} else {
+		pairNorm = float64(nA) * float64(nB)
+	}
+	vol := box.Volume()
+	dr := h.BinWidth()
+	for i := 0; i < bins; i++ {
+		r := h.BinCenter(i)
+		res.R[i] = r
+		shell := 4 * math.Pi * r * r * dr
+		ideal := pairNorm * shell / vol
+		if ideal > 0 {
+			res.G[i] = float64(h.Counts[i]) / ideal
+		}
+	}
+	return res, nil
+}
+
+// AngleResult holds a bond-angle distribution.
+type AngleResult struct {
+	ThetaDeg []float64 // bin centers (degrees)
+	P        []float64 // normalized distribution (sums to 1)
+	Peak     float64   // most probable angle (degrees)
+	Samples  int64
+}
+
+// AngleDistribution computes the distribution of bond angles at
+// central atoms of species center, with both neighbors of species end
+// within rbond, using an SC triplet enumeration (the chain's middle
+// atom is the angle vertex). Pass -1 to accept any species.
+func AngleDistribution(box geom.Box, pos []geom.Vec3, species []int32, end, center int32, rbond float64, bins int) (AngleResult, error) {
+	lat, err := cell.NewLattice(box, rbond)
+	if err != nil {
+		return AngleResult{}, fmt.Errorf("analysis: %w", err)
+	}
+	if !lat.MinSpanOK(3) {
+		return AngleResult{}, fmt.Errorf("analysis: box too small for rbond %g", rbond)
+	}
+	bin := cell.NewBinning(lat, pos)
+	e, err := tuple.NewEnumerator(bin, core.SC(3), rbond, tuple.DedupAuto)
+	if err != nil {
+		return AngleResult{}, fmt.Errorf("analysis: %w", err)
+	}
+	h := NewHistogram(0, 180, bins)
+	e.Visit(pos, func(atoms []int32, p []geom.Vec3) {
+		if center >= 0 && species[atoms[1]] != center {
+			return
+		}
+		if end >= 0 && (species[atoms[0]] != end || species[atoms[2]] != end) {
+			return
+		}
+		v1 := p[0].Sub(p[1])
+		v2 := p[2].Sub(p[1])
+		cos := v1.Dot(v2) / (v1.Norm() * v2.Norm())
+		if cos > 1 {
+			cos = 1
+		} else if cos < -1 {
+			cos = -1
+		}
+		h.Add(math.Acos(cos) * 180 / math.Pi)
+	})
+	res := AngleResult{
+		ThetaDeg: make([]float64, bins),
+		P:        make([]float64, bins),
+		Peak:     h.ArgMax(),
+		Samples:  h.Total(),
+	}
+	for i := 0; i < bins; i++ {
+		res.ThetaDeg[i] = h.BinCenter(i)
+		if h.Total() > 0 {
+			res.P[i] = float64(h.Counts[i]) / float64(h.Total())
+		}
+	}
+	return res, nil
+}
+
+// Coordination returns the average number of neighbors of species b
+// within rbond of atoms of species a (-1 matches any species).
+func Coordination(box geom.Box, pos []geom.Vec3, species []int32, a, b int32, rbond float64) (float64, error) {
+	lat, err := cell.NewLattice(box, rbond)
+	if err != nil {
+		return 0, fmt.Errorf("analysis: %w", err)
+	}
+	bin := cell.NewBinning(lat, pos)
+	e, err := tuple.NewEnumerator(bin, core.SC(2), rbond, tuple.DedupAuto)
+	if err != nil {
+		return 0, fmt.Errorf("analysis: %w", err)
+	}
+	// Each unordered pair is emitted once; check both role
+	// assignments, so a same-species pair contributes a neighbor to
+	// both of its members.
+	count := int64(0)
+	e.Visit(pos, func(atoms []int32, _ []geom.Vec3) {
+		sa, sb := species[atoms[0]], species[atoms[1]]
+		if (a < 0 || sa == a) && (b < 0 || sb == b) {
+			count++
+		}
+		if (a < 0 || sb == a) && (b < 0 || sa == b) {
+			count++
+		}
+	})
+	nA := 0
+	for _, s := range species {
+		if a < 0 || s == a {
+			nA++
+		}
+	}
+	if nA == 0 {
+		return 0, nil
+	}
+	return float64(count) / float64(nA), nil
+}

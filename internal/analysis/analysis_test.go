@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/geom"
+	"sctuple/internal/workload"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{0.5, 1.5, 1.6, 9.99, -1, 10, 11} {
+		h.Add(x)
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d, want 4 (out-of-range dropped)", h.Total())
+	}
+	if h.Counts[1] != 2 {
+		t.Errorf("bin 1 count %d", h.Counts[1])
+	}
+	if h.ArgMax() != 1.5 {
+		t.Errorf("ArgMax = %g", h.ArgMax())
+	}
+	if h.BinWidth() != 1 {
+		t.Errorf("BinWidth = %g", h.BinWidth())
+	}
+}
+
+func TestRDFIdealGasIsFlat(t *testing.T) {
+	// A uniform random gas must give g(r) ≈ 1 everywhere.
+	rng := rand.New(rand.NewSource(1))
+	cfg := workload.UniformRandom(rng, 24, 4000, []float64{1})
+	res, err := RDF(cfg.Box, cfg.Pos, cfg.Species, -1, -1, 6.0, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the first bins (few pairs, noisy).
+	for i := 3; i < len(res.G); i++ {
+		if math.Abs(res.G[i]-1) > 0.15 {
+			t.Errorf("g(%.2f) = %.3f, want ≈ 1 for ideal gas", res.R[i], res.G[i])
+		}
+	}
+}
+
+func TestRDFCrystalPeaks(t *testing.T) {
+	// β-cristobalite: the Si-O nearest-neighbor distance is
+	// a·√3/8 ≈ 1.55 Å.
+	cfg := workload.BetaCristobalite(3, 3, 3)
+	res, err := RDF(cfg.Box, cfg.Pos, cfg.Species, 0, 1, 4.0, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 7.16 * math.Sqrt(3) / 8
+	if got := res.FirstPeak(); math.Abs(got-want) > 0.1 {
+		t.Errorf("Si-O first peak at %.3f Å, want %.3f", got, want)
+	}
+	// Below the bond length g must vanish.
+	for i, r := range res.R {
+		if r < want-0.2 && res.G[i] != 0 {
+			t.Errorf("g(%.2f) = %g below the bond length", r, res.G[i])
+		}
+	}
+}
+
+func TestRDFSelectorValidation(t *testing.T) {
+	cfg := workload.BetaCristobalite(3, 3, 3)
+	if _, err := RDF(cfg.Box, cfg.Pos, cfg.Species, -1, 1, 4.0, 10); err == nil {
+		t.Error("mixed wildcard selectors accepted")
+	}
+	tiny := geom.NewCubicBox(5)
+	if _, err := RDF(tiny, []geom.Vec3{{}}, []int32{0}, -1, -1, 4.0, 10); err == nil {
+		t.Error("undersized box accepted")
+	}
+}
+
+func TestAngleDistributionTetrahedral(t *testing.T) {
+	// O-Si-O angles in ideal β-cristobalite are exactly tetrahedral:
+	// 109.47°.
+	cfg := workload.BetaCristobalite(3, 3, 3)
+	res, err := AngleDistribution(cfg.Box, cfg.Pos, cfg.Species, 1, 0, 1.8, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples == 0 {
+		t.Fatal("no O-Si-O angles sampled")
+	}
+	if math.Abs(res.Peak-109.47) > 3.1 {
+		t.Errorf("O-Si-O peak at %.1f°, want ≈ 109.5°", res.Peak)
+	}
+	// Each Si has C(4,2) = 6 angles.
+	si := 0
+	for _, s := range cfg.Species {
+		if s == 0 {
+			si++
+		}
+	}
+	if res.Samples != int64(6*si) {
+		t.Errorf("sampled %d angles, want %d", res.Samples, 6*si)
+	}
+	// Distribution sums to 1.
+	sum := 0.0
+	for _, p := range res.P {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("distribution sums to %g", sum)
+	}
+}
+
+func TestAngleDistributionSiOSi(t *testing.T) {
+	// The Si-O-Si angle of ideal β-cristobalite (collinear bonds
+	// through the O midpoint) is 180°.
+	cfg := workload.BetaCristobalite(3, 3, 3)
+	res, err := AngleDistribution(cfg.Box, cfg.Pos, cfg.Species, 0, 1, 1.8, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Peak < 174 {
+		t.Errorf("Si-O-Si peak at %.1f°, want ≈ 180° for the ideal lattice", res.Peak)
+	}
+}
+
+func TestCoordinationSilica(t *testing.T) {
+	cfg := workload.BetaCristobalite(3, 3, 3)
+	// Si is 4-coordinated by O; O is 2-coordinated by Si.
+	siO, err := Coordination(cfg.Box, cfg.Pos, cfg.Species, 0, 1, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if siO != 4 {
+		t.Errorf("Si-O coordination %g, want 4", siO)
+	}
+	oSi, err := Coordination(cfg.Box, cfg.Pos, cfg.Species, 1, 0, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oSi != 2 {
+		t.Errorf("O-Si coordination %g, want 2", oSi)
+	}
+	// No Si-Si or O-O bonds at this cutoff.
+	siSi, err := Coordination(cfg.Box, cfg.Pos, cfg.Species, 0, 0, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if siSi != 0 {
+		t.Errorf("Si-Si coordination %g, want 0", siSi)
+	}
+}
+
+func TestCoordinationAnyAny(t *testing.T) {
+	// Total coordination: Si contributes 4, O contributes 2 — average
+	// over all atoms = (4·nSi + 2·nO)/(nSi+nO) = 8/3.
+	cfg := workload.BetaCristobalite(2, 2, 2)
+	c, err := Coordination(cfg.Box, cfg.Pos, cfg.Species, -1, -1, 1.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-8.0/3.0) > 1e-9 {
+		t.Errorf("total coordination %g, want 8/3", c)
+	}
+}

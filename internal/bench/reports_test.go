@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblateReportRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep takes a few seconds")
+	}
+	var buf bytes.Buffer
+	if err := AblateReport(&buf, 800, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"R-COLLAPSE", "OC-SHIFT", "Triplet search strategy",
+		"Midpoint cell refinement", "Verlet-skin",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation report missing section %q", want)
+		}
+	}
+}
+
+func TestValidateReportRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ValidateReport(&buf, 1500, []int{1}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SC-MD") || !strings.Contains(buf.String(), "Hybrid-MD") {
+		t.Error("validate report missing scheme rows")
+	}
+}
+
+func TestFig7ReportRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig7Report(&buf, []int{5}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Error("fig7 report missing header")
+	}
+}
+
+func TestDefaultFig8GrainsSpanPaperRange(t *testing.T) {
+	g := DefaultFig8Grains()
+	if g[0] != 24 || g[len(g)-1] != 3000 {
+		t.Errorf("grain sweep %v should span 24..3000 (paper §5.2)", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Errorf("grains not increasing at %d", i)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package cell
+
+import (
+	"fmt"
+
+	"sctuple/internal/geom"
+)
+
+// Binning assigns atoms to cells in a compact CSR (compressed sparse
+// row) layout: atoms of cell with linear index i occupy
+// Atoms[Start[i]:Start[i+1]]. The structure is rebuilt every MD step —
+// the "dynamic" part of dynamic n-tuple computation — so Rebin reuses
+// all storage.
+type Binning struct {
+	Lat   Lattice
+	Start []int32 // length NumCells+1
+	Atoms []int32 // atom indices grouped by cell, stable within a cell
+
+	cellOf []int32 // scratch: cell linear index per atom
+}
+
+// NewBinning bins the given positions (which must lie in the primary
+// image) into the lattice.
+func NewBinning(lat Lattice, positions []geom.Vec3) *Binning {
+	b := &Binning{Lat: lat}
+	b.Rebin(positions)
+	return b
+}
+
+// Rebin rebuilds the cell assignment for the current positions,
+// reusing internal storage. Positions must lie in the primary image
+// (wrap them first); CellOf clamps rounding stragglers.
+func (b *Binning) Rebin(positions []geom.Vec3) {
+	nc := b.Lat.NumCells()
+	if cap(b.Start) < nc+1 {
+		b.Start = make([]int32, nc+1)
+	}
+	b.Start = b.Start[:nc+1]
+	for i := range b.Start {
+		b.Start[i] = 0
+	}
+	if cap(b.cellOf) < len(positions) {
+		b.cellOf = make([]int32, len(positions))
+	}
+	b.cellOf = b.cellOf[:len(positions)]
+	if cap(b.Atoms) < len(positions) {
+		b.Atoms = make([]int32, len(positions))
+	}
+	b.Atoms = b.Atoms[:len(positions)]
+
+	// Count, prefix-sum, fill: O(N + cells), stable.
+	for i, r := range positions {
+		c := int32(b.Lat.Linear(b.Lat.CellOf(r)))
+		b.cellOf[i] = c
+		b.Start[c+1]++
+	}
+	for i := 0; i < nc; i++ {
+		b.Start[i+1] += b.Start[i]
+	}
+	fill := make([]int32, nc)
+	for i := range positions {
+		c := b.cellOf[i]
+		b.Atoms[b.Start[c]+fill[c]] = int32(i)
+		fill[c]++
+	}
+}
+
+// RebinCells rebuilds the CSR structure from caller-supplied local
+// linear cell indices, one per atom. Parallel MD uses this so that the
+// cell an atom belongs to is decided once (by its owner, in exact
+// integer arithmetic on global cell coordinates) and never re-derived
+// from floating-point positions, which could round differently on
+// different ranks for atoms exactly on a cell boundary.
+func (b *Binning) RebinCells(cells []int32) {
+	nc := b.Lat.NumCells()
+	if cap(b.Start) < nc+1 {
+		b.Start = make([]int32, nc+1)
+	}
+	b.Start = b.Start[:nc+1]
+	for i := range b.Start {
+		b.Start[i] = 0
+	}
+	if cap(b.cellOf) < len(cells) {
+		b.cellOf = make([]int32, len(cells))
+	}
+	b.cellOf = b.cellOf[:len(cells)]
+	copy(b.cellOf, cells)
+	if cap(b.Atoms) < len(cells) {
+		b.Atoms = make([]int32, len(cells))
+	}
+	b.Atoms = b.Atoms[:len(cells)]
+	for _, c := range cells {
+		b.Start[c+1]++
+	}
+	for i := 0; i < nc; i++ {
+		b.Start[i+1] += b.Start[i]
+	}
+	fill := make([]int32, nc)
+	for i, c := range cells {
+		b.Atoms[b.Start[c]+fill[c]] = int32(i)
+		fill[c]++
+	}
+}
+
+// CellAtoms returns the atom indices in the (unwrapped) cell q.
+// The returned slice aliases internal storage; do not modify it.
+func (b *Binning) CellAtoms(q geom.IVec3) []int32 {
+	i := b.Lat.Linear(b.Lat.WrapCell(q))
+	return b.Atoms[b.Start[i]:b.Start[i+1]]
+}
+
+// CellAtomsLinear returns the atom indices of the cell with linear
+// index i (already wrapped).
+func (b *Binning) CellAtomsLinear(i int) []int32 {
+	return b.Atoms[b.Start[i]:b.Start[i+1]]
+}
+
+// CellOfAtom returns the linear cell index atom i was binned into.
+func (b *Binning) CellOfAtom(i int) int { return int(b.cellOf[i]) }
+
+// NumAtoms returns the number of binned atoms.
+func (b *Binning) NumAtoms() int { return len(b.Atoms) }
+
+// MaxOccupancy returns the largest number of atoms in any cell, a
+// useful sanity metric for workload balance.
+func (b *Binning) MaxOccupancy() int {
+	m := 0
+	for i := 0; i+1 < len(b.Start); i++ {
+		if n := int(b.Start[i+1] - b.Start[i]); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// MeanOccupancy returns ⟨ρcell⟩, the average number of atoms per cell
+// (the quantity the paper's Lemma 5 cost model is built on).
+func (b *Binning) MeanOccupancy() float64 {
+	if b.Lat.NumCells() == 0 {
+		return 0
+	}
+	return float64(len(b.Atoms)) / float64(b.Lat.NumCells())
+}
+
+// Validate cross-checks the CSR structure against the positions and
+// returns the first inconsistency found, or nil. Tests and debug
+// builds call this; production steps do not.
+func (b *Binning) Validate(positions []geom.Vec3) error {
+	if len(positions) != len(b.Atoms) {
+		return fmt.Errorf("cell: binned %d atoms, have %d positions", len(b.Atoms), len(positions))
+	}
+	seen := make([]bool, len(positions))
+	for ci := 0; ci < b.Lat.NumCells(); ci++ {
+		for _, ai := range b.CellAtomsLinear(ci) {
+			if seen[ai] {
+				return fmt.Errorf("cell: atom %d binned twice", ai)
+			}
+			seen[ai] = true
+			if got := b.Lat.Linear(b.Lat.CellOf(positions[ai])); got != ci {
+				return fmt.Errorf("cell: atom %d in cell %d, belongs to %d", ai, ci, got)
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("cell: atom %d not binned", i)
+		}
+	}
+	return nil
+}

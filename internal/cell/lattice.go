@@ -1,0 +1,162 @@
+// Package cell implements the cell data structure of cell-based MD
+// (paper §3.1.1): a periodic lattice of cubic-ish cells over the
+// simulation box, and the dynamic binning of atoms into cells that is
+// rebuilt every MD step.
+//
+// Cells are indexed by integer vectors q ∈ L = [0,Lx)×[0,Ly)×[0,Lz);
+// the cell-offset operation c(q+Δ) wraps periodically (modulo the
+// lattice dimensions), matching the paper's periodic boundary
+// conditions.
+package cell
+
+import (
+	"fmt"
+
+	"sctuple/internal/geom"
+)
+
+// Lattice divides a periodic box into Dims.X × Dims.Y × Dims.Z cells.
+// Cell sides are at least the minimum side requested at construction,
+// which callers set to the largest interaction cutoff so that all
+// range-limited tuples step only between nearest-neighbor cells.
+type Lattice struct {
+	Box  geom.Box
+	Dims geom.IVec3 // number of cells per direction, all ≥ 1
+	Side geom.Vec3  // cell edge lengths: Box.L / Dims
+}
+
+// NewLattice builds a lattice whose cell sides are ≥ minSide. It
+// returns an error when the box is too small to fit even one cell of
+// the requested side.
+func NewLattice(box geom.Box, minSide float64) (Lattice, error) {
+	if !(minSide > 0) {
+		return Lattice{}, fmt.Errorf("cell: minimum cell side %g must be positive", minSide)
+	}
+	var dims geom.IVec3
+	for c := 0; c < 3; c++ {
+		n := int(box.L.Comp(c) / minSide)
+		if n < 1 {
+			return Lattice{}, fmt.Errorf("cell: box side %g smaller than cell side %g",
+				box.L.Comp(c), minSide)
+		}
+		dims.SetComp(c, n)
+	}
+	return Lattice{
+		Box:  box,
+		Dims: dims,
+		Side: geom.V(box.L.X/float64(dims.X), box.L.Y/float64(dims.Y), box.L.Z/float64(dims.Z)),
+	}, nil
+}
+
+// NewLatticeDims builds a lattice with exactly the given cell counts.
+func NewLatticeDims(box geom.Box, dims geom.IVec3) (Lattice, error) {
+	if dims.X < 1 || dims.Y < 1 || dims.Z < 1 {
+		return Lattice{}, fmt.Errorf("cell: invalid lattice dims %v", dims)
+	}
+	return Lattice{
+		Box:  box,
+		Dims: dims,
+		Side: geom.V(box.L.X/float64(dims.X), box.L.Y/float64(dims.Y), box.L.Z/float64(dims.Z)),
+	}, nil
+}
+
+// NumCells returns the total number of cells |L|.
+func (lat Lattice) NumCells() int { return lat.Dims.Volume() }
+
+// CellOf returns the cell index of a position in the primary image.
+// Positions exactly on the upper box face (possible only through
+// floating-point rounding) are clamped into the last cell.
+func (lat Lattice) CellOf(r geom.Vec3) geom.IVec3 {
+	var q geom.IVec3
+	for c := 0; c < 3; c++ {
+		i := int(r.Comp(c) / lat.Side.Comp(c))
+		if i >= lat.Dims.Comp(c) {
+			i = lat.Dims.Comp(c) - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		q.SetComp(c, i)
+	}
+	return q
+}
+
+// WrapCell maps an arbitrary cell index into the primary lattice by
+// the periodic cell-offset rule q'α = qα % Lα (non-negative).
+func (lat Lattice) WrapCell(q geom.IVec3) geom.IVec3 {
+	return geom.IV(
+		mod(q.X, lat.Dims.X),
+		mod(q.Y, lat.Dims.Y),
+		mod(q.Z, lat.Dims.Z),
+	)
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// Linear returns the linear index of a (wrapped) cell, in z-fastest
+// order. It does not wrap; use WrapCell first for offset cells.
+func (lat Lattice) Linear(q geom.IVec3) int {
+	return (q.X*lat.Dims.Y+q.Y)*lat.Dims.Z + q.Z
+}
+
+// CellAt inverts Linear.
+func (lat Lattice) CellAt(i int) geom.IVec3 {
+	z := i % lat.Dims.Z
+	i /= lat.Dims.Z
+	y := i % lat.Dims.Y
+	x := i / lat.Dims.Y
+	return geom.IV(x, y, z)
+}
+
+// Origin returns the lower corner position of a cell.
+func (lat Lattice) Origin(q geom.IVec3) geom.Vec3 {
+	return geom.V(
+		float64(q.X)*lat.Side.X,
+		float64(q.Y)*lat.Side.Y,
+		float64(q.Z)*lat.Side.Z,
+	)
+}
+
+// ImageShift returns the real-space displacement that the periodic
+// wrap of cell index q implies: a position binned in the wrapped image
+// of q must be translated by this vector to sit geometrically adjacent
+// to cells around the unwrapped q. The tuple enumerator uses this to
+// compute distances without minimum-image searches.
+func (lat Lattice) ImageShift(q geom.IVec3) geom.Vec3 {
+	var s geom.Vec3
+	for c := 0; c < 3; c++ {
+		d := floorDiv(q.Comp(c), lat.Dims.Comp(c))
+		s.SetComp(c, float64(d)*lat.Box.L.Comp(c))
+	}
+	return s
+}
+
+func floorDiv(a, n int) int {
+	d := a / n
+	if a%n != 0 && (a < 0) != (n < 0) {
+		d--
+	}
+	return d
+}
+
+// MinSpanOK reports whether the lattice has at least span cells in
+// every direction. Tuple enumeration with cell offsets in
+// [-(span-1)/2, (span-1)/2] (or [0, span-1] after octant compression)
+// requires this so that distinct offsets address distinct cells;
+// smaller lattices alias neighbors onto each other and would double
+// count tuples.
+func (lat Lattice) MinSpanOK(span int) bool {
+	return lat.Dims.X >= span && lat.Dims.Y >= span && lat.Dims.Z >= span
+}
+
+// String formats the lattice for diagnostics.
+func (lat Lattice) String() string {
+	return fmt.Sprintf("Lattice[%d×%d×%d cells of %.3g×%.3g×%.3g]",
+		lat.Dims.X, lat.Dims.Y, lat.Dims.Z, lat.Side.X, lat.Side.Y, lat.Side.Z)
+}

@@ -1,0 +1,67 @@
+package cell
+
+import (
+	"strings"
+	"testing"
+
+	"sctuple/internal/geom"
+)
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	box := geom.NewCubicBox(6)
+	lat, _ := NewLatticeDims(box, geom.IV(3, 3, 3))
+	pos := []geom.Vec3{geom.V(1, 1, 1), geom.V(5, 5, 5), geom.V(3, 3, 3)}
+	b := NewBinning(lat, pos)
+
+	// Length mismatch.
+	if err := b.Validate(pos[:2]); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	// Wrong cell assignment.
+	good := b.Atoms[0]
+	b.Atoms[0] = b.Atoms[1]
+	if err := b.Validate(pos); err == nil {
+		t.Error("corrupted assignment not detected")
+	}
+	b.Atoms[0] = good
+	if err := b.Validate(pos); err != nil {
+		t.Errorf("restored binning invalid: %v", err)
+	}
+}
+
+func TestRebinCellsMatchesRebin(t *testing.T) {
+	box := geom.NewCubicBox(8)
+	lat, _ := NewLatticeDims(box, geom.IV(4, 4, 4))
+	pos := []geom.Vec3{geom.V(0.5, 0.5, 0.5), geom.V(7.5, 7.5, 7.5), geom.V(3, 5, 1)}
+	a := NewBinning(lat, pos)
+
+	cells := make([]int32, len(pos))
+	for i, r := range pos {
+		cells[i] = int32(lat.Linear(lat.CellOf(r)))
+	}
+	b := NewBinning(lat, nil)
+	b.RebinCells(cells)
+	for ci := 0; ci < lat.NumCells(); ci++ {
+		av, bv := a.CellAtomsLinear(ci), b.CellAtomsLinear(ci)
+		if len(av) != len(bv) {
+			t.Fatalf("cell %d: %v vs %v", ci, av, bv)
+		}
+		for k := range av {
+			if av[k] != bv[k] {
+				t.Fatalf("cell %d: %v vs %v", ci, av, bv)
+			}
+		}
+	}
+	for i := range pos {
+		if a.CellOfAtom(i) != b.CellOfAtom(i) {
+			t.Fatalf("atom %d cell differs", i)
+		}
+	}
+}
+
+func TestLatticeString(t *testing.T) {
+	lat, _ := NewLatticeDims(geom.NewCubicBox(6), geom.IV(3, 3, 3))
+	if s := lat.String(); !strings.Contains(s, "3×3×3") {
+		t.Errorf("lattice string %q", s)
+	}
+}

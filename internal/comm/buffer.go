@@ -1,0 +1,91 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sctuple/internal/geom"
+)
+
+// Buffer serializes message payloads with a fixed little-endian wire
+// format. The zero value is ready to use; methods append.
+type Buffer struct {
+	b []byte
+}
+
+// Bytes returns the accumulated payload. The buffer must not be
+// written afterwards if the slice is handed to Send.
+func (b *Buffer) Bytes() []byte { return b.b }
+
+// Clone returns an independent copy of the payload.
+func (b *Buffer) Clone() []byte { return append([]byte(nil), b.b...) }
+
+// Len returns the current payload size.
+func (b *Buffer) Len() int { return len(b.b) }
+
+// Reset empties the buffer, retaining capacity.
+func (b *Buffer) Reset() { b.b = b.b[:0] }
+
+// Int64 appends a 64-bit integer.
+func (b *Buffer) Int64(v int64) {
+	b.b = binary.LittleEndian.AppendUint64(b.b, uint64(v))
+}
+
+// Int32 appends a 32-bit integer.
+func (b *Buffer) Int32(v int32) {
+	b.b = binary.LittleEndian.AppendUint32(b.b, uint32(v))
+}
+
+// Float64 appends a float64.
+func (b *Buffer) Float64(v float64) {
+	b.b = binary.LittleEndian.AppendUint64(b.b, math.Float64bits(v))
+}
+
+// Vec3 appends a geometry vector.
+func (b *Buffer) Vec3(v geom.Vec3) {
+	b.Float64(v.X)
+	b.Float64(v.Y)
+	b.Float64(v.Z)
+}
+
+// Reader decodes payloads produced by Buffer, in the same order.
+type Reader struct {
+	b   []byte
+	off int
+}
+
+// NewReader wraps a payload.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.off+n > len(r.b) {
+		panic(fmt.Sprintf("comm: reading %d bytes past end of %d-byte message", n, len(r.b)))
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+// Int64 reads a 64-bit integer.
+func (r *Reader) Int64() int64 {
+	return int64(binary.LittleEndian.Uint64(r.take(8)))
+}
+
+// Int32 reads a 32-bit integer.
+func (r *Reader) Int32() int32 {
+	return int32(binary.LittleEndian.Uint32(r.take(4)))
+}
+
+// Float64 reads a float64.
+func (r *Reader) Float64() float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(r.take(8)))
+}
+
+// Vec3 reads a geometry vector.
+func (r *Reader) Vec3() geom.Vec3 {
+	return geom.V(r.Float64(), r.Float64(), r.Float64())
+}

@@ -1,0 +1,93 @@
+package comm
+
+import (
+	"fmt"
+
+	"sctuple/internal/geom"
+)
+
+// Cart is a periodic 3-D Cartesian process topology: P ranks arranged
+// as Dims.X × Dims.Y × Dims.Z with rank = (x·Dims.Y + y)·Dims.Z + z,
+// matching the cell lattice's linearization.
+type Cart struct {
+	Dims geom.IVec3
+}
+
+// NewCart factors p into the most cubic 3-D grid (largest-first
+// factor assignment). Any p ≥ 1 works; primes degrade to 1×1×p.
+func NewCart(p int) Cart {
+	best := geom.IV(1, 1, p)
+	bestScore := scoreDims(best)
+	for x := 1; x*x*x <= p; x++ {
+		if p%x != 0 {
+			continue
+		}
+		rem := p / x
+		for y := x; y*y <= rem; y++ {
+			if rem%y != 0 {
+				continue
+			}
+			d := geom.IV(x, y, rem/y)
+			if s := scoreDims(d); s < bestScore {
+				best, bestScore = d, s
+			}
+		}
+	}
+	return Cart{Dims: best}
+}
+
+// scoreDims prefers near-cubic factorizations (small surface area).
+func scoreDims(d geom.IVec3) int {
+	return d.X*d.Y + d.Y*d.Z + d.Z*d.X
+}
+
+// NewCartDims builds a topology with explicit dimensions.
+func NewCartDims(dims geom.IVec3) (Cart, error) {
+	if dims.X < 1 || dims.Y < 1 || dims.Z < 1 {
+		return Cart{}, fmt.Errorf("comm: invalid cart dims %v", dims)
+	}
+	return Cart{Dims: dims}, nil
+}
+
+// Size returns the number of ranks in the topology.
+func (c Cart) Size() int { return c.Dims.Volume() }
+
+// Rank returns the rank of the (wrapped) coordinate.
+func (c Cart) Rank(coord geom.IVec3) int {
+	w := c.Wrap(coord)
+	return (w.X*c.Dims.Y+w.Y)*c.Dims.Z + w.Z
+}
+
+// Coord inverts Rank.
+func (c Cart) Coord(rank int) geom.IVec3 {
+	z := rank % c.Dims.Z
+	rank /= c.Dims.Z
+	y := rank % c.Dims.Y
+	x := rank / c.Dims.Y
+	return geom.IV(x, y, z)
+}
+
+// Wrap maps a coordinate into the primary grid periodically.
+func (c Cart) Wrap(coord geom.IVec3) geom.IVec3 {
+	m := func(a, n int) int {
+		v := a % n
+		if v < 0 {
+			v += n
+		}
+		return v
+	}
+	return geom.IV(m(coord.X, c.Dims.X), m(coord.Y, c.Dims.Y), m(coord.Z, c.Dims.Z))
+}
+
+// Neighbor returns the rank displaced by delta in the periodic grid.
+func (c Cart) Neighbor(rank int, delta geom.IVec3) int {
+	return c.Rank(c.Coord(rank).Add(delta))
+}
+
+// AxisNeighbor returns the rank one step along axis (0,1,2) in
+// direction dir (±1).
+func (c Cart) AxisNeighbor(rank, axis, dir int) int {
+	var d geom.IVec3
+	d.SetComp(axis, dir)
+	return c.Neighbor(rank, d)
+}

@@ -1,0 +1,265 @@
+// Package comm implements the distributed-memory message-passing
+// runtime the parallel MD codes run on — the stand-in for MPI on the
+// paper's clusters. Ranks are goroutines; sends are byte messages over
+// per-link buffered channels with strict (source, tag) ordering, so a
+// mismatched receive is a protocol error caught immediately rather
+// than a silent reorder.
+//
+// The runtime counts every message and byte per rank. Those counters
+// are the communication-cost inputs (Eq. 31) of the performance model
+// in package perfmodel.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// message is one point-to-point transfer.
+type message struct {
+	tag  int
+	data []byte
+}
+
+// linkBuffer is the per-(src,dst) channel capacity. Halo exchange,
+// migration, and collectives post at most a handful of in-flight
+// messages per link; the buffer only needs to decouple send/recv
+// ordering within a step.
+const linkBuffer = 128
+
+// World is a group of ranks that can communicate. Create one with
+// NewWorld and run an SPMD function on it with Run.
+type World struct {
+	size  int
+	links [][]chan message // links[src][dst]
+
+	bytesSent []atomic.Int64
+	msgsSent  []atomic.Int64
+}
+
+// NewWorld builds a world of p ranks. It panics for p < 1 (worlds come
+// from code, not input).
+func NewWorld(p int) *World {
+	if p < 1 {
+		panic(fmt.Sprintf("comm: world size %d < 1", p))
+	}
+	w := &World{
+		size:      p,
+		links:     make([][]chan message, p),
+		bytesSent: make([]atomic.Int64, p),
+		msgsSent:  make([]atomic.Int64, p),
+	}
+	for s := range w.links {
+		w.links[s] = make([]chan message, p)
+		for d := range w.links[s] {
+			w.links[s][d] = make(chan message, linkBuffer)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes fn once per rank, each on its own goroutine, and waits
+// for all of them. It returns the first error any rank produced.
+func (w *World) Run(fn func(p *Proc) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(&Proc{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes communication volume.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// RankStats returns the cumulative send counters of one rank.
+func (w *World) RankStats(rank int) Stats {
+	return Stats{
+		Messages: w.msgsSent[rank].Load(),
+		Bytes:    w.bytesSent[rank].Load(),
+	}
+}
+
+// TotalStats sums the counters over all ranks.
+func (w *World) TotalStats() Stats {
+	var s Stats
+	for r := 0; r < w.size; r++ {
+		rs := w.RankStats(r)
+		s.Messages += rs.Messages
+		s.Bytes += rs.Bytes
+	}
+	return s
+}
+
+// Proc is the per-rank handle passed to the SPMD function.
+type Proc struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this process's rank in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.world.size }
+
+// Send transfers data to rank dst with the given tag. The data slice
+// is handed off; the caller must not reuse it afterwards. Send blocks
+// only if the link buffer is full.
+func (p *Proc) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= p.world.size {
+		panic(fmt.Sprintf("comm: rank %d sending to invalid rank %d", p.rank, dst))
+	}
+	p.world.msgsSent[p.rank].Add(1)
+	p.world.bytesSent[p.rank].Add(int64(len(data)))
+	p.world.links[p.rank][dst] <- message{tag: tag, data: data}
+}
+
+// Recv blocks until the next message from src arrives and returns its
+// payload. The message's tag must match; a mismatch means the SPMD
+// protocol is out of step and panics with a diagnostic.
+func (p *Proc) Recv(src, tag int) []byte {
+	if src < 0 || src >= p.world.size {
+		panic(fmt.Sprintf("comm: rank %d receiving from invalid rank %d", p.rank, src))
+	}
+	m := <-p.world.links[src][p.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from rank %d, got %d",
+			p.rank, tag, src, m.tag))
+	}
+	return m.data
+}
+
+// SendRecv exchanges messages with two (possibly equal) partners:
+// sends to dst and receives from src, without deadlocking on
+// cyclic exchange patterns (the send buffers decouple the two).
+func (p *Proc) SendRecv(dst, sendTag int, data []byte, src, recvTag int) []byte {
+	p.Send(dst, sendTag, data)
+	return p.Recv(src, recvTag)
+}
+
+// Reserved collective tags, outside the range user phases should use.
+const (
+	tagBarrier = -1 - iota
+	tagReduce
+	tagBcast
+	tagGather
+)
+
+// Barrier blocks until every rank has entered it. Implemented as a
+// gather-to-0 plus broadcast.
+func (p *Proc) Barrier() {
+	if p.rank == 0 {
+		for r := 1; r < p.world.size; r++ {
+			p.Recv(r, tagBarrier)
+		}
+		for r := 1; r < p.world.size; r++ {
+			p.Send(r, tagBarrier, nil)
+		}
+		return
+	}
+	p.Send(0, tagBarrier, nil)
+	p.Recv(0, tagBarrier)
+}
+
+// AllReduceFloat64 combines one float64 per rank with op and returns
+// the result on every rank.
+func (p *Proc) AllReduceFloat64(x float64, op func(a, b float64) float64) float64 {
+	if p.rank == 0 {
+		acc := x
+		for r := 1; r < p.world.size; r++ {
+			b := NewReader(p.Recv(r, tagReduce))
+			acc = op(acc, b.Float64())
+		}
+		var buf Buffer
+		buf.Float64(acc)
+		for r := 1; r < p.world.size; r++ {
+			p.Send(r, tagReduce, buf.Clone())
+		}
+		return acc
+	}
+	var buf Buffer
+	buf.Float64(x)
+	p.Send(0, tagReduce, buf.Bytes())
+	return NewReader(p.Recv(0, tagReduce)).Float64()
+}
+
+// AllReduceSum returns the sum of x over all ranks.
+func (p *Proc) AllReduceSum(x float64) float64 {
+	return p.AllReduceFloat64(x, func(a, b float64) float64 { return a + b })
+}
+
+// AllReduceMax returns the maximum of x over all ranks.
+func (p *Proc) AllReduceMax(x float64) float64 {
+	return p.AllReduceFloat64(x, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllReduceSumInt64 returns the sum of an int64 over all ranks.
+func (p *Proc) AllReduceSumInt64(x int64) int64 {
+	if p.rank == 0 {
+		acc := x
+		for r := 1; r < p.world.size; r++ {
+			acc += NewReader(p.Recv(r, tagReduce)).Int64()
+		}
+		var buf Buffer
+		buf.Int64(acc)
+		for r := 1; r < p.world.size; r++ {
+			p.Send(r, tagReduce, buf.Clone())
+		}
+		return acc
+	}
+	var buf Buffer
+	buf.Int64(x)
+	p.Send(0, tagReduce, buf.Bytes())
+	return NewReader(p.Recv(0, tagReduce)).Int64()
+}
+
+// Bcast distributes root's data to every rank and returns it.
+func (p *Proc) Bcast(root int, data []byte) []byte {
+	if p.rank == root {
+		for r := 0; r < p.world.size; r++ {
+			if r != root {
+				p.Send(r, tagBcast, data)
+			}
+		}
+		return data
+	}
+	return p.Recv(root, tagBcast)
+}
+
+// GatherTo0 collects each rank's payload on rank 0 (indexed by rank);
+// other ranks receive nil.
+func (p *Proc) GatherTo0(data []byte) [][]byte {
+	if p.rank == 0 {
+		out := make([][]byte, p.world.size)
+		out[0] = data
+		for r := 1; r < p.world.size; r++ {
+			out[r] = p.Recv(r, tagGather)
+		}
+		return out
+	}
+	p.Send(0, tagGather, data)
+	return nil
+}

@@ -1,0 +1,132 @@
+package comm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/geom"
+)
+
+// TestManyMessagesInterleaved: a randomized all-pairs exchange with
+// per-link FIFO ordering must deliver every payload intact.
+func TestManyMessagesInterleaved(t *testing.T) {
+	const p = 6
+	const rounds = 50
+	w := NewWorld(p)
+	err := w.Run(func(pr *Proc) error {
+		rng := rand.New(rand.NewSource(int64(pr.Rank())))
+		// Everyone sends `rounds` tagged messages to every other rank…
+		for r := 0; r < rounds; r++ {
+			for dst := 0; dst < p; dst++ {
+				if dst == pr.Rank() {
+					continue
+				}
+				var b Buffer
+				b.Int32(int32(pr.Rank()))
+				b.Int32(int32(r))
+				b.Int64(rng.Int63())
+				pr.Send(dst, r, b.Bytes())
+			}
+		}
+		// …then drains them in per-source FIFO order.
+		for src := 0; src < p; src++ {
+			if src == pr.Rank() {
+				continue
+			}
+			for r := 0; r < rounds; r++ {
+				rd := NewReader(pr.Recv(src, r))
+				if got := rd.Int32(); got != int32(src) {
+					return fmt.Errorf("rank %d: payload source %d, want %d", pr.Rank(), got, src)
+				}
+				if got := rd.Int32(); got != int32(r) {
+					return fmt.Errorf("rank %d: payload round %d, want %d", pr.Rank(), got, r)
+				}
+				rd.Int64()
+				if rd.Remaining() != 0 {
+					return fmt.Errorf("trailing bytes")
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.TotalStats()
+	if want := int64(p * (p - 1) * rounds); st.Messages != want {
+		t.Errorf("messages %d, want %d", st.Messages, want)
+	}
+}
+
+// TestBcastFromNonZeroRoot.
+func TestBcastFromNonZeroRoot(t *testing.T) {
+	w := NewWorld(5)
+	err := w.Run(func(pr *Proc) error {
+		var payload []byte
+		if pr.Rank() == 3 {
+			var b Buffer
+			b.Vec3(geom.V(1, 2, 3))
+			payload = b.Bytes()
+		}
+		got := NewReader(pr.Bcast(3, payload)).Vec3()
+		if got != geom.V(1, 2, 3) {
+			return fmt.Errorf("rank %d got %v", pr.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelfSend: a rank may send to itself through the buffered link
+// (the degenerate 1-rank-per-axis halo case relies on this).
+func TestSelfSend(t *testing.T) {
+	w := NewWorld(1)
+	err := w.Run(func(pr *Proc) error {
+		var b Buffer
+		b.Int64(77)
+		got := NewReader(pr.SendRecv(0, 5, b.Bytes(), 0, 5)).Int64()
+		if got != 77 {
+			return fmt.Errorf("self send got %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReaderOverrunPanics.
+func TestReaderOverrunPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reading past end did not panic")
+		}
+	}()
+	var b Buffer
+	b.Int32(1)
+	rd := NewReader(b.Bytes())
+	rd.Int64() // 8 bytes from a 4-byte message
+}
+
+// TestInvalidRankPanics.
+func TestInvalidRankPanics(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(pr *Proc) error {
+		if pr.Rank() != 0 {
+			return nil
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("send to invalid rank did not panic")
+			}
+		}()
+		pr.Send(5, 0, nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

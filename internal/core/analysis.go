@@ -1,0 +1,92 @@
+package core
+
+// This file provides the closed-form results of the paper's
+// theoretical analysis (§4.1-4.2) so that benchmarks and tests can
+// compare the constructed patterns against theory.
+
+// FSPathCount returns |Ψ(n)FS| = 27^(n-1) (Eq. 25), the number of
+// paths in the full-shell pattern.
+func FSPathCount(n int) int {
+	if n < 2 {
+		return 0
+	}
+	c := 1
+	for i := 1; i < n; i++ {
+		c *= 27
+	}
+	return c
+}
+
+// SelfReflectivePathCount returns the number of self-reflective
+// (non-collapsible) full-shell paths, 27^(⌈n/2⌉-1) (Eq. 27; the paper
+// typesets the exponent as ⌈(n+1)/2⌉-1, which evaluates identically
+// for odd n and is off by one for even n — e.g. for n = 2 exactly one
+// path, (0,0), is self-reflective, matching 27^0).
+//
+// Derivation: p = p⁻¹ forces v(k) = v(n-1-k); with v0 = 0 fixed, the
+// free steps are v1…v(⌈n/2⌉-1), each with 27 choices.
+func SelfReflectivePathCount(n int) int {
+	if n < 2 {
+		return 0
+	}
+	c := 1
+	for i := 1; i < (n+1)/2; i++ {
+		c *= 27
+	}
+	return c
+}
+
+// SCPathCount returns |Ψ(n)SC| = ½(27^(n-1) + 27^(⌈n/2⌉-1)) (Eq. 29):
+// collapsible full-shell paths are halved, self-reflective ones kept.
+// For n = 2 this is 14, the half-shell count; the search cost of SC is
+// asymptotically half that of FS (§4.1).
+func SCPathCount(n int) int {
+	return (FSPathCount(n) + SelfReflectivePathCount(n)) / 2
+}
+
+// SCImportVolume returns the SC-pattern import volume for a cubic cell
+// domain of side l: (l+n-1)³ − l³ (Eq. 33). The octant-compressed
+// coverage spans [0, n-1]³, so a domain imports only the upper-corner
+// shell of thickness n-1.
+func SCImportVolume(n, l int) int {
+	s := l + n - 1
+	return s*s*s - l*l*l
+}
+
+// FSImportVolume returns the full-shell import volume for a cubic cell
+// domain of side l: the full-shell pattern for tuple length n covers
+// [-(n-1), n-1]³, so the halo has thickness n-1 on every side:
+// (l+2(n-1))³ − l³.
+func FSImportVolume(n, l int) int {
+	s := l + 2*(n-1)
+	return s*s*s - l*l*l
+}
+
+// HSImportVolume returns the half-shell pair import volume for a cubic
+// domain of side l, computed exactly from the pattern: 5l² + 7l + 1.
+// Note that under the owner-compute rule the half shell still touches
+// five of the six halo faces (its corner offsets reach cells on
+// negative-side planes), so the ratio to the full shell approaches
+// 5/6 — genuinely halving the import requires relaxing owner-compute,
+// which is what OC-SHIFT (eighth shell / SC) does.
+func HSImportVolume(l int) int {
+	return HalfShellPair().ImportVolume(l)
+}
+
+// SearchCostRatioFSOverSC returns the theoretical FS/SC search-cost
+// ratio |ΨFS|/|ΨSC| for tuple length n; it approaches 2 for large n
+// (§4.1) and equals 27/14 ≈ 1.93 for both n = 2 and n = 3.
+func SearchCostRatioFSOverSC(n int) float64 {
+	return float64(FSPathCount(n)) / float64(SCPathCount(n))
+}
+
+// CommCost models the per-step communication time of Eq. 31:
+// Tcomm = cbandwidth·Vimport + clatency·ncommNodes. Package perfmodel
+// instantiates the prefactors from machine profiles.
+type CommCost struct {
+	BandwidthCost float64 // cbandwidth · Vimport term
+	LatencyCost   float64 // clatency · ncomm_nodes term
+}
+
+// Total returns the summed communication cost.
+func (c CommCost) Total() float64 { return c.BandwidthCost + c.LatencyCost }

@@ -1,0 +1,124 @@
+package core
+
+import "sctuple/internal/geom"
+
+// This file implements a decision procedure for the n-body
+// completeness condition (Eq. 11). Completeness of a pattern is
+// independent of the cell domain and the atom configuration; it is a
+// purely combinatorial property of the pattern's differential
+// representations:
+//
+// An n-tuple χ = (r0,…,r(n-1)) ∈ Γ*(n) has consecutive interatomic
+// distances below the cutoff, so with cell size ≥ cutoff the cells of
+// consecutive atoms are nearest neighbors. The cell chain of χ is
+// therefore described by a step sequence δ ∈ ({-1,0,1}³)^(n-1). UCP
+// with pattern Ψ generates χ exactly when some path p ∈ Ψ has
+// σ(p) = δ (anchoring the first atom's cell) — and, because tuples
+// are undirectional, generating the reversed chain σ(p) = δ-reversed
+// is equally sufficient. Hence:
+//
+//	Ψ is n-complete  ⇔  {σ(p), σ(p⁻¹) : p ∈ Ψ} ⊇ ({-1,0,1}³)^(n-1)
+//
+// This reduces Lemma 1/Theorem 2 to a finite check that the unit
+// tests run for n = 2, 3, 4 (and the tuple-enumeration gold tests
+// confirm against brute force on actual atom configurations).
+
+// IsComplete reports whether the pattern satisfies the n-body
+// completeness condition: every nearest-neighbor step sequence of
+// length n-1 is covered by some path's σ or reversed σ.
+func (ps *Pattern) IsComplete() bool {
+	missing, _ := ps.completenessScan(false)
+	return missing == 0
+}
+
+// MissingSigmaClasses returns the step sequences (as σ values) that no
+// path of the pattern covers, up to reflection. A complete pattern
+// returns an empty slice. Useful for diagnosing hand-built patterns.
+func (ps *Pattern) MissingSigmaClasses() []Sigma {
+	_, missing := ps.completenessScan(true)
+	return missing
+}
+
+// RedundancyCount returns the number of σ classes (up to reflection)
+// covered by more than one path. The SC pattern has zero redundancy;
+// the full-shell pattern has ½(27^(n-1) − 27^(⌈n/2⌉-1)) redundant
+// classes.
+func (ps *Pattern) RedundancyCount() int {
+	cover := make(map[string]int)
+	for _, p := range ps.paths {
+		cover[canonicalSigmaKey(p.Sigma())]++
+	}
+	r := 0
+	for _, c := range cover {
+		if c > 1 {
+			r += c - 1
+		}
+	}
+	return r
+}
+
+// canonicalSigmaKey returns a key identifying σ up to reflection: the
+// lexicographically smaller of σ and its reverse.
+func canonicalSigmaKey(s Sigma) string {
+	r := s.Reverse()
+	ks, kr := s.Key(), r.Key()
+	if ks <= kr {
+		return ks
+	}
+	return kr
+}
+
+// completenessScan walks all ({-1,0,1}³)^(n-1) step sequences and
+// checks coverage. When collect is true it gathers the missing ones.
+func (ps *Pattern) completenessScan(collect bool) (missingCount int, missing []Sigma) {
+	n := ps.n
+	if n < 2 {
+		return 0, nil
+	}
+	covered := make(map[string]bool, 2*len(ps.paths))
+	for _, p := range ps.paths {
+		s := p.Sigma()
+		covered[s.Key()] = true
+		covered[s.Reverse().Key()] = true
+	}
+	steps := NeighborOffsets()
+	seq := make(Sigma, n-1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n-1 {
+			if !covered[seq.Key()] {
+				missingCount++
+				if collect {
+					c := make(Sigma, len(seq))
+					copy(c, seq)
+					missing = append(missing, c)
+				}
+			}
+			return
+		}
+		for _, d := range steps {
+			seq[k] = d
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return missingCount, missing
+}
+
+// CoversChain reports whether the pattern generates the cell chain
+// with the given step sequence (directly or reflected). The chain must
+// have length n-1.
+func (ps *Pattern) CoversChain(delta []geom.IVec3) bool {
+	if len(delta) != ps.n-1 {
+		return false
+	}
+	want := Sigma(delta)
+	rev := want.Reverse()
+	for _, p := range ps.paths {
+		s := p.Sigma()
+		if s.Equal(want) || s.Equal(rev) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"sctuple/internal/geom"
+)
+
+// This file implements the paper's §6 generalization: cells *smaller*
+// than the cutoff, as in the midpoint method of Bowers, Dror & Shaw.
+// With cell side ≥ r_cut/k, consecutive tuple atoms may be up to k
+// cells apart, so computation paths step within the radius-k stencil
+// {-k,…,k}³ instead of the nearest-neighbor stencil. GENERATE-FS,
+// OC-SHIFT, and R-COLLAPSE generalize verbatim — the algebra never
+// assumed unit steps — and the SC pattern then improves on the
+// midpoint method by eliminating the reflectively redundant half of
+// the search space, exactly as §6 claims.
+//
+// Finer cells trade pattern size ((2k+1)³ grows) for search precision
+// (candidate volume per path shrinks as 1/k³) and a tighter import
+// skin (thickness r_cut instead of rounded-up cells): the classic
+// midpoint trade-off, quantified by MidpointAnalysis.
+
+// StencilOffsets returns the radius-k stencil {-k,…,k}³ in
+// lexicographic order ((2k+1)³ offsets).
+func StencilOffsets(k int) []geom.IVec3 {
+	if k < 1 {
+		panic(fmt.Sprintf("core: stencil radius %d < 1", k))
+	}
+	out := make([]geom.IVec3, 0, (2*k+1)*(2*k+1)*(2*k+1))
+	for x := -k; x <= k; x++ {
+		for y := -k; y <= k; y++ {
+			for z := -k; z <= k; z++ {
+				out = append(out, geom.IV(x, y, z))
+			}
+		}
+	}
+	return out
+}
+
+// GenerateFSRadius generalizes GENERATE-FS to cells of side ≥
+// r_cut/k: all paths of length n starting at the zero offset with
+// steps in the radius-k stencil, (2k+1)^(3(n-1)) in total. For k = 1
+// it is GenerateFS. The result is n-complete on a radius-k lattice by
+// the same induction as Lemma 1.
+func GenerateFSRadius(n, k int) *Pattern {
+	if n < 2 {
+		panic(fmt.Sprintf("core: GenerateFSRadius needs n ≥ 2, got %d", n))
+	}
+	stencil := StencilOffsets(k)
+	count := 1
+	for i := 1; i < n; i++ {
+		count *= len(stencil)
+	}
+	paths := make([]Path, 0, count)
+	cur := make(Path, n)
+	var rec func(level int)
+	rec = func(level int) {
+		if level == n {
+			paths = append(paths, cur.Clone())
+			return
+		}
+		for _, d := range stencil {
+			cur[level] = cur[level-1].Add(d)
+			rec(level + 1)
+		}
+	}
+	rec(1)
+	return NewPattern(n, paths...)
+}
+
+// SCRadius runs the shift-collapse pipeline on the radius-k full
+// shell: the midpoint-improved SC pattern of §6. For k = 1 it equals
+// SC(n). The collapsed cardinality follows the same derivation as
+// Eq. 29 with 27 replaced by (2k+1)³:
+//
+//	|ΨSC| = ½(m^(n-1) + m^(⌈n/2⌉-1)),  m = (2k+1)³.
+func SCRadius(n, k int) *Pattern {
+	return RCollapse(OCShift(GenerateFSRadius(n, k))).Sort()
+}
+
+// FSPathCountRadius returns m^(n-1) with m = (2k+1)³.
+func FSPathCountRadius(n, k int) int {
+	if n < 2 {
+		return 0
+	}
+	m := (2*k + 1) * (2*k + 1) * (2*k + 1)
+	c := 1
+	for i := 1; i < n; i++ {
+		c *= m
+	}
+	return c
+}
+
+// SCPathCountRadius returns ½(m^(n-1) + m^(⌈n/2⌉-1)), m = (2k+1)³.
+func SCPathCountRadius(n, k int) int {
+	m := (2*k + 1) * (2*k + 1) * (2*k + 1)
+	self := 1
+	for i := 1; i < (n+1)/2; i++ {
+		self *= m
+	}
+	return (FSPathCountRadius(n, k) + self) / 2
+}
+
+// IsCompleteRadius reports whether the pattern covers every step
+// sequence of the radius-k stencil (the completeness condition on a
+// fine lattice, where consecutive cutoff-limited atoms can be up to k
+// cells apart).
+func (ps *Pattern) IsCompleteRadius(k int) bool {
+	n := ps.n
+	if n < 2 {
+		return false
+	}
+	covered := make(map[string]bool, 2*len(ps.paths))
+	for _, p := range ps.paths {
+		s := p.Sigma()
+		covered[s.Key()] = true
+		covered[s.Reverse().Key()] = true
+	}
+	stencil := StencilOffsets(k)
+	seq := make(Sigma, n-1)
+	ok := true
+	var rec func(level int)
+	rec = func(level int) {
+		if !ok {
+			return
+		}
+		if level == n-1 {
+			if !covered[seq.Key()] {
+				ok = false
+			}
+			return
+		}
+		for _, d := range stencil {
+			seq[level] = d
+			rec(level + 1)
+			if !ok {
+				return
+			}
+		}
+	}
+	rec(0)
+	return ok
+}
+
+// MidpointCosts quantifies the cell-size trade-off of §6 for one
+// (n, k) point at uniform atom density, in units where the cutoff
+// is 1.
+type MidpointCosts struct {
+	N, K          int
+	Paths         int     // |ΨSC| on the radius-k lattice
+	CellSide      float64 // r_cut/k
+	AtomsPerCell  float64 // ⟨ρcell⟩ = (density·r_cut³) / k³
+	SearchPerAtom float64 // |ΨSC| · ⟨ρcell⟩^(n-1) — the Lemma 5 search space
+}
+
+// MidpointAnalysis evaluates MidpointCosts for radii 1..maxK at
+// density ρ·r_cut³ = rhoCut3 (≈ 11 for the silica pair term).
+//
+// By Lemma 5 (generalized), the per-atom tuple search space is
+// |ΨSC(n,k)| · ⟨ρcell⟩^(n-1) with ⟨ρcell⟩ = rhoCut3/k³. Finer cells
+// hug the cutoff ball more tightly, so the search space *decreases*
+// monotonically in k toward its geometric limit — e.g. for pairs from
+// 14·ρ (a (3r)³/2 box) at k = 1 toward (2+1/k)³·ρ/2 → 4ρ·r³ (a (2r)³/2
+// box); the pattern size grows as (2k+1)³ but that is a per-cell
+// constant, not a per-candidate cost. This quantifies §6's claim that
+// the SC algorithm improves the midpoint method: R-COLLAPSE removes
+// the same redundant half of the search space at every k.
+func MidpointAnalysis(n, maxK int, rhoCut3 float64) []MidpointCosts {
+	out := make([]MidpointCosts, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		sc := SCRadius(n, k)
+		side := 1.0 / float64(k)
+		rho := rhoCut3 * side * side * side
+		search := float64(sc.Len())
+		for i := 0; i < n-1; i++ {
+			search *= rho
+		}
+		out = append(out, MidpointCosts{
+			N: n, K: k,
+			Paths:         sc.Len(),
+			CellSide:      side,
+			AtomsPerCell:  rho,
+			SearchPerAtom: search,
+		})
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+// Package core implements the computation-pattern algebraic framework
+// and the shift-collapse (SC) algorithm of Kunaseth et al., SC'13
+// ("A Scalable Parallel Algorithm for Dynamic Range-Limited n-Tuple
+// Computation in Many-Body Molecular Dynamics Simulation").
+//
+// The framework formalizes cell-based dynamic range-limited n-tuple
+// search. A computation path p = (v0, …, v(n-1)) is a list of n cell
+// offsets; a computation pattern Ψ is a set of paths. Given a cell
+// domain Ω, the uniform-cell-pattern (UCP) procedure applies every
+// path to every cell, generating a force set of candidate n-tuples
+// (Eq. 9-10 in the paper). A pattern is n-complete when the generated
+// force set bounds Γ*(n), the set of all range-limited n-tuples
+// (Eq. 11).
+//
+// The shift-collapse algorithm (paper Tables 2-5) builds an optimal
+// pattern in three phases:
+//
+//   - GenerateFS enumerates all 27^(n-1) nearest-neighbor paths
+//     (full shell, Lemma 1: complete).
+//   - OCShift translates every path into the first octant, shrinking
+//     the cell footprint and hence the parallel import volume
+//     (Theorem 1: shifts preserve the force set).
+//   - RCollapse removes reflectively redundant paths — paths whose
+//     reversed differential representation matches another path's
+//     (Lemma 3/4: collapses preserve the force set; Lemma 6: each
+//     path has a unique reflective path-twin).
+//
+// For n = 2 the result coincides with the eighth-shell method and the
+// collapse step alone reproduces the half-shell method (§4.3).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sctuple/internal/geom"
+)
+
+// Path is a computation path p = (v0, …, v(n-1)): an ordered list of
+// n cell offsets in the cell-index lattice L. Applied at cell q, the
+// path asks for all n-tuples whose k-th atom lies in cell q + v[k].
+type Path []geom.IVec3
+
+// NewPath copies the given offsets into a fresh Path.
+func NewPath(offsets ...geom.IVec3) Path {
+	p := make(Path, len(offsets))
+	copy(p, offsets)
+	return p
+}
+
+// N returns the tuple length n of the path.
+func (p Path) N() int { return len(p) }
+
+// Clone returns a deep copy of the path.
+func (p Path) Clone() Path {
+	q := make(Path, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports whether p and q are identical offset sequences.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Inverse returns p⁻¹ = (v(n-1), …, v0), the reversed path. By the
+// undirectionality of n-tuples (Newton's third law, §2.1), p and p⁻¹
+// generate reflectively equivalent tuples.
+func (p Path) Inverse() Path {
+	q := make(Path, len(p))
+	for i, v := range p {
+		q[len(p)-1-i] = v
+	}
+	return q
+}
+
+// Shift returns p + Δ = (v0+Δ, …, v(n-1)+Δ), the path translated by Δ.
+// By Theorem 1 (path-shift invariance), shifting never changes the
+// force set generated over a periodic cell domain.
+func (p Path) Shift(delta geom.IVec3) Path {
+	q := make(Path, len(p))
+	for i, v := range p {
+		q[i] = v.Add(delta)
+	}
+	return q
+}
+
+// Sigma returns the differential representation σ(p) ∈ L^(n-1):
+// σ(p) = (v1-v0, …, v(n-1)-v(n-2)). σ is invariant under Shift, and
+// two paths generate the same force set iff σ(p') = σ(p) or
+// σ(p') = σ(p⁻¹) (Lemma 3).
+func (p Path) Sigma() Sigma {
+	if len(p) < 2 {
+		return nil
+	}
+	s := make(Sigma, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		s[i-1] = p[i].Sub(p[i-1])
+	}
+	return s
+}
+
+// IsSelfReflective reports whether σ(p) = σ(p⁻¹), i.e. the path is its
+// own reflective twin (Corollary 1). Self-reflective paths cannot be
+// collapsed; tuple-level reflection filtering must handle them instead.
+func (p Path) IsSelfReflective() bool {
+	return p.Sigma().Equal(p.Inverse().Sigma())
+}
+
+// ReflectiveTwin returns RPT(p) = p⁻¹ - v(n-1), the unique path in the
+// full-shell pattern that generates the same force set as p (Lemma 6).
+// The twin starts at the zero offset, like every full-shell path.
+func (p Path) ReflectiveTwin() Path {
+	if len(p) == 0 {
+		return Path{}
+	}
+	return p.Inverse().Shift(p[len(p)-1].Neg())
+}
+
+// BoundingBox returns the component-wise minimum and maximum offsets
+// visited by the path.
+func (p Path) BoundingBox() (lo, hi geom.IVec3) {
+	if len(p) == 0 {
+		return geom.IVec3{}, geom.IVec3{}
+	}
+	lo, hi = p[0], p[0]
+	for _, v := range p[1:] {
+		lo = lo.Min(v)
+		hi = hi.Max(v)
+	}
+	return lo, hi
+}
+
+// Canonical returns the lexicographically smaller of p and its
+// reflective twin, both normalized to start at the zero offset. Two
+// paths generate the same force set iff their Canonical forms are
+// equal. This is the identity used to reason about pattern equality
+// independent of shifts and reflections.
+func (p Path) Canonical() Path {
+	if len(p) == 0 {
+		return Path{}
+	}
+	a := p.Shift(p[0].Neg())
+	b := p.ReflectiveTwin()
+	b = b.Shift(b[0].Neg()) // twin already starts at 0; normalize defensively
+	if a.less(b) {
+		return a
+	}
+	return b
+}
+
+// less orders paths lexicographically by their offset sequences.
+func (p Path) less(q Path) bool {
+	for i := 0; i < len(p) && i < len(q); i++ {
+		if p[i] != q[i] {
+			return p[i].Less(q[i])
+		}
+	}
+	return len(p) < len(q)
+}
+
+// Key returns a compact comparable key for use in maps.
+func (p Path) Key() string {
+	var b strings.Builder
+	for _, v := range p {
+		fmt.Fprintf(&b, "%d,%d,%d;", v.X, v.Y, v.Z)
+	}
+	return b.String()
+}
+
+// String formats the path for diagnostics, e.g. "(0,0,0)->(1,0,0)".
+func (p Path) String() string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = fmt.Sprintf("(%d,%d,%d)", v.X, v.Y, v.Z)
+	}
+	return strings.Join(parts, "->")
+}
+
+// Sigma is the differential representation of a path: the sequence of
+// consecutive offset steps.
+type Sigma []geom.IVec3
+
+// Equal reports whether two differential representations are identical.
+func (s Sigma) Equal(t Sigma) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reverse returns σ applied to the inverse path: if s = σ(p), then
+// s.Reverse() = σ(p⁻¹) = (-s[m-1], …, -s[0]).
+func (s Sigma) Reverse() Sigma {
+	t := make(Sigma, len(s))
+	for i, v := range s {
+		t[len(s)-1-i] = v.Neg()
+	}
+	return t
+}
+
+// Compare orders differential representations lexicographically,
+// comparing steps component-wise. It returns -1, 0, or +1.
+func (s Sigma) Compare(t Sigma) int {
+	for i := 0; i < len(s) && i < len(t); i++ {
+		if s[i] != t[i] {
+			if s[i].Less(t[i]) {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(s) < len(t):
+		return -1
+	case len(s) > len(t):
+		return 1
+	}
+	return 0
+}
+
+// Key returns a compact comparable key for use in maps.
+func (s Sigma) Key() string {
+	var b strings.Builder
+	for _, v := range s {
+		fmt.Fprintf(&b, "%d,%d,%d;", v.X, v.Y, v.Z)
+	}
+	return b.String()
+}
+
+// Path reconstructs the unique path with σ = s starting at offset
+// origin.
+func (s Sigma) Path(origin geom.IVec3) Path {
+	p := make(Path, len(s)+1)
+	p[0] = origin
+	for i, d := range s {
+		p[i+1] = p[i].Add(d)
+	}
+	return p
+}
+
+// IsNeighborSteps reports whether every step lies in {-1,0,1}³, i.e.
+// the path moves only between nearest-neighbor (face-, edge-, or
+// corner-sharing) cells. All paths relevant to range-limited n-tuple
+// search with cell size ≥ cutoff satisfy this.
+func (s Sigma) IsNeighborSteps() bool {
+	for _, d := range s {
+		if d.X < -1 || d.X > 1 || d.Y < -1 || d.Y > 1 || d.Z < -1 || d.Z > 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sctuple/internal/geom"
+)
+
+// randomPath draws a random nearest-neighbor path of length n starting
+// at a random offset in [-3,3]³.
+func randomPath(rng *rand.Rand, n int) Path {
+	p := make(Path, n)
+	p[0] = geom.IV(rng.Intn(7)-3, rng.Intn(7)-3, rng.Intn(7)-3)
+	for i := 1; i < n; i++ {
+		d := geom.IV(rng.Intn(3)-1, rng.Intn(3)-1, rng.Intn(3)-1)
+		p[i] = p[i-1].Add(d)
+	}
+	return p
+}
+
+func TestPathInverseIsInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 2; n <= 6; n++ {
+		for trial := 0; trial < 50; trial++ {
+			p := randomPath(rng, n)
+			if !p.Inverse().Inverse().Equal(p) {
+				t.Fatalf("n=%d: (p⁻¹)⁻¹ != p for %v", n, p)
+			}
+		}
+	}
+}
+
+func TestPathShiftComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		p := randomPath(rng, 4)
+		a := geom.IV(rng.Intn(5)-2, rng.Intn(5)-2, rng.Intn(5)-2)
+		b := geom.IV(rng.Intn(5)-2, rng.Intn(5)-2, rng.Intn(5)-2)
+		if !p.Shift(a).Shift(b).Equal(p.Shift(a.Add(b))) {
+			t.Fatalf("shift composition failed for %v, %v, %v", p, a, b)
+		}
+	}
+}
+
+func TestSigmaShiftInvariance(t *testing.T) {
+	// σ(p+Δ) = σ(p): the property underlying Theorem 1.
+	rng := rand.New(rand.NewSource(3))
+	for n := 2; n <= 5; n++ {
+		for trial := 0; trial < 50; trial++ {
+			p := randomPath(rng, n)
+			d := geom.IV(rng.Intn(9)-4, rng.Intn(9)-4, rng.Intn(9)-4)
+			if !p.Sigma().Equal(p.Shift(d).Sigma()) {
+				t.Fatalf("σ not shift invariant: p=%v Δ=%v", p, d)
+			}
+		}
+	}
+}
+
+func TestSigmaReverseMatchesInversePath(t *testing.T) {
+	// s.Reverse() must equal σ(p⁻¹), the identity used by R-COLLAPSE.
+	rng := rand.New(rand.NewSource(4))
+	for n := 2; n <= 6; n++ {
+		for trial := 0; trial < 50; trial++ {
+			p := randomPath(rng, n)
+			if !p.Sigma().Reverse().Equal(p.Inverse().Sigma()) {
+				t.Fatalf("σ(p).Reverse() != σ(p⁻¹) for %v", p)
+			}
+		}
+	}
+}
+
+func TestSigmaPathRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for n := 2; n <= 5; n++ {
+		for trial := 0; trial < 50; trial++ {
+			p := randomPath(rng, n)
+			back := p.Sigma().Path(p[0])
+			if !back.Equal(p) {
+				t.Fatalf("σ→Path round trip failed: %v became %v", p, back)
+			}
+		}
+	}
+}
+
+func TestReflectiveTwinLemma6(t *testing.T) {
+	// Lemma 6: RPT(p) = p⁻¹ - v(n-1) starts at 0 (when p does) and has
+	// σ(RPT(p)) = σ(p⁻¹). Applying RPT twice returns the original path.
+	for n := 2; n <= 4; n++ {
+		fs := GenerateFS(n)
+		for _, p := range fs.Paths() {
+			tw := p.ReflectiveTwin()
+			if tw[0] != (geom.IVec3{}) {
+				t.Fatalf("n=%d: twin of %v does not start at origin: %v", n, p, tw)
+			}
+			if !tw.Sigma().Equal(p.Inverse().Sigma()) {
+				t.Fatalf("n=%d: σ(RPT(p)) != σ(p⁻¹) for %v", n, p)
+			}
+			if !tw.ReflectiveTwin().Equal(p) {
+				t.Fatalf("n=%d: RPT(RPT(p)) != p for %v", n, p)
+			}
+		}
+	}
+}
+
+func TestReflectiveTwinInFullShell(t *testing.T) {
+	// Lemma 6 also asserts RPT(p) ∈ Ψ(n)FS for every p ∈ Ψ(n)FS.
+	for n := 2; n <= 4; n++ {
+		fs := GenerateFS(n)
+		members := make(map[string]bool, fs.Len())
+		for _, p := range fs.Paths() {
+			members[p.Key()] = true
+		}
+		for _, p := range fs.Paths() {
+			if !members[p.ReflectiveTwin().Key()] {
+				t.Fatalf("n=%d: twin of %v not in full shell", n, p)
+			}
+		}
+	}
+}
+
+func TestSelfReflectionCorollary1(t *testing.T) {
+	// Corollary 1: p = p⁻¹ ⇒ RPT(p) = p.
+	for n := 2; n <= 4; n++ {
+		for _, p := range GenerateFS(n).Paths() {
+			if p.Inverse().Equal(p) && !p.ReflectiveTwin().Equal(p) {
+				t.Fatalf("n=%d: self-inverse path %v has RPT %v", n, p, p.ReflectiveTwin())
+			}
+		}
+	}
+}
+
+func TestCanonicalIdentifiesEquivalentPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		p := randomPath(rng, n)
+		d := geom.IV(rng.Intn(9)-4, rng.Intn(9)-4, rng.Intn(9)-4)
+		variants := []Path{p, p.Shift(d), p.Inverse(), p.Inverse().Shift(d)}
+		want := p.Canonical().Key()
+		for _, v := range variants {
+			if v.Canonical().Key() != want {
+				t.Fatalf("canonical differs: %v vs %v", p, v)
+			}
+		}
+	}
+}
+
+func TestCanonicalSeparatesInequivalentPaths(t *testing.T) {
+	// Distinct σ classes (up to reflection) must canonicalize apart.
+	p := NewPath(geom.IV(0, 0, 0), geom.IV(1, 0, 0), geom.IV(1, 1, 0))
+	q := NewPath(geom.IV(0, 0, 0), geom.IV(1, 0, 0), geom.IV(2, 0, 0))
+	if p.Canonical().Key() == q.Canonical().Key() {
+		t.Fatalf("inequivalent paths canonicalized together: %v, %v", p, q)
+	}
+}
+
+func TestPathBoundingBox(t *testing.T) {
+	p := NewPath(geom.IV(0, 0, 0), geom.IV(1, -1, 0), geom.IV(2, 0, 1))
+	lo, hi := p.BoundingBox()
+	if lo != geom.IV(0, -1, 0) || hi != geom.IV(2, 0, 1) {
+		t.Fatalf("bounding box = %v..%v", lo, hi)
+	}
+}
+
+func TestSigmaNeighborSteps(t *testing.T) {
+	for _, p := range GenerateFS(3).Paths() {
+		if !p.Sigma().IsNeighborSteps() {
+			t.Fatalf("full-shell path %v has non-neighbor step", p)
+		}
+	}
+	far := NewPath(geom.IV(0, 0, 0), geom.IV(2, 0, 0))
+	if far.Sigma().IsNeighborSteps() {
+		t.Fatal("step of size 2 misreported as neighbor step")
+	}
+}
+
+func TestIVec3QuickProperties(t *testing.T) {
+	addComm := func(ax, ay, az, bx, by, bz int8) bool {
+		a := geom.IV(int(ax), int(ay), int(az))
+		b := geom.IV(int(bx), int(by), int(bz))
+		return a.Add(b) == b.Add(a) && a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(addComm, nil); err != nil {
+		t.Error(err)
+	}
+	minMax := func(ax, ay, az, bx, by, bz int8) bool {
+		a := geom.IV(int(ax), int(ay), int(az))
+		b := geom.IV(int(bx), int(by), int(bz))
+		lo, hi := a.Min(b), a.Max(b)
+		return lo.X <= hi.X && lo.Y <= hi.Y && lo.Z <= hi.Z
+	}
+	if err := quick.Check(minMax, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathKeyUniqueOnFullShell(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		fs := GenerateFS(n)
+		keys := make(map[string]bool, fs.Len())
+		for _, p := range fs.Paths() {
+			k := p.Key()
+			if keys[k] {
+				t.Fatalf("n=%d: duplicate key %q", n, k)
+			}
+			keys[k] = true
+		}
+	}
+}
+
+func TestPathStringAndClone(t *testing.T) {
+	p := NewPath(geom.IV(0, 0, 0), geom.IV(1, 1, 1))
+	if got, want := p.String(), "(0,0,0)->(1,1,1)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	q := p.Clone()
+	q[0] = geom.IV(9, 9, 9)
+	if p[0] == q[0] {
+		t.Fatal("Clone shares backing storage")
+	}
+	if !reflect.DeepEqual(p, NewPath(geom.IV(0, 0, 0), geom.IV(1, 1, 1))) {
+		t.Fatal("original path mutated")
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sctuple/internal/geom"
+)
+
+// Pattern is a computation pattern Ψ(n): a set of computation paths,
+// all of the same tuple length n. Applied to a cell domain via UCP
+// (package tuple), a pattern generates a force set of candidate
+// n-tuples.
+type Pattern struct {
+	n     int
+	paths []Path
+}
+
+// NewPattern builds a pattern from the given paths. All paths must
+// share the same tuple length; duplicates (identical offset sequences)
+// are rejected. It panics on malformed input, since patterns are
+// constructed from code, not data.
+func NewPattern(n int, paths ...Path) *Pattern {
+	if n < 1 {
+		panic(fmt.Sprintf("core: pattern tuple length %d < 1", n))
+	}
+	ps := &Pattern{n: n}
+	seen := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		if p.N() != n {
+			panic(fmt.Sprintf("core: path %v has length %d, pattern wants %d", p, p.N(), n))
+		}
+		k := p.Key()
+		if seen[k] {
+			panic(fmt.Sprintf("core: duplicate path %v in pattern", p))
+		}
+		seen[k] = true
+		ps.paths = append(ps.paths, p.Clone())
+	}
+	return ps
+}
+
+// N returns the tuple length n of the pattern.
+func (ps *Pattern) N() int { return ps.n }
+
+// Len returns |Ψ|, the number of paths. By Lemma 5 the n-tuple search
+// cost of UCP is proportional to |Ψ| for uniform atom distributions.
+func (ps *Pattern) Len() int { return len(ps.paths) }
+
+// Paths returns the paths of the pattern. The returned slice is shared;
+// callers must not modify it.
+func (ps *Pattern) Paths() []Path { return ps.paths }
+
+// Path returns path i.
+func (ps *Pattern) Path(i int) Path { return ps.paths[i] }
+
+// Clone returns a deep copy of the pattern.
+func (ps *Pattern) Clone() *Pattern {
+	q := &Pattern{n: ps.n, paths: make([]Path, len(ps.paths))}
+	for i, p := range ps.paths {
+		q.paths[i] = p.Clone()
+	}
+	return q
+}
+
+// Sort orders the paths lexicographically in place and returns the
+// pattern. Sorting gives patterns a deterministic iteration order,
+// which keeps parallel runs reproducible.
+func (ps *Pattern) Sort() *Pattern {
+	sort.Slice(ps.paths, func(i, j int) bool { return ps.paths[i].less(ps.paths[j]) })
+	return ps
+}
+
+// Equal reports whether two patterns contain exactly the same paths,
+// irrespective of order.
+func (ps *Pattern) Equal(qs *Pattern) bool {
+	if ps.n != qs.n || len(ps.paths) != len(qs.paths) {
+		return false
+	}
+	set := make(map[string]bool, len(ps.paths))
+	for _, p := range ps.paths {
+		set[p.Key()] = true
+	}
+	for _, q := range qs.paths {
+		if !set[q.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentTo reports whether two patterns generate the same force
+// set over any periodic cell domain: their multisets of canonical
+// (shift- and reflection-normalized) paths must match.
+func (ps *Pattern) EquivalentTo(qs *Pattern) bool {
+	if ps.n != qs.n || len(ps.paths) != len(qs.paths) {
+		return false
+	}
+	count := make(map[string]int, len(ps.paths))
+	for _, p := range ps.paths {
+		count[p.Canonical().Key()]++
+	}
+	for _, q := range qs.paths {
+		k := q.Canonical().Key()
+		count[k]--
+		if count[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Coverage returns the cell coverage Π(Ψ) relative to the center cell:
+// the set of distinct offsets visited by any path (paper §3.1.3,
+// specialized to a single cell). The result is sorted.
+func (ps *Pattern) Coverage() []geom.IVec3 {
+	set := make(map[geom.IVec3]bool)
+	for _, p := range ps.paths {
+		for _, v := range p {
+			set[v] = true
+		}
+	}
+	out := make([]geom.IVec3, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Footprint returns the cell footprint |Π(Ψ)|: the number of distinct
+// cells (including the center cell when visited) needed to evaluate
+// the pattern at one cell. Smaller footprints mean smaller parallel
+// import volumes.
+func (ps *Pattern) Footprint() int { return len(ps.Coverage()) }
+
+// BoundingBox returns the component-wise minimum and maximum offsets
+// over all paths of the pattern.
+func (ps *Pattern) BoundingBox() (lo, hi geom.IVec3) {
+	first := true
+	for _, p := range ps.paths {
+		plo, phi := p.BoundingBox()
+		if first {
+			lo, hi = plo, phi
+			first = false
+			continue
+		}
+		lo = lo.Min(plo)
+		hi = hi.Max(phi)
+	}
+	return lo, hi
+}
+
+// StepRadius returns the largest per-axis step magnitude over all
+// consecutive offsets of all paths: 1 for nearest-neighbor patterns
+// (GenerateFS), k for radius-k midpoint patterns (GenerateFSRadius).
+// An enumeration with link cutoff r is valid on a lattice with cell
+// side ≥ r / StepRadius.
+func (ps *Pattern) StepRadius() int {
+	r := 0
+	for _, p := range ps.paths {
+		for _, d := range p.Sigma() {
+			for c := 0; c < 3; c++ {
+				if v := d.Comp(c); v > r {
+					r = v
+				} else if -v > r {
+					r = -v
+				}
+			}
+		}
+	}
+	return r
+}
+
+// InFirstOctant reports whether every offset of every path has
+// non-negative components, the invariant established by OCShift.
+func (ps *Pattern) InFirstOctant() bool {
+	lo, _ := ps.BoundingBox()
+	return lo.X >= 0 && lo.Y >= 0 && lo.Z >= 0
+}
+
+// ImportVolume returns Vω(Ω, Ψ) (Eq. 14): the number of cells outside
+// a cubic cell domain of side l that are covered when the pattern is
+// applied to every cell of the domain. For the SC pattern this equals
+// (l+n-1)³ − l³ (Eq. 33). The computation is exact set arithmetic, so
+// it also serves patterns with irregular coverage (e.g. half shell).
+func (ps *Pattern) ImportVolume(l int) int {
+	return ps.ImportVolumeDims(geom.IV(l, l, l))
+}
+
+// ImportVolumeDims is ImportVolume generalized to a rectangular domain
+// of the given cell dimensions.
+func (ps *Pattern) ImportVolumeDims(dims geom.IVec3) int {
+	cov := ps.Coverage()
+	outside := make(map[geom.IVec3]bool)
+	for qx := 0; qx < dims.X; qx++ {
+		for qy := 0; qy < dims.Y; qy++ {
+			for qz := 0; qz < dims.Z; qz++ {
+				q := geom.IV(qx, qy, qz)
+				for _, v := range cov {
+					t := q.Add(v)
+					if !t.InBox(dims) {
+						outside[t] = true
+					}
+				}
+			}
+		}
+	}
+	return len(outside)
+}
+
+// ImportRegion returns the sorted set of cell offsets outside a
+// rectangular domain of the given dimensions that the pattern requires,
+// with offsets expressed in the domain's own coordinates (so components
+// may be negative or ≥ dims). parmd uses this to build halo exchange
+// plans.
+func (ps *Pattern) ImportRegion(dims geom.IVec3) []geom.IVec3 {
+	cov := ps.Coverage()
+	outside := make(map[geom.IVec3]bool)
+	for qx := 0; qx < dims.X; qx++ {
+		for qy := 0; qy < dims.Y; qy++ {
+			for qz := 0; qz < dims.Z; qz++ {
+				q := geom.IV(qx, qy, qz)
+				for _, v := range cov {
+					t := q.Add(v)
+					if !t.InBox(dims) {
+						outside[t] = true
+					}
+				}
+			}
+		}
+	}
+	out := make([]geom.IVec3, 0, len(outside))
+	for v := range outside {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// SelfReflectiveCount returns the number of self-reflective
+// (non-collapsible) paths in the pattern (Corollary 1, Eq. 27).
+func (ps *Pattern) SelfReflectiveCount() int {
+	c := 0
+	for _, p := range ps.paths {
+		if p.IsSelfReflective() {
+			c++
+		}
+	}
+	return c
+}
+
+// String summarizes the pattern for diagnostics.
+func (ps *Pattern) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pattern(n=%d, |Ψ|=%d, footprint=%d)", ps.n, ps.Len(), ps.Footprint())
+	return b.String()
+}

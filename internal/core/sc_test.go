@@ -1,0 +1,420 @@
+package core
+
+import (
+	"testing"
+
+	"sctuple/internal/geom"
+)
+
+func TestFSPathCountEq25(t *testing.T) {
+	want := map[int]int{2: 27, 3: 729, 4: 19683}
+	for n, w := range want {
+		if got := GenerateFS(n).Len(); got != w {
+			t.Errorf("|Ψ(%d)FS| = %d, want %d", n, got, w)
+		}
+		if got := FSPathCount(n); got != w {
+			t.Errorf("FSPathCount(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestSelfReflectiveCountEq27(t *testing.T) {
+	// Eq. 27 (with the corrected exponent ⌈n/2⌉-1): counts of
+	// non-collapsible paths in the full shell.
+	want := map[int]int{2: 1, 3: 27, 4: 27, 5: 729}
+	for n, w := range want {
+		if got := SelfReflectivePathCount(n); got != w {
+			t.Errorf("SelfReflectivePathCount(%d) = %d, want %d", n, got, w)
+		}
+		if n <= 4 {
+			if got := GenerateFS(n).SelfReflectiveCount(); got != w {
+				t.Errorf("measured self-reflective count n=%d: %d, want %d", n, got, w)
+			}
+		}
+	}
+}
+
+func TestSCPathCountEq29(t *testing.T) {
+	want := map[int]int{2: 14, 3: 378, 4: 9855}
+	for n, w := range want {
+		if got := SC(n).Len(); got != w {
+			t.Errorf("|Ψ(%d)SC| = %d, want %d", n, got, w)
+		}
+		if got := SCPathCount(n); got != w {
+			t.Errorf("SCPathCount(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestSCIsComplete(t *testing.T) {
+	// Theorem 2: Ψ(n)SC is n-complete.
+	for n := 2; n <= 4; n++ {
+		sc := SC(n)
+		if !sc.IsComplete() {
+			t.Errorf("SC(%d) incomplete; missing %d σ classes", n, len(sc.MissingSigmaClasses()))
+		}
+	}
+}
+
+func TestFSIsComplete(t *testing.T) {
+	// Lemma 1: Ψ(n)FS is n-complete.
+	for n := 2; n <= 4; n++ {
+		if !GenerateFS(n).IsComplete() {
+			t.Errorf("FS(%d) incomplete", n)
+		}
+	}
+}
+
+func TestSCHasNoRedundancy(t *testing.T) {
+	// After R-COLLAPSE no two paths cover the same σ class.
+	for n := 2; n <= 4; n++ {
+		if got := SC(n).RedundancyCount(); got != 0 {
+			t.Errorf("SC(%d) redundancy = %d, want 0", n, got)
+		}
+	}
+}
+
+func TestFSRedundancyIsCollapsibleHalf(t *testing.T) {
+	// The full shell covers each collapsible σ class twice:
+	// redundancy = ½(27^(n-1) − 27^(⌈n/2⌉-1)).
+	for n := 2; n <= 4; n++ {
+		want := (FSPathCount(n) - SelfReflectivePathCount(n)) / 2
+		if got := GenerateFS(n).RedundancyCount(); got != want {
+			t.Errorf("FS(%d) redundancy = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestOCShiftFirstOctantCoverage(t *testing.T) {
+	// After OC-SHIFT the coverage lies inside [0, n-1]³ (§4.2).
+	for n := 2; n <= 4; n++ {
+		oc := OCShift(GenerateFS(n))
+		if !oc.InFirstOctant() {
+			t.Errorf("OCShift(FS(%d)) not in first octant", n)
+		}
+		_, hi := oc.BoundingBox()
+		limit := n - 1
+		if hi.X > limit || hi.Y > limit || hi.Z > limit {
+			t.Errorf("OCShift(FS(%d)) coverage exceeds [0,%d]³: hi=%v", n, limit, hi)
+		}
+	}
+}
+
+func TestOCShiftPreservesSigma(t *testing.T) {
+	// Theorem 1 ⇒ OC-SHIFT preserves each path's σ, hence the force set.
+	fs := GenerateFS(3)
+	oc := OCShift(fs)
+	if oc.Len() != fs.Len() {
+		t.Fatalf("OCShift changed path count: %d -> %d", fs.Len(), oc.Len())
+	}
+	for i := range fs.Paths() {
+		if !fs.Path(i).Sigma().Equal(oc.Path(i).Sigma()) {
+			t.Fatalf("OCShift altered σ of path %d", i)
+		}
+	}
+}
+
+func TestOCShiftIdempotent(t *testing.T) {
+	oc := OCShift(GenerateFS(3))
+	if !OCShift(oc).Equal(oc) {
+		t.Error("OCShift not idempotent")
+	}
+}
+
+func TestRCollapsePreservesSigmaClasses(t *testing.T) {
+	// Lemma 4: collapsing keeps the covered σ classes (up to
+	// reflection) identical.
+	for n := 2; n <= 4; n++ {
+		fs := GenerateFS(n)
+		rc := RCollapse(fs)
+		classes := func(ps *Pattern) map[string]bool {
+			m := make(map[string]bool)
+			for _, p := range ps.Paths() {
+				m[canonicalSigmaKey(p.Sigma())] = true
+			}
+			return m
+		}
+		a, b := classes(fs), classes(rc)
+		if len(a) != len(b) {
+			t.Fatalf("n=%d: σ classes changed: %d -> %d", n, len(a), len(b))
+		}
+		for k := range a {
+			if !b[k] {
+				t.Fatalf("n=%d: σ class lost in collapse", n)
+			}
+		}
+	}
+}
+
+func TestRCollapseIdempotent(t *testing.T) {
+	rc := RCollapse(GenerateFS(3))
+	if RCollapse(rc).Len() != rc.Len() {
+		t.Error("RCollapse not idempotent")
+	}
+}
+
+func TestRCollapseKeepsSelfReflectivePaths(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		rc := RCollapse(GenerateFS(n))
+		if got, want := rc.SelfReflectiveCount(), SelfReflectivePathCount(n); got != want {
+			t.Errorf("n=%d: %d self-reflective paths survived, want %d", n, got, want)
+		}
+	}
+}
+
+func TestHalfShellPair(t *testing.T) {
+	hs := HalfShellPair()
+	if hs.Len() != 14 {
+		t.Fatalf("|ΨHS| = %d, want 14", hs.Len())
+	}
+	if !hs.IsComplete() {
+		t.Fatal("half shell not 2-complete")
+	}
+	if hs.RedundancyCount() != 0 {
+		t.Fatal("half shell has redundant paths")
+	}
+}
+
+func TestEighthShellPair(t *testing.T) {
+	es := EighthShellPair()
+	if es.Len() != 14 {
+		t.Fatalf("|ΨES| = %d, want 14", es.Len())
+	}
+	if !es.IsComplete() {
+		t.Fatal("eighth shell not 2-complete")
+	}
+	if got := es.Footprint(); got != 8 {
+		t.Fatalf("eighth-shell footprint = %d, want 8 (7 imported + center)", got)
+	}
+	// Coverage must be exactly the first octant {0,1}³.
+	cov := es.Coverage()
+	want := FirstOctantOffsets()
+	if len(cov) != len(want) {
+		t.Fatalf("eighth-shell coverage size %d, want %d", len(cov), len(want))
+	}
+	for i := range cov {
+		if cov[i] != want[i] {
+			t.Fatalf("coverage[%d] = %v, want %v", i, cov[i], want[i])
+		}
+	}
+}
+
+func TestSCEqualsEighthShellForPairs(t *testing.T) {
+	// §4.3.3: ES = OC-SHIFT(HS) = Ψ(2)SC.
+	if !SC(2).EquivalentTo(EighthShellPair()) {
+		t.Fatal("SC(2) not equivalent to eighth shell")
+	}
+}
+
+func TestShellEnumeration(t *testing.T) {
+	cases := []struct {
+		s         Shell
+		name      string
+		paths     int
+		footprint int
+	}{
+		{ShellFull, "full-shell", 27, 27},
+		{ShellHalf, "half-shell", 14, 14},
+		{ShellEighth, "eighth-shell", 14, 8},
+	}
+	for _, c := range cases {
+		if c.s.String() != c.name {
+			t.Errorf("Shell %d name %q, want %q", c.s, c.s.String(), c.name)
+		}
+		p := c.s.Pattern()
+		if p.Len() != c.paths {
+			t.Errorf("%s: %d paths, want %d", c.name, p.Len(), c.paths)
+		}
+		if p.Footprint() != c.footprint {
+			t.Errorf("%s: footprint %d, want %d", c.name, p.Footprint(), c.footprint)
+		}
+		if !p.IsComplete() {
+			t.Errorf("%s: not 2-complete", c.name)
+		}
+	}
+}
+
+func TestSCFootprintWithinOctantBound(t *testing.T) {
+	for n := 2; n <= 4; n++ {
+		sc := SC(n)
+		if got, bound := sc.Footprint(), n*n*n; got > bound {
+			t.Errorf("SC(%d) footprint %d exceeds n³ = %d", n, got, bound)
+		}
+	}
+}
+
+func TestSCImportVolumeEq33(t *testing.T) {
+	// The exact set-arithmetic import volume of the SC pattern must
+	// match (l+n-1)³ − l³ when the coverage fills [0, n-1]³.
+	for n := 2; n <= 3; n++ {
+		sc := SC(n)
+		for _, l := range []int{2, 3, 5, 8} {
+			got := sc.ImportVolume(l)
+			want := SCImportVolume(n, l)
+			if got > want {
+				t.Errorf("SC(%d) import volume l=%d: %d exceeds Eq.33 bound %d", n, l, got, want)
+			}
+			// The SC coverage fills the whole octant cube for n ≤ 3,
+			// so equality holds.
+			if got != want {
+				t.Errorf("SC(%d) import volume l=%d: %d, want %d", n, l, got, want)
+			}
+		}
+	}
+}
+
+func TestFSImportVolumeFormula(t *testing.T) {
+	for n := 2; n <= 3; n++ {
+		fs := GenerateFS(n)
+		for _, l := range []int{2, 4, 6} {
+			got := fs.ImportVolumeDims(geom.IV(l, l, l))
+			want := FSImportVolume(n, l)
+			if got != want {
+				t.Errorf("FS(%d) import volume l=%d: %d, want %d", n, l, got, want)
+			}
+		}
+	}
+}
+
+func TestImportVolumeOrderingSCSmallest(t *testing.T) {
+	// SC must import no more than HS, which imports less than FS.
+	for _, l := range []int{2, 4, 8} {
+		fs := FullShellPair().ImportVolume(l)
+		hs := HalfShellPair().ImportVolume(l)
+		es := EighthShellPair().ImportVolume(l)
+		if !(es < hs && hs < fs) {
+			t.Errorf("l=%d: import volumes ES=%d HS=%d FS=%d not strictly ordered", l, es, hs, fs)
+		}
+		if want := SCImportVolume(2, l); es != want {
+			t.Errorf("l=%d: ES import %d, want %d", l, es, want)
+		}
+	}
+}
+
+func TestSearchCostRatioApproachesTwo(t *testing.T) {
+	// The ratio is flat across each (even, odd) pair of n — e.g. 27/14
+	// for both n = 2 and n = 3 — so it is non-decreasing, approaching 2.
+	prev := 0.0
+	for n := 2; n <= 6; n++ {
+		r := SearchCostRatioFSOverSC(n)
+		if r < prev {
+			t.Errorf("ratio decreasing at n=%d: %g < %g", n, r, prev)
+		}
+		if r >= 2 {
+			t.Errorf("ratio exceeded 2 at n=%d: %g", n, r)
+		}
+		prev = r
+	}
+	if r := SearchCostRatioFSOverSC(6); r < 1.99 {
+		t.Errorf("ratio at n=6 = %g, expected ≈ 2", r)
+	}
+}
+
+func TestPatternEquivalenceUnderShift(t *testing.T) {
+	// A pattern and its per-path shifted version are equivalent.
+	fs := GenerateFS(3)
+	shifted := make([]Path, fs.Len())
+	for i, p := range fs.Paths() {
+		shifted[i] = p.Shift(geom.IV(i%3-1, (i/3)%3-1, 1))
+	}
+	if !fs.EquivalentTo(NewPattern(3, shifted...)) {
+		t.Fatal("pattern not equivalent to shifted copy")
+	}
+}
+
+func TestNewPatternRejectsMixedLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mixed path lengths")
+		}
+	}()
+	NewPattern(2,
+		NewPath(geom.IV(0, 0, 0), geom.IV(1, 0, 0)),
+		NewPath(geom.IV(0, 0, 0), geom.IV(1, 0, 0), geom.IV(1, 1, 0)))
+}
+
+func TestNewPatternRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for duplicate paths")
+		}
+	}()
+	p := NewPath(geom.IV(0, 0, 0), geom.IV(1, 0, 0))
+	NewPattern(2, p, p.Clone())
+}
+
+func TestCoversChain(t *testing.T) {
+	es := EighthShellPair()
+	for _, d := range NeighborOffsets() {
+		if !es.CoversChain([]geom.IVec3{d}) {
+			t.Errorf("eighth shell misses pair step %v", d)
+		}
+	}
+	if es.CoversChain([]geom.IVec3{geom.IV(2, 0, 0)}) {
+		t.Error("eighth shell claims to cover non-neighbor step")
+	}
+}
+
+func TestHSImportVolumeExact(t *testing.T) {
+	// Cell-based half-shell under the owner-compute rule imports
+	// exactly 5l² + 7l + 1 cells for a cubic domain of side l — five
+	// of the six halo faces (the corner offsets of the kept half, e.g.
+	// (+1,-1,0), still reach cells on four negative-side planes; only
+	// one face is fully avoided). The ratio to FS approaches 5/6, not
+	// the folklore ½: genuinely halving the import volume requires
+	// relaxing owner-compute, which is exactly what OC-SHIFT (the
+	// eighth shell, and SC in general) does. The result is independent
+	// of which twin of each pair R-COLLAPSE keeps.
+	for _, l := range []int{2, 4, 8, 16} {
+		got := HSImportVolume(l)
+		want := 5*l*l + 7*l + 1
+		if got != want {
+			t.Errorf("l=%d: HS import volume %d, want %d", l, got, want)
+		}
+	}
+	// And the eighth shell truly halves it (and better):
+	for _, l := range []int{4, 8, 16} {
+		es := EighthShellPair().ImportVolume(l)
+		fs := FSImportVolume(2, l)
+		if 2*es > fs {
+			t.Errorf("l=%d: ES import %d not ≤ half of FS %d", l, es, fs)
+		}
+	}
+}
+
+func TestRCollapseKeepsUpperTwin(t *testing.T) {
+	// The canonical keep rule must retain, for each collapsible pair
+	// path, the twin whose step is lexicographically positive — e.g.
+	// (0,0)->(1,0,0) survives and (0,0)->(-1,0,0) does not.
+	hs := HalfShellPair()
+	has := func(d geom.IVec3) bool {
+		for _, p := range hs.Paths() {
+			if p[1].Sub(p[0]) == d {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(geom.IV(1, 0, 0)) || has(geom.IV(-1, 0, 0)) {
+		t.Error("R-COLLAPSE did not keep the upper twin of (±1,0,0)")
+	}
+	if !has(geom.IV(0, 1, 0)) || has(geom.IV(0, -1, 0)) {
+		t.Error("R-COLLAPSE did not keep the upper twin of (0,±1,0)")
+	}
+	if !has(geom.IV(1, -1, 0)) || has(geom.IV(-1, 1, 0)) {
+		t.Error("R-COLLAPSE did not keep the upper twin of (±1,∓1,0)")
+	}
+}
+
+func TestRCollapseOrderIndependent(t *testing.T) {
+	fs := GenerateFS(3)
+	rev := make([]Path, fs.Len())
+	for i, p := range fs.Paths() {
+		rev[fs.Len()-1-i] = p
+	}
+	a := RCollapse(fs).Sort()
+	b := RCollapse(NewPattern(3, rev...)).Sort()
+	if !a.Equal(b) {
+		t.Error("RCollapse result depends on path order")
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"sctuple/internal/geom"
+)
+
+// neighborOffsets is the 27-element stencil {-1,0,1}³ in lexicographic
+// order: the offsets of a cell's nearest neighbors (including itself).
+var neighborOffsets = func() []geom.IVec3 {
+	out := make([]geom.IVec3, 0, 27)
+	for x := -1; x <= 1; x++ {
+		for y := -1; y <= 1; y++ {
+			for z := -1; z <= 1; z++ {
+				out = append(out, geom.IV(x, y, z))
+			}
+		}
+	}
+	return out
+}()
+
+// NeighborOffsets returns the 27-element nearest-neighbor stencil
+// {-1,0,1}³ in lexicographic order. The returned slice is shared;
+// callers must not modify it.
+func NeighborOffsets() []geom.IVec3 { return neighborOffsets }
+
+// GenerateFS implements the GENERATE-FS subroutine (paper Table 3):
+// it enumerates all computation paths of length n that start at the
+// zero offset and step between nearest-neighbor cells, yielding the
+// full-shell pattern Ψ(n)FS with |Ψ| = 27^(n-1) paths (Eq. 25).
+// By Lemma 1 the result is n-complete. It panics for n < 2.
+func GenerateFS(n int) *Pattern {
+	if n < 2 {
+		panic(fmt.Sprintf("core: GenerateFS needs n ≥ 2, got %d", n))
+	}
+	count := 1
+	for i := 1; i < n; i++ {
+		count *= 27
+	}
+	paths := make([]Path, 0, count)
+	cur := make(Path, n)
+	cur[0] = geom.IVec3{}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			paths = append(paths, cur.Clone())
+			return
+		}
+		for _, d := range neighborOffsets {
+			cur[k] = cur[k-1].Add(d)
+			rec(k + 1)
+		}
+	}
+	rec(1)
+	return NewPattern(n, paths...)
+}
+
+// FullShellPair returns the full-shell pair pattern (§4.3.1):
+// all 27 paths (0, d) for d in the nearest-neighbor stencil.
+// Equivalent to GenerateFS(2).
+func FullShellPair() *Pattern { return GenerateFS(2) }
+
+// HalfShellPair returns the half-shell pair pattern (§4.3.2):
+// ΨHS = R-COLLAPSE(Ψ(2)FS), 14 paths. The half-shell method uses
+// Newton's third law to halve the full-shell search.
+func HalfShellPair() *Pattern { return RCollapse(GenerateFS(2)) }
+
+// EighthShellPair returns the eighth-shell pair pattern (§4.3.3):
+// ΨES = OC-SHIFT(ΨHS), 14 paths confined to the first octant {0,1}³.
+// The eighth-shell method relaxes the owner-compute rule so a cell
+// interacts only with its upper-corner octant, shrinking the cell
+// footprint to 8 (7 imported cells plus the cell itself). It equals
+// the SC pattern for n = 2.
+func EighthShellPair() *Pattern { return OCShift(HalfShellPair()) }

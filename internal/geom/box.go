@@ -1,0 +1,98 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box is an orthorhombic simulation volume with periodic boundary
+// conditions in all three Cartesian directions, as assumed throughout
+// the paper (§3.1.1). The box spans [0, Lx) × [0, Ly) × [0, Lz).
+type Box struct {
+	L Vec3 // edge lengths, all > 0
+}
+
+// NewBox returns a periodic box with the given edge lengths.
+// It panics if any length is not strictly positive and finite.
+func NewBox(lx, ly, lz float64) Box {
+	for _, l := range [3]float64{lx, ly, lz} {
+		if !(l > 0) || math.IsInf(l, 0) {
+			panic(fmt.Sprintf("geom: invalid box length %g", l))
+		}
+	}
+	return Box{L: Vec3{lx, ly, lz}}
+}
+
+// NewCubicBox returns a periodic cube with edge length l.
+func NewCubicBox(l float64) Box { return NewBox(l, l, l) }
+
+// Volume returns the box volume Lx·Ly·Lz.
+func (b Box) Volume() float64 { return b.L.X * b.L.Y * b.L.Z }
+
+// Wrap maps a position into the primary image [0, L) in each direction.
+func (b Box) Wrap(r Vec3) Vec3 {
+	return Vec3{
+		wrap1(r.X, b.L.X),
+		wrap1(r.Y, b.L.Y),
+		wrap1(r.Z, b.L.Z),
+	}
+}
+
+func wrap1(x, l float64) float64 {
+	x -= l * math.Floor(x/l)
+	// Guard against x == l from floating-point rounding when x was a
+	// tiny negative number: Floor(-eps/l) = -1 gives x = l - eps → ok,
+	// but x = -1e-17 + l can round to exactly l.
+	if x >= l {
+		x -= l
+	}
+	if x < 0 {
+		x = 0
+	}
+	return x
+}
+
+// MinImage returns the minimum-image displacement vector equivalent to
+// d: each component is shifted by an integer multiple of the box length
+// into (-L/2, L/2].
+func (b Box) MinImage(d Vec3) Vec3 {
+	return Vec3{
+		minImage1(d.X, b.L.X),
+		minImage1(d.Y, b.L.Y),
+		minImage1(d.Z, b.L.Z),
+	}
+}
+
+func minImage1(x, l float64) float64 {
+	x -= l * math.Round(x/l)
+	return x
+}
+
+// Displacement returns the minimum-image vector from a to b,
+// i.e. the shortest periodic image of b - a.
+func (b Box) Displacement(from, to Vec3) Vec3 {
+	return b.MinImage(to.Sub(from))
+}
+
+// Distance returns the minimum-image distance between two positions.
+func (b Box) Distance(p, q Vec3) float64 {
+	return b.Displacement(p, q).Norm()
+}
+
+// Distance2 returns the squared minimum-image distance between two
+// positions. Prefer this in cutoff tests to avoid the square root.
+func (b Box) Distance2(p, q Vec3) float64 {
+	return b.Displacement(p, q).Norm2()
+}
+
+// Contains reports whether r lies in the primary image.
+func (b Box) Contains(r Vec3) bool {
+	return r.X >= 0 && r.X < b.L.X &&
+		r.Y >= 0 && r.Y < b.L.Y &&
+		r.Z >= 0 && r.Z < b.L.Z
+}
+
+// String formats the box for diagnostics.
+func (b Box) String() string {
+	return fmt.Sprintf("Box[%g × %g × %g]", b.L.X, b.L.Y, b.L.Z)
+}

@@ -1,0 +1,59 @@
+package geom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStrings(t *testing.T) {
+	if s := V(1, 2, 3).String(); !strings.Contains(s, "1") || !strings.Contains(s, "3") {
+		t.Errorf("Vec3 string %q", s)
+	}
+	if s := IV(-1, 0, 7).String(); s != "(-1, 0, 7)" {
+		t.Errorf("IVec3 string %q", s)
+	}
+	if s := NewBox(1, 2, 3).String(); !strings.Contains(s, "Box") {
+		t.Errorf("Box string %q", s)
+	}
+}
+
+func TestComponentPanics(t *testing.T) {
+	cases := []func(){
+		func() { V(1, 2, 3).Comp(3) },
+		func() { v := V(1, 2, 3); v.SetComp(-1, 0) },
+		func() { IV(1, 2, 3).Comp(4) },
+		func() { v := IV(1, 2, 3); v.SetComp(3, 0) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIVecScaleNegVec3(t *testing.T) {
+	if got := IV(1, -2, 3).Scale(-2); got != IV(-2, 4, -6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := IV(1, -2, 3).Neg(); got != IV(-1, 2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := IV(1, 2, 3).Vec3(); got != V(1, 2, 3) {
+		t.Errorf("Vec3 = %v", got)
+	}
+}
+
+func TestBoxContainsEdges(t *testing.T) {
+	b := NewBox(1, 1, 1)
+	if !b.Contains(V(0, 0, 0)) {
+		t.Error("origin not contained")
+	}
+	if b.Contains(V(1, 0, 0)) || b.Contains(V(0, -1e-12, 0)) {
+		t.Error("boundary semantics wrong: [0, L) expected")
+	}
+}

@@ -1,0 +1,232 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVec3Arithmetic(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(-4, 5, 0.5)
+	if got := a.Add(b); got != V(-3, 7, 3.5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(5, -3, 2.5) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 1*-4+2*5+3*0.5 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Neg(); got != V(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestVec3Cross(t *testing.T) {
+	x, y, z := V(1, 0, 0), V(0, 1, 0), V(0, 0, 1)
+	if x.Cross(y) != z || y.Cross(z) != x || z.Cross(x) != y {
+		t.Error("right-handed basis cross products wrong")
+	}
+	// a×b ⊥ a and b.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		a := V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		b := V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		c := a.Cross(b)
+		if !almostEqual(c.Dot(a), 0, 1e-9) || !almostEqual(c.Dot(b), 0, 1e-9) {
+			t.Fatalf("cross product not orthogonal: %v × %v = %v", a, b, c)
+		}
+	}
+}
+
+func TestVec3NormAndNormalized(t *testing.T) {
+	if got := V(3, 4, 0).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	n := V(0, 0, -2).Normalized()
+	if n != V(0, 0, -1) {
+		t.Errorf("Normalized = %v", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic normalizing zero vector")
+		}
+	}()
+	Vec3{}.Normalized()
+}
+
+func TestVec3Components(t *testing.T) {
+	a := V(1, 2, 3)
+	for i, want := range []float64{1, 2, 3} {
+		if got := a.Comp(i); got != want {
+			t.Errorf("Comp(%d) = %v, want %v", i, got, want)
+		}
+	}
+	a.SetComp(1, 9)
+	if a != V(1, 9, 3) {
+		t.Errorf("SetComp result %v", a)
+	}
+}
+
+func TestVec3IsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() || V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("non-finite vector reported finite")
+	}
+}
+
+func TestBoxWrapContains(t *testing.T) {
+	b := NewBox(10, 20, 30)
+	cases := []struct{ in, want Vec3 }{
+		{V(5, 5, 5), V(5, 5, 5)},
+		{V(-1, 0, 0), V(9, 0, 0)},
+		{V(10, 20, 30), V(0, 0, 0)},
+		{V(25, -25, 65), V(5, 15, 5)},
+	}
+	for _, c := range cases {
+		got := b.Wrap(c.in)
+		if got.Sub(c.want).Norm() > 1e-12 {
+			t.Errorf("Wrap(%v) = %v, want %v", c.in, got, c.want)
+		}
+		if !b.Contains(got) {
+			t.Errorf("Wrap(%v) = %v not contained", c.in, got)
+		}
+	}
+}
+
+func TestBoxWrapEdgeCases(t *testing.T) {
+	b := NewCubicBox(1)
+	// A tiny negative coordinate must not wrap to exactly L.
+	got := b.Wrap(V(-1e-18, 0, 0))
+	if !b.Contains(got) {
+		t.Errorf("Wrap(-eps) = %v escapes box", got)
+	}
+}
+
+func TestBoxWrapProperty(t *testing.T) {
+	b := NewBox(7.5, 12.25, 3.125)
+	f := func(x, y, z float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) ||
+			math.IsNaN(y) || math.IsInf(y, 0) ||
+			math.IsNaN(z) || math.IsInf(z, 0) {
+			return true
+		}
+		// Keep magnitudes sane so x/l is exact enough.
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		z = math.Mod(z, 1e6)
+		w := b.Wrap(V(x, y, z))
+		return b.Contains(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinImageRange(t *testing.T) {
+	b := NewBox(10, 10, 10)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 1000; i++ {
+		d := V(rng.Float64()*100-50, rng.Float64()*100-50, rng.Float64()*100-50)
+		m := b.MinImage(d)
+		for c := 0; c < 3; c++ {
+			if m.Comp(c) < -5-1e-9 || m.Comp(c) > 5+1e-9 {
+				t.Fatalf("MinImage(%v) = %v outside (-L/2, L/2]", d, m)
+			}
+		}
+		// m differs from d by integer multiples of L.
+		diff := d.Sub(m)
+		for c := 0; c < 3; c++ {
+			k := diff.Comp(c) / 10
+			if math.Abs(k-math.Round(k)) > 1e-9 {
+				t.Fatalf("MinImage(%v) = %v not lattice-equivalent", d, m)
+			}
+		}
+	}
+}
+
+func TestDistanceSymmetryAndTriangle(t *testing.T) {
+	b := NewBox(6, 8, 10)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		p := V(rng.Float64()*6, rng.Float64()*8, rng.Float64()*10)
+		q := V(rng.Float64()*6, rng.Float64()*8, rng.Float64()*10)
+		r := V(rng.Float64()*6, rng.Float64()*8, rng.Float64()*10)
+		if !almostEqual(b.Distance(p, q), b.Distance(q, p), 1e-12) {
+			t.Fatal("distance not symmetric")
+		}
+		if b.Distance(p, r) > b.Distance(p, q)+b.Distance(q, r)+1e-9 {
+			t.Fatal("triangle inequality violated")
+		}
+		if !almostEqual(b.Distance2(p, q), b.Distance(p, q)*b.Distance(p, q), 1e-9) {
+			t.Fatal("Distance2 inconsistent with Distance")
+		}
+	}
+}
+
+func TestDistanceAcrossBoundary(t *testing.T) {
+	b := NewCubicBox(10)
+	if d := b.Distance(V(0.5, 5, 5), V(9.5, 5, 5)); !almostEqual(d, 1, 1e-12) {
+		t.Errorf("periodic distance = %v, want 1", d)
+	}
+	disp := b.Displacement(V(9.5, 5, 5), V(0.5, 5, 5))
+	if disp.Sub(V(1, 0, 0)).Norm() > 1e-12 {
+		t.Errorf("Displacement = %v, want (1,0,0)", disp)
+	}
+}
+
+func TestNewBoxValidation(t *testing.T) {
+	for _, bad := range [][3]float64{{0, 1, 1}, {-1, 1, 1}, {1, math.Inf(1), 1}, {1, 1, math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBox(%v) did not panic", bad)
+				}
+			}()
+			NewBox(bad[0], bad[1], bad[2])
+		}()
+	}
+}
+
+func TestBoxVolume(t *testing.T) {
+	if got := NewBox(2, 3, 4).Volume(); got != 24 {
+		t.Errorf("Volume = %v", got)
+	}
+}
+
+func TestIVec3InBoxVolume(t *testing.T) {
+	dims := IV(3, 4, 5)
+	if !IV(0, 0, 0).InBox(dims) || !IV(2, 3, 4).InBox(dims) {
+		t.Error("in-box points reported outside")
+	}
+	if IV(-1, 0, 0).InBox(dims) || IV(3, 0, 0).InBox(dims) {
+		t.Error("out-of-box points reported inside")
+	}
+	if dims.Volume() != 60 {
+		t.Error("Volume wrong")
+	}
+}
+
+func TestIVec3Less(t *testing.T) {
+	ordered := []IVec3{IV(-1, 5, 5), IV(0, -1, 9), IV(0, 0, 0), IV(0, 0, 1), IV(1, -9, -9)}
+	for i := 0; i < len(ordered)-1; i++ {
+		if !ordered[i].Less(ordered[i+1]) {
+			t.Errorf("%v not < %v", ordered[i], ordered[i+1])
+		}
+		if ordered[i+1].Less(ordered[i]) {
+			t.Errorf("%v < %v unexpectedly", ordered[i+1], ordered[i])
+		}
+	}
+	if IV(1, 2, 3).Less(IV(1, 2, 3)) {
+		t.Error("Less not irreflexive")
+	}
+}

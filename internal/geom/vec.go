@@ -1,0 +1,190 @@
+// Package geom provides the geometric primitives shared by every layer
+// of the shift-collapse MD stack: 3-component real and integer vectors,
+// an orthorhombic periodic simulation box, and minimum-image distance
+// computations.
+//
+// Real-space vectors (Vec3) carry atomic positions, velocities, and
+// forces in units of Å, Å/fs, and eV/Å respectively. Integer vectors
+// (IVec3) index cells in the cell lattice and appear throughout the
+// computation-pattern algebra of package core.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec3 is a 3-component vector of float64, used for positions,
+// velocities, and forces.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s*a.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{s * a.X, s * a.Y, s * a.Z} }
+
+// Neg returns -a.
+func (a Vec3) Neg() Vec3 { return Vec3{-a.X, -a.Y, -a.Z} }
+
+// Dot returns the inner product a·b.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the cross product a×b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm2 returns |a|².
+func (a Vec3) Norm2() float64 { return a.Dot(a) }
+
+// Norm returns |a|.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Norm2()) }
+
+// Normalized returns a/|a|. It panics if a is the zero vector.
+func (a Vec3) Normalized() Vec3 {
+	n := a.Norm()
+	if n == 0 {
+		panic("geom: normalizing zero vector")
+	}
+	return a.Scale(1 / n)
+}
+
+// Comp returns component i (0 = X, 1 = Y, 2 = Z).
+func (a Vec3) Comp(i int) float64 {
+	switch i {
+	case 0:
+		return a.X
+	case 1:
+		return a.Y
+	case 2:
+		return a.Z
+	}
+	panic(fmt.Sprintf("geom: Vec3 component index %d out of range", i))
+}
+
+// SetComp sets component i (0 = X, 1 = Y, 2 = Z) to v.
+func (a *Vec3) SetComp(i int, v float64) {
+	switch i {
+	case 0:
+		a.X = v
+	case 1:
+		a.Y = v
+	case 2:
+		a.Z = v
+	default:
+		panic(fmt.Sprintf("geom: Vec3 component index %d out of range", i))
+	}
+}
+
+// String formats the vector for diagnostics.
+func (a Vec3) String() string {
+	return fmt.Sprintf("(%.6g, %.6g, %.6g)", a.X, a.Y, a.Z)
+}
+
+// IsFinite reports whether all components are finite (no NaN or Inf).
+func (a Vec3) IsFinite() bool {
+	return !math.IsNaN(a.X) && !math.IsInf(a.X, 0) &&
+		!math.IsNaN(a.Y) && !math.IsInf(a.Y, 0) &&
+		!math.IsNaN(a.Z) && !math.IsInf(a.Z, 0)
+}
+
+// IVec3 is a 3-component integer vector. It indexes cells in the cell
+// lattice and represents cell offsets in computation paths.
+type IVec3 struct {
+	X, Y, Z int
+}
+
+// IV is shorthand for constructing an IVec3.
+func IV(x, y, z int) IVec3 { return IVec3{x, y, z} }
+
+// Add returns a + b.
+func (a IVec3) Add(b IVec3) IVec3 { return IVec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a IVec3) Sub(b IVec3) IVec3 { return IVec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Neg returns -a.
+func (a IVec3) Neg() IVec3 { return IVec3{-a.X, -a.Y, -a.Z} }
+
+// Scale returns s*a.
+func (a IVec3) Scale(s int) IVec3 { return IVec3{s * a.X, s * a.Y, s * a.Z} }
+
+// Min returns the component-wise minimum of a and b.
+func (a IVec3) Min(b IVec3) IVec3 {
+	return IVec3{min(a.X, b.X), min(a.Y, b.Y), min(a.Z, b.Z)}
+}
+
+// Max returns the component-wise maximum of a and b.
+func (a IVec3) Max(b IVec3) IVec3 {
+	return IVec3{max(a.X, b.X), max(a.Y, b.Y), max(a.Z, b.Z)}
+}
+
+// Comp returns component i (0 = X, 1 = Y, 2 = Z).
+func (a IVec3) Comp(i int) int {
+	switch i {
+	case 0:
+		return a.X
+	case 1:
+		return a.Y
+	case 2:
+		return a.Z
+	}
+	panic(fmt.Sprintf("geom: IVec3 component index %d out of range", i))
+}
+
+// SetComp sets component i (0 = X, 1 = Y, 2 = Z) to v.
+func (a *IVec3) SetComp(i, v int) {
+	switch i {
+	case 0:
+		a.X = v
+	case 1:
+		a.Y = v
+	case 2:
+		a.Z = v
+	default:
+		panic(fmt.Sprintf("geom: IVec3 component index %d out of range", i))
+	}
+}
+
+// Vec3 converts the integer vector to a real vector.
+func (a IVec3) Vec3() Vec3 { return Vec3{float64(a.X), float64(a.Y), float64(a.Z)} }
+
+// String formats the vector for diagnostics.
+func (a IVec3) String() string { return fmt.Sprintf("(%d, %d, %d)", a.X, a.Y, a.Z) }
+
+// Less imposes a total lexicographic order on integer vectors, used
+// when canonicalizing computation patterns.
+func (a IVec3) Less(b IVec3) bool {
+	if a.X != b.X {
+		return a.X < b.X
+	}
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.Z < b.Z
+}
+
+// InBox reports whether each component of a lies in [0, dims) for the
+// corresponding component of dims.
+func (a IVec3) InBox(dims IVec3) bool {
+	return a.X >= 0 && a.X < dims.X &&
+		a.Y >= 0 && a.Y < dims.Y &&
+		a.Z >= 0 && a.Z < dims.Z
+}
+
+// Volume returns the product of the components, the number of lattice
+// points in a box of these dimensions.
+func (a IVec3) Volume() int { return a.X * a.Y * a.Z }

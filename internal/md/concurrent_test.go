@@ -1,0 +1,139 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"sctuple/internal/geom"
+)
+
+// TestConcurrentEngineMatchesSerial: the §6 concurrent engine must
+// reproduce the serial SC engine's energy and forces for several
+// worker counts.
+func TestConcurrentEngineMatchesSerial(t *testing.T) {
+	sys := silicaSystem(t, 3, 300, 21)
+	serial, err := NewCellEngine(sys.Model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPE, err := serial.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := append([]geom.Vec3(nil), sys.Force...)
+	wantStats := serial.Stats()
+
+	for _, workers := range []int{1, 2, 3, 8} {
+		conc, err := NewConcurrentCellEngine(sys.Model, sys.Box, FamilySC, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe, err := conc.Compute(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pe-wantPE) > 1e-9*math.Abs(wantPE) {
+			t.Errorf("workers=%d: PE %.12g, serial %.12g", workers, pe, wantPE)
+		}
+		for i := range wantF {
+			if d := sys.Force[i].Sub(wantF[i]).Norm(); d > 1e-9 {
+				t.Fatalf("workers=%d: atom %d force differs by %g", workers, i, d)
+			}
+		}
+		st := conc.Stats()
+		if st.SearchCandidates != wantStats.SearchCandidates ||
+			st.TuplesEvaluated != wantStats.TuplesEvaluated {
+			t.Errorf("workers=%d: stats %+v, serial %+v", workers, st, wantStats)
+		}
+	}
+}
+
+// TestConcurrentEngineDeterministic: same worker count → bit-identical
+// forces across repeated evaluations (fixed-order reduction).
+func TestConcurrentEngineDeterministic(t *testing.T) {
+	sys := silicaSystem(t, 3, 600, 22)
+	conc, err := NewConcurrentCellEngine(sys.Model, sys.Box, FamilySC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe1, err := conc.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := append([]geom.Vec3(nil), sys.Force...)
+	for trial := 0; trial < 3; trial++ {
+		pe2, err := conc.Compute(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pe2 != pe1 {
+			t.Fatalf("trial %d: PE %v != %v (nondeterministic)", trial, pe2, pe1)
+		}
+		for i := range f1 {
+			if sys.Force[i] != f1[i] {
+				t.Fatalf("trial %d: atom %d force differs bitwise", trial, i)
+			}
+		}
+	}
+}
+
+// TestConcurrentEngineDynamics: full NVE trajectory through the
+// concurrent engine conserves energy like the serial one.
+func TestConcurrentEngineDynamics(t *testing.T) {
+	sys := silicaSystem(t, 3, 300, 23)
+	conc, err := NewConcurrentCellEngine(sys.Model, sys.Box, FamilySC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, conc, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := sim.TotalEnergy()
+	ke0 := sys.KineticEnergy()
+	if err := sim.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if drift := math.Abs(sim.TotalEnergy() - e0); drift > 0.02*ke0 {
+		t.Errorf("energy drift %g eV (KE₀ %g)", drift, ke0)
+	}
+}
+
+// TestConcurrentEngineFS: the FS family works too.
+func TestConcurrentEngineFS(t *testing.T) {
+	sys := silicaSystem(t, 3, 300, 24)
+	serial, err := NewCellEngine(sys.Model, sys.Box, FamilyFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPE, err := serial.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := NewConcurrentCellEngine(sys.Model, sys.Box, FamilyFS, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := conc.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pe-wantPE) > 1e-9*math.Abs(wantPE) {
+		t.Errorf("FS concurrent PE %g, serial %g", pe, wantPE)
+	}
+}
+
+// TestConcurrentEngineDefaultWorkers: workers ≤ 0 picks GOMAXPROCS.
+func TestConcurrentEngineDefaultWorkers(t *testing.T) {
+	sys := silicaSystem(t, 3, 0, 25)
+	conc, err := NewConcurrentCellEngine(sys.Model, sys.Box, FamilySC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conc.Workers() < 1 {
+		t.Errorf("Workers = %d", conc.Workers())
+	}
+	if _, err := conc.Compute(sys); err != nil {
+		t.Fatal(err)
+	}
+}

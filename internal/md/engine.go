@@ -1,0 +1,358 @@
+package md
+
+import (
+	"fmt"
+
+	"sctuple/internal/cell"
+	"sctuple/internal/core"
+	"sctuple/internal/geom"
+	"sctuple/internal/nlist"
+	"sctuple/internal/potential"
+	"sctuple/internal/tuple"
+)
+
+// Family selects the computation-pattern family of a cell engine.
+type Family int
+
+// Pattern families.
+const (
+	FamilySC Family = iota // shift-collapse patterns (SC-MD)
+	FamilyFS               // full-shell patterns (FS-MD)
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case FamilySC:
+		return "SC"
+	case FamilyFS:
+		return "FS"
+	}
+	return "?"
+}
+
+// Pattern returns the family's pattern for tuple length n.
+func (f Family) Pattern(n int) *core.Pattern {
+	switch f {
+	case FamilySC:
+		return core.SC(n)
+	case FamilyFS:
+		return core.FS(n)
+	}
+	panic("md: unknown pattern family")
+}
+
+// CellEngine evaluates all model terms by cell-based UCP enumeration
+// with one pattern per tuple length — SC-MD when built with FamilySC,
+// FS-MD with FamilyFS. Following §3.1.1 ("side lengths equal or
+// slightly larger than r_cut-n"), every term enumerates on its own
+// cell lattice sized by its own cutoff: the silica triplet term
+// searches 2.6 Å cells rather than the 5.5 Å pair cells, which is
+// what keeps the SC triplet search space compact.
+type CellEngine struct {
+	family Family
+	model  *potential.Model
+	lats   []cell.Lattice
+	bins   []*cell.Binning
+	enums  []*tuple.Enumerator
+
+	species [tuple.MaxN]int32
+	fbuf    [tuple.MaxN]geom.Vec3
+	stats   ComputeStats
+}
+
+// NewCellEngine builds the engine for a model over a box, with one
+// lattice, binning, and enumerator per term.
+func NewCellEngine(model *potential.Model, box geom.Box, family Family) (*CellEngine, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	e := &CellEngine{family: family, model: model}
+	for _, term := range model.Terms {
+		lat, err := cell.NewLattice(box, term.Cutoff())
+		if err != nil {
+			return nil, fmt.Errorf("md: term n=%d: %w", term.N(), err)
+		}
+		bin := cell.NewBinning(lat, nil)
+		en, err := tuple.NewEnumerator(bin, family.Pattern(term.N()), term.Cutoff(), tuple.DedupAuto)
+		if err != nil {
+			return nil, fmt.Errorf("md: term n=%d: %w", term.N(), err)
+		}
+		e.lats = append(e.lats, lat)
+		e.bins = append(e.bins, bin)
+		e.enums = append(e.enums, en)
+	}
+	return e, nil
+}
+
+// NewCellEngineRadius builds a cell engine in the midpoint mode of the
+// paper's §6: every term enumerates on a lattice with cells of side ≥
+// cutoff/k using radius-k shift-collapse (or full-shell) patterns.
+// Finer cells hug the cutoff ball more tightly, trading pattern size
+// for fewer distance-rejected candidates; k = 1 is NewCellEngine.
+func NewCellEngineRadius(model *potential.Model, box geom.Box, family Family, k int) (*CellEngine, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("md: cell radius %d < 1", k)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	e := &CellEngine{family: family, model: model}
+	for _, term := range model.Terms {
+		lat, err := cell.NewLattice(box, term.Cutoff()/float64(k))
+		if err != nil {
+			return nil, fmt.Errorf("md: term n=%d: %w", term.N(), err)
+		}
+		var pattern *core.Pattern
+		switch family {
+		case FamilySC:
+			pattern = core.SCRadius(term.N(), k)
+		case FamilyFS:
+			pattern = core.GenerateFSRadius(term.N(), k).Sort()
+		default:
+			return nil, fmt.Errorf("md: unknown family %v", family)
+		}
+		bin := cell.NewBinning(lat, nil)
+		en, err := tuple.NewEnumerator(bin, pattern, term.Cutoff(), tuple.DedupAuto)
+		if err != nil {
+			return nil, fmt.Errorf("md: term n=%d: %w", term.N(), err)
+		}
+		e.lats = append(e.lats, lat)
+		e.bins = append(e.bins, bin)
+		e.enums = append(e.enums, en)
+	}
+	return e, nil
+}
+
+// Name implements Engine.
+func (e *CellEngine) Name() string { return e.family.String() + "-MD" }
+
+// Lattice returns the cell lattice of term i.
+func (e *CellEngine) Lattice(i int) cell.Lattice { return e.lats[i] }
+
+// Compute implements Engine: rebin per term, enumerate each term's
+// force set, evaluate, scatter forces.
+func (e *CellEngine) Compute(sys *System) (float64, error) {
+	if sys.Model != e.model {
+		return 0, fmt.Errorf("md: engine model %q does not match system model %q",
+			e.model.Name, sys.Model.Name)
+	}
+	sys.ZeroForces()
+	e.stats = ComputeStats{TermTuples: make(map[int]int64)}
+	energy := 0.0
+	for ti, term := range e.model.Terms {
+		n := term.N()
+		e.bins[ti].Rebin(sys.Pos)
+		st := e.enums[ti].Visit(sys.Pos, func(atoms []int32, pos []geom.Vec3) {
+			for k := 0; k < n; k++ {
+				e.species[k] = sys.Species[atoms[k]]
+				e.fbuf[k] = geom.Vec3{}
+			}
+			energy += term.Eval(e.species[:n], pos, e.fbuf[:n])
+			for k := 0; k < n; k++ {
+				sys.Force[atoms[k]] = sys.Force[atoms[k]].Add(e.fbuf[k])
+				e.stats.Virial += e.fbuf[k].Dot(pos[k])
+			}
+		})
+		e.stats.SearchCandidates += st.Candidates
+		e.stats.PathApplications += st.PathApplications
+		e.stats.TuplesEvaluated += st.Emitted
+		e.stats.TermTuples[n] += st.Emitted
+	}
+	return energy, nil
+}
+
+// Stats implements Engine.
+func (e *CellEngine) Stats() ComputeStats { return e.stats }
+
+// HybridEngine reproduces the paper's production Hybrid-MD baseline:
+// the pair term is evaluated from a Verlet pair list built by a
+// full-shell cell search each step, and the triplet term is pruned
+// directly from that list using the shorter triplet cutoff — no
+// second cell search. It supports models with exactly one pair term
+// and at most one triplet term (the silica application of §5).
+type HybridEngine struct {
+	model   *potential.Model
+	lat     cell.Lattice
+	bin     *cell.Binning
+	pair    potential.Term
+	triplet potential.Term // nil when the model is pair-only
+
+	// skin > 0 enables Verlet-list reuse: the list is built with
+	// cutoff r+skin and refreshed in place until some atom has moved
+	// more than skin/2 since the build.
+	skin     float64
+	pl       *nlist.PairList
+	buildPos []geom.Vec3
+	rebuilds int64
+
+	stats ComputeStats
+}
+
+// NewHybridEngine builds the engine; it rejects models outside the
+// pair(+triplet) shape, mirroring the specialization of the production
+// code the paper describes.
+func NewHybridEngine(model *potential.Model, box geom.Box) (*HybridEngine, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	e := &HybridEngine{model: model}
+	for _, t := range model.Terms {
+		switch t.N() {
+		case 2:
+			if e.pair != nil {
+				return nil, fmt.Errorf("md: hybrid engine supports one pair term")
+			}
+			e.pair = t
+		case 3:
+			if e.triplet != nil {
+				return nil, fmt.Errorf("md: hybrid engine supports one triplet term")
+			}
+			e.triplet = t
+		default:
+			return nil, fmt.Errorf("md: hybrid engine cannot handle n=%d terms", t.N())
+		}
+	}
+	if e.pair == nil {
+		return nil, fmt.Errorf("md: hybrid engine needs a pair term")
+	}
+	if e.triplet != nil && e.triplet.Cutoff() > e.pair.Cutoff() {
+		return nil, fmt.Errorf("md: hybrid engine needs r_cut3 ≤ r_cut2 (have %g > %g)",
+			e.triplet.Cutoff(), e.pair.Cutoff())
+	}
+	lat, err := cell.NewLattice(box, e.pair.Cutoff())
+	if err != nil {
+		return nil, fmt.Errorf("md: %w", err)
+	}
+	e.lat = lat
+	e.bin = cell.NewBinning(lat, nil)
+	return e, nil
+}
+
+// NewHybridEngineSkin builds a Hybrid engine whose Verlet list is
+// built with cutoff r+skin and reused across steps until an atom has
+// moved more than skin/2 — the standard production optimization over
+// the paper's per-step rebuild. The skin must be positive and small
+// enough that the skinned cutoff still fits the cell lattice
+// (skin ≤ r/2 is always safe).
+func NewHybridEngineSkin(model *potential.Model, box geom.Box, skin float64) (*HybridEngine, error) {
+	if !(skin > 0) {
+		return nil, fmt.Errorf("md: skin %g must be positive", skin)
+	}
+	e, err := NewHybridEngine(model, box)
+	if err != nil {
+		return nil, err
+	}
+	skinned := e.pair.Cutoff() + skin
+	lat, err := cell.NewLattice(box, skinned)
+	if err != nil {
+		return nil, fmt.Errorf("md: skinned cutoff: %w", err)
+	}
+	if !lat.MinSpanOK(3) {
+		return nil, fmt.Errorf("md: box too small for skinned cutoff %g", skinned)
+	}
+	e.lat = lat
+	e.bin = cell.NewBinning(lat, nil)
+	e.skin = skin
+	return e, nil
+}
+
+// ListRebuilds returns how many times the Verlet list was rebuilt
+// (always one per Compute when no skin is configured).
+func (e *HybridEngine) ListRebuilds() int64 { return e.rebuilds }
+
+// listIsStale reports whether any atom moved more than skin/2 since
+// the last build.
+func (e *HybridEngine) listIsStale(sys *System) bool {
+	if e.pl == nil || len(e.buildPos) != sys.N() {
+		return true
+	}
+	limit2 := (e.skin / 2) * (e.skin / 2)
+	for i, r := range sys.Pos {
+		if sys.Box.Displacement(e.buildPos[i], r).Norm2() > limit2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Name implements Engine.
+func (e *HybridEngine) Name() string { return "Hybrid-MD" }
+
+// Compute implements Engine.
+func (e *HybridEngine) Compute(sys *System) (float64, error) {
+	if sys.Model != e.model {
+		return 0, fmt.Errorf("md: engine model %q does not match system model %q",
+			e.model.Name, sys.Model.Name)
+	}
+	sys.ZeroForces()
+	e.stats = ComputeStats{TermTuples: make(map[int]int64)}
+
+	var pl *nlist.PairList
+	if e.skin > 0 {
+		if e.listIsStale(sys) {
+			e.bin.Rebin(sys.Pos)
+			fresh, err := nlist.Build(e.bin, sys.Pos, e.pair.Cutoff()+e.skin)
+			if err != nil {
+				return 0, err
+			}
+			e.pl = fresh
+			e.buildPos = append(e.buildPos[:0], sys.Pos...)
+			e.rebuilds++
+			e.stats.SearchCandidates = fresh.BuildStats.Candidates
+			e.stats.PathApplications = fresh.BuildStats.PathApplications
+		} else {
+			e.pl.Refresh(sys.Box, sys.Pos)
+			e.stats.SearchCandidates = int64(e.pl.NumEntries())
+		}
+		pl = e.pl
+	} else {
+		e.bin.Rebin(sys.Pos)
+		fresh, err := nlist.Build(e.bin, sys.Pos, e.pair.Cutoff())
+		if err != nil {
+			return 0, err
+		}
+		pl = fresh
+		e.rebuilds++
+		e.stats.SearchCandidates = fresh.BuildStats.Candidates
+		e.stats.PathApplications = fresh.BuildStats.PathApplications
+	}
+	e.stats.PairListEntries = int64(pl.NumEntries())
+
+	energy := 0.0
+	var sp [3]int32
+	var fb [3]geom.Vec3
+	var pp [2]geom.Vec3
+	pl.VisitPairs(func(i, j int32, disp geom.Vec3, _ float64) {
+		sp[0], sp[1] = sys.Species[i], sys.Species[j]
+		fb[0], fb[1] = geom.Vec3{}, geom.Vec3{}
+		pp[0], pp[1] = sys.Pos[i], sys.Pos[i].Add(disp)
+		energy += e.pair.Eval(sp[:2], pp[:2], fb[:2])
+		sys.Force[i] = sys.Force[i].Add(fb[0])
+		sys.Force[j] = sys.Force[j].Add(fb[1])
+		e.stats.Virial += fb[0].Dot(pp[0]) + fb[1].Dot(pp[1])
+	})
+	e.stats.TuplesEvaluated += int64(pl.NumEntries() / 2)
+	e.stats.TermTuples[2] = int64(pl.NumEntries() / 2)
+
+	if e.triplet != nil {
+		tst := pl.VisitTriplets(sys.Pos, e.triplet.Cutoff(), func(atoms [3]int32, pos [3]geom.Vec3) {
+			sp[0], sp[1], sp[2] = sys.Species[atoms[0]], sys.Species[atoms[1]], sys.Species[atoms[2]]
+			fb[0], fb[1], fb[2] = geom.Vec3{}, geom.Vec3{}, geom.Vec3{}
+			energy += e.triplet.Eval(sp[:3], pos[:3], fb[:3])
+			for k := 0; k < 3; k++ {
+				sys.Force[atoms[k]] = sys.Force[atoms[k]].Add(fb[k])
+				e.stats.Virial += fb[k].Dot(pos[k])
+			}
+		})
+		// The pruning scan and the neighbor-pair expansion are the
+		// triplet search cost of Hybrid-MD.
+		e.stats.SearchCandidates += tst.ShortNeighbors + tst.PairsExamined
+		e.stats.TuplesEvaluated += tst.Emitted
+		e.stats.TermTuples[3] = tst.Emitted
+	}
+	return energy, nil
+}
+
+// Stats implements Engine.
+func (e *HybridEngine) Stats() ComputeStats { return e.stats }

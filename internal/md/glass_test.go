@@ -1,0 +1,81 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/analysis"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// TestMeltQuenchSilicaGlass is the end-to-end physics integration
+// test: melt a silica crystal with a thermostat, quench it, and check
+// that the resulting structure is still silica-like — the Si-O bond
+// survives, silicon stays (near-)tetrahedral, and the O-Si-O angle
+// distribution peaks near 109°. This exercises the full stack
+// (enumeration, Vashishta forces, integrator, thermostat, analysis)
+// over a thousand steps.
+func TestMeltQuenchSilicaGlass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("melt-quench takes ~20 s")
+	}
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(3, 3, 3)
+	cfg.Thermalize(rand.New(rand.NewSource(81)), model, 300)
+	sys, err := NewSystem(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewCellEngine(model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, engine, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Melt at 4000 K…
+	sim.Therm = &Berendsen{Target: 4000, Tau: 40}
+	if err := sim.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Temperature() < 2000 {
+		t.Fatalf("melt failed: T = %.0f K", sys.Temperature())
+	}
+	// …then quench to 300 K.
+	sim.Therm = &Berendsen{Target: 300, Tau: 30}
+	if err := sim.Run(600); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Temperature() > 900 {
+		t.Fatalf("quench failed: T = %.0f K", sys.Temperature())
+	}
+
+	// Structural integrity of the glass.
+	gSiO, err := analysis.RDF(sys.Box, sys.Pos, sys.Species, 0, 1, 5.5, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := gSiO.FirstPeak(); math.Abs(p-1.62) > 0.25 {
+		t.Errorf("Si-O bond peak at %.2f Å, want ≈ 1.6", p)
+	}
+	coord, err := analysis.Coordination(sys.Box, sys.Pos, sys.Species, 0, 1, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord < 3.3 || coord > 4.5 {
+		t.Errorf("Si-O coordination %.2f, want ≈ 4 for a silica glass", coord)
+	}
+	ang, err := analysis.AngleDistribution(sys.Box, sys.Pos, sys.Species, 1, 0, 2.2, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ang.Peak < 85 || ang.Peak > 135 {
+		t.Errorf("O-Si-O angle peak %.0f°, want near tetrahedral", ang.Peak)
+	}
+	t.Logf("glass: Si-O peak %.2f Å, coordination %.2f, O-Si-O peak %.0f°",
+		gSiO.FirstPeak(), coord, ang.Peak)
+}

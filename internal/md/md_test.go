@@ -1,0 +1,364 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/geom"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// silicaSystem builds a small crystalline silica system.
+func silicaSystem(t *testing.T, cells int, tempK float64, seed int64) *System {
+	t.Helper()
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(cells, cells, cells)
+	if tempK > 0 {
+		cfg.Thermalize(rand.New(rand.NewSource(seed)), model, tempK)
+	}
+	sys, err := NewSystem(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func ljSystem(t *testing.T, n int, tempK float64, seed int64) (*System, *potential.Model) {
+	t.Helper()
+	model := potential.NewLJModel(0.0104, 3.4, 8.5, 39.948) // argon
+	rng := rand.New(rand.NewSource(seed))
+	cfg := workload.LJFluid(rng, n, 0.55, 3.4)
+	if tempK > 0 {
+		cfg.Thermalize(rng, model, tempK)
+	}
+	sys, err := NewSystem(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, model
+}
+
+// TestEnginesAgreeOnSilica is the central integration test: the three
+// engines of the paper's §5 benchmark must produce identical energies
+// and forces on the silica workload.
+func TestEnginesAgreeOnSilica(t *testing.T) {
+	sys := silicaSystem(t, 4, 300, 1)
+	model := sys.Model
+
+	sc, err := NewCellEngine(model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewCellEngine(model, sys.Box, FamilyFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := NewHybridEngine(model, sys.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eSC, err := sc.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSC := append([]geom.Vec3(nil), sys.Force...)
+
+	eFS, err := fs.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fFS := append([]geom.Vec3(nil), sys.Force...)
+
+	eHY, err := hy.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fHY := append([]geom.Vec3(nil), sys.Force...)
+
+	if math.Abs(eSC-eFS) > 1e-8*math.Abs(eSC) {
+		t.Errorf("SC energy %.10g != FS energy %.10g", eSC, eFS)
+	}
+	if math.Abs(eSC-eHY) > 1e-8*math.Abs(eSC) {
+		t.Errorf("SC energy %.10g != Hybrid energy %.10g", eSC, eHY)
+	}
+	for i := range fSC {
+		if fSC[i].Sub(fFS[i]).Norm() > 1e-9 {
+			t.Fatalf("atom %d: SC force %v != FS force %v", i, fSC[i], fFS[i])
+		}
+		if fSC[i].Sub(fHY[i]).Norm() > 1e-9 {
+			t.Fatalf("atom %d: SC force %v != Hybrid force %v", i, fSC[i], fHY[i])
+		}
+	}
+
+	// Tuple counts must agree term by term.
+	if sc.Stats().TermTuples[2] != hy.Stats().TermTuples[2] ||
+		sc.Stats().TermTuples[3] != hy.Stats().TermTuples[3] {
+		t.Errorf("tuple counts differ: SC %v, Hybrid %v", sc.Stats().TermTuples, hy.Stats().TermTuples)
+	}
+	// FS must search roughly twice as hard as SC for the same answer.
+	r := float64(fs.Stats().SearchCandidates) / float64(sc.Stats().SearchCandidates)
+	if r < 1.5 || r > 2.3 {
+		t.Errorf("FS/SC search-candidate ratio %g, want ≈ 2", r)
+	}
+}
+
+// TestEnginesAgreeAfterDynamics: agreement must persist after real
+// dynamics moved atoms across cell and boundary lines.
+func TestEnginesAgreeAfterDynamics(t *testing.T) {
+	sys := silicaSystem(t, 3, 600, 2)
+	model := sys.Model
+	sc, err := NewCellEngine(model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, sc, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(25); err != nil {
+		t.Fatal(err)
+	}
+
+	eSC, err := sc.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSC := append([]geom.Vec3(nil), sys.Force...)
+	hy, err := NewHybridEngine(model, sys.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eHY, err := hy.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eSC-eHY) > 1e-8*math.Abs(eSC)+1e-12 {
+		t.Errorf("after dynamics: SC %.10g != Hybrid %.10g", eSC, eHY)
+	}
+	for i := range fSC {
+		if fSC[i].Sub(sys.Force[i]).Norm() > 1e-9 {
+			t.Fatalf("after dynamics: atom %d force mismatch", i)
+		}
+	}
+}
+
+// TestNVEEnergyConservation: a microcanonical run must conserve total
+// energy to high relative accuracy.
+func TestNVEEnergyConservation(t *testing.T) {
+	sys, _ := ljSystem(t, 343, 120, 3)
+	engine, err := NewCellEngine(sys.Model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, engine, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := sim.TotalEnergy()
+	ke0 := sys.KineticEnergy()
+	if err := sim.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	drift := math.Abs(sim.TotalEnergy() - e0)
+	if drift > 0.01*ke0 {
+		t.Errorf("energy drift %g eV over 200 steps (KE₀ = %g eV)", drift, ke0)
+	}
+}
+
+// TestNVEEnergyConservationSilica: the stiff many-body silica model
+// with a smaller time step.
+func TestNVEEnergyConservationSilica(t *testing.T) {
+	sys := silicaSystem(t, 3, 300, 4)
+	engine, err := NewCellEngine(sys.Model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, engine, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := sim.TotalEnergy()
+	ke0 := sys.KineticEnergy()
+	if err := sim.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	drift := math.Abs(sim.TotalEnergy() - e0)
+	if drift > 0.02*ke0 {
+		t.Errorf("silica energy drift %g eV over 100 steps (KE₀ = %g eV)", drift, ke0)
+	}
+}
+
+// TestMomentumConservation: Newton's third law at system level.
+func TestMomentumConservation(t *testing.T) {
+	sys := silicaSystem(t, 3, 400, 5)
+	engine, err := NewCellEngine(sys.Model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, engine, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := sys.Momentum()
+	if err := sim.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if drift := sys.Momentum().Sub(p0).Norm(); drift > 1e-9 {
+		t.Errorf("momentum drift %g", drift)
+	}
+	// Net force must vanish.
+	var f geom.Vec3
+	for _, fi := range sys.Force {
+		f = f.Add(fi)
+	}
+	if f.Norm() > 1e-9 {
+		t.Errorf("net force %v", f)
+	}
+}
+
+// TestBerendsenThermostat drives the system toward the target
+// temperature.
+func TestBerendsenThermostat(t *testing.T) {
+	sys, _ := ljSystem(t, 343, 40, 6)
+	engine, err := NewCellEngine(sys.Model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, engine, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Therm = &Berendsen{Target: 120, Tau: 50}
+	if err := sim.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	if tK := sys.Temperature(); math.Abs(tK-120) > 30 {
+		t.Errorf("temperature %g K after thermostatting to 120 K", tK)
+	}
+}
+
+// TestTorsionModelRuns: an n = 4 model must integrate stably through
+// the SC(4) pattern.
+func TestTorsionModelRuns(t *testing.T) {
+	// Small σ and a low density keep the SC(4) enumeration (9855
+	// paths) affordable in a unit test.
+	model := potential.NewTorsionModel(0.05, 1.8, 0.02, 1.0, 2.5, 12.0)
+	rng := rand.New(rand.NewSource(7))
+	cfg := workload.LJFluid(rng, 200, 0.2, 1.0)
+	cfg.Thermalize(rng, model, 60)
+	sys, err := NewSystem(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewCellEngine(model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, engine, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := sim.TotalEnergy()
+	if err := sim.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(sim.TotalEnergy()) {
+		t.Fatal("NaN energy")
+	}
+	if drift := math.Abs(sim.TotalEnergy() - e0); drift > 0.05*math.Abs(e0)+0.5 {
+		t.Errorf("torsion model energy drift %g (E₀ = %g)", drift, e0)
+	}
+}
+
+// TestHybridEngineRestrictions: shape validation.
+func TestHybridEngineRestrictions(t *testing.T) {
+	box := geom.NewCubicBox(30)
+	tor := potential.NewTorsionModel(0.05, 2.0, 1.0, 1.0, 2.5, 12)
+	if _, err := NewHybridEngine(tor, box); err == nil {
+		t.Error("hybrid engine accepted an n=4 model")
+	}
+	if _, err := NewHybridEngine(potential.NewSilicaModel(), box); err != nil {
+		t.Errorf("hybrid engine rejected silica: %v", err)
+	}
+}
+
+// TestNewSystemValidation.
+func TestNewSystemValidation(t *testing.T) {
+	model := potential.NewLJModel(1, 1, 2.5, 1)
+	cfg := &workload.Config{
+		Box:     geom.NewCubicBox(10),
+		Pos:     []geom.Vec3{geom.V(1, 1, 1)},
+		Species: []int32{5}, // out of range
+		Vel:     []geom.Vec3{{}},
+	}
+	if _, err := NewSystem(cfg, model); err == nil {
+		t.Error("out-of-range species accepted")
+	}
+}
+
+// TestKineticTemperature: Maxwell-Boltzmann initialization lands near
+// the requested temperature for a reasonably large system.
+func TestKineticTemperature(t *testing.T) {
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(3, 3, 3)
+	cfg.Thermalize(rand.New(rand.NewSource(8)), model, 500)
+	sys, err := NewSystem(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tK := sys.Temperature(); math.Abs(tK-500) > 50 {
+		t.Errorf("initialized temperature %g K, want ≈ 500", tK)
+	}
+	if p := sys.Momentum().Norm(); p > 1e-9 {
+		t.Errorf("net momentum %g after thermalization", p)
+	}
+}
+
+// TestSimValidation.
+func TestSimValidation(t *testing.T) {
+	sys, _ := ljSystem(t, 343, 0, 9)
+	engine, _ := NewCellEngine(sys.Model, sys.Box, FamilySC)
+	if _, err := NewSim(sys, engine, 0); err == nil {
+		t.Error("zero time step accepted")
+	}
+	if _, err := NewSim(sys, engine, -1); err == nil {
+		t.Error("negative time step accepted")
+	}
+}
+
+// TestEngineModelMismatch.
+func TestEngineModelMismatch(t *testing.T) {
+	sys, _ := ljSystem(t, 343, 0, 10)
+	other := potential.NewLJModel(1, 1, 2.5, 1)
+	engine, err := NewCellEngine(other, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Compute(sys); err == nil {
+		t.Error("model mismatch accepted")
+	}
+}
+
+// TestCumulativeStatsGrow.
+func TestCumulativeStatsGrow(t *testing.T) {
+	sys, _ := ljSystem(t, 343, 60, 11)
+	engine, err := NewCellEngine(sys.Model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, engine, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := sim.CumulativeStats()
+	if err := sim.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	s1 := sim.CumulativeStats()
+	if s1.SearchCandidates <= s0.SearchCandidates || s1.TuplesEvaluated <= s0.TuplesEvaluated {
+		t.Error("cumulative stats did not grow")
+	}
+}

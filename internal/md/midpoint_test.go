@@ -1,0 +1,111 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"sctuple/internal/geom"
+	"sctuple/internal/potential"
+)
+
+// TestMidpointEngineMatchesStandard: the §6 midpoint mode (cells of
+// cutoff/k, radius-k SC patterns) must produce identical energies and
+// forces to the standard engine.
+func TestMidpointEngineMatchesStandard(t *testing.T) {
+	sys := silicaSystem(t, 3, 300, 61)
+	std, err := NewCellEngine(sys.Model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPE, err := std.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := append([]geom.Vec3(nil), sys.Force...)
+	wantStats := std.Stats()
+
+	mid, err := NewCellEngineRadius(sys.Model, sys.Box, FamilySC, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := mid.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pe-wantPE) > 1e-9*math.Abs(wantPE) {
+		t.Errorf("midpoint PE %.12g, standard %.12g", pe, wantPE)
+	}
+	for i := range wantF {
+		if d := sys.Force[i].Sub(wantF[i]).Norm(); d > 1e-9 {
+			t.Fatalf("atom %d force differs by %g", i, d)
+		}
+	}
+	// Same physics, fewer distance rejections per tuple.
+	st := mid.Stats()
+	if st.TuplesEvaluated != wantStats.TuplesEvaluated {
+		t.Errorf("tuple counts differ: midpoint %d, standard %d",
+			st.TuplesEvaluated, wantStats.TuplesEvaluated)
+	}
+	coarse := float64(wantStats.SearchCandidates) / float64(wantStats.TuplesEvaluated)
+	fine := float64(st.SearchCandidates) / float64(st.TuplesEvaluated)
+	if !(fine < coarse) {
+		t.Errorf("midpoint not tighter: %.2f vs %.2f candidates/tuple", fine, coarse)
+	}
+	t.Logf("candidates per tuple: k=1 %.2f, k=2 %.2f", coarse, fine)
+}
+
+// TestMidpointEngineK1EqualsStandard: k = 1 is exactly the standard
+// construction.
+func TestMidpointEngineK1EqualsStandard(t *testing.T) {
+	sys := silicaSystem(t, 3, 0, 62)
+	std, err := NewCellEngine(sys.Model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := NewCellEngineRadius(sys.Model, sys.Box, FamilySC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peStd, _ := std.Compute(sys)
+	stStd := std.Stats()
+	peMid, _ := mid.Compute(sys)
+	stMid := mid.Stats()
+	if peStd != peMid || stStd.SearchCandidates != stMid.SearchCandidates {
+		t.Errorf("k=1 differs from standard: PE %v/%v candidates %d/%d",
+			peStd, peMid, stStd.SearchCandidates, stMid.SearchCandidates)
+	}
+}
+
+// TestMidpointEngineDynamics: a short NVE run through the midpoint
+// engine conserves energy.
+func TestMidpointEngineDynamics(t *testing.T) {
+	// A 2×2×2 crystal is too small for the standard 5.5 Å pair lattice
+	// but fine for the k = 2 midpoint lattice — itself a point of the
+	// §6 generalization (finer cells relax the box-size floor).
+	sys := silicaSystem(t, 2, 300, 63)
+	mid, err := NewCellEngineRadius(sys.Model, sys.Box, FamilySC, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(sys, mid, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := sim.TotalEnergy()
+	ke0 := sys.KineticEnergy()
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if drift := math.Abs(sim.TotalEnergy() - e0); drift > 0.02*ke0 {
+		t.Errorf("energy drift %g eV", drift)
+	}
+}
+
+// TestMidpointEngineValidation.
+func TestMidpointEngineValidation(t *testing.T) {
+	model := potential.NewSilicaModel()
+	box := geom.NewCubicBox(30)
+	if _, err := NewCellEngineRadius(model, box, FamilySC, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"sctuple/internal/geom"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// TestSkinnedHybridMatchesPlain: the skinned engine must produce the
+// same energies and forces as the per-step-rebuild engine at every
+// step of a trajectory, while rebuilding its list far less often.
+func TestSkinnedHybridMatchesPlain(t *testing.T) {
+	sysA := silicaSystem(t, 3, 600, 41)
+	sysB := silicaSystem(t, 3, 600, 41) // identical twin
+
+	plain, err := NewHybridEngine(sysA.Model, sysA.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skinned, err := NewHybridEngineSkin(sysB.Model, sysB.Box, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simA, err := NewSim(sysA, plain, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := NewSim(sysB, skinned, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const steps = 30
+	for s := 0; s < steps; s++ {
+		if err := simA.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := simB.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(simA.PotentialEnergy() - simB.PotentialEnergy()); d > 1e-8 {
+			t.Fatalf("step %d: PE differs by %g", s, d)
+		}
+	}
+	for i := range sysA.Force {
+		if d := sysA.Force[i].Sub(sysB.Force[i]).Norm(); d > 1e-8 {
+			t.Fatalf("atom %d: force differs by %g", i, d)
+		}
+	}
+	if skinned.ListRebuilds() >= steps {
+		t.Errorf("skinned engine rebuilt %d times over %d steps — no reuse", skinned.ListRebuilds(), steps)
+	}
+	if plain.ListRebuilds() != steps+1 {
+		t.Errorf("plain engine rebuilt %d times, want %d", plain.ListRebuilds(), steps+1)
+	}
+	t.Logf("skinned rebuilds: %d / %d force evaluations", skinned.ListRebuilds(), steps+1)
+}
+
+// TestSkinnedHybridWrapsCorrectly: refreshes must stay exact when
+// atoms wrap across the periodic boundary between rebuilds.
+func TestSkinnedHybridWrapsCorrectly(t *testing.T) {
+	model := potential.NewLJModel(0.0104, 3.4, 8.5, 39.948)
+	// Two atoms straddling the boundary, one drifting across it.
+	cfg := ljConfigTwoAtoms(t, model)
+	sys, err := NewSystem(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skinned, err := NewHybridEngineSkin(model, sys.Box, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe0, err := skinned.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move atom 0 across the boundary by a tiny wrap-inducing amount
+	// (< skin/2 so the list is reused) and verify against a fresh
+	// engine.
+	sys.Pos[0] = sys.Box.Wrap(sys.Pos[0].Add(geom.V(0.3, 0, 0)))
+	peSkin, err := skinned.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skinned.ListRebuilds() != 1 {
+		t.Fatalf("list rebuilt %d times; wrap test needs reuse", skinned.ListRebuilds())
+	}
+	fresh, err := NewHybridEngine(model, sys.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peFresh, err := fresh.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(peSkin-peFresh) > 1e-12 {
+		t.Errorf("skinned PE %g != fresh PE %g after boundary wrap (pe0 %g)", peSkin, peFresh, pe0)
+	}
+}
+
+// ljConfigTwoAtoms builds a two-atom configuration near the periodic
+// boundary of a box comfortably larger than the skinned cutoff.
+func ljConfigTwoAtoms(t *testing.T, _ *potential.Model) *workload.Config {
+	t.Helper()
+	return &workload.Config{
+		Box:     geom.NewCubicBox(30),
+		Pos:     []geom.Vec3{geom.V(29.8, 15, 15), geom.V(3.0, 15, 15)},
+		Species: []int32{0, 0},
+		Vel:     make([]geom.Vec3, 2),
+	}
+}
+
+// TestSkinValidation.
+func TestSkinValidation(t *testing.T) {
+	model := potential.NewSilicaModel()
+	box := geom.NewCubicBox(30)
+	if _, err := NewHybridEngineSkin(model, box, 0); err == nil {
+		t.Error("zero skin accepted")
+	}
+	if _, err := NewHybridEngineSkin(model, box, -1); err == nil {
+		t.Error("negative skin accepted")
+	}
+	// Skinned cutoff 5.5+6 = 11.5 does not fit 3 cells in a 30 Å box.
+	if _, err := NewHybridEngineSkin(model, box, 6); err == nil {
+		t.Error("oversized skin accepted")
+	}
+}

@@ -1,0 +1,167 @@
+// Package md implements the serial molecular-dynamics engine: the
+// simulation state, velocity-Verlet integration of Eq. 1, and the
+// force engines that realize the paper's three codes —
+//
+//   - SC engine: cell-based n-tuple search with the shift-collapse
+//     pattern (the paper's SC-MD),
+//   - FS engine: the same search with the uncollapsed full-shell
+//     pattern (FS-MD),
+//   - Hybrid engine: a full-shell pair search building a Verlet
+//     neighbor list, with triplets pruned from the list (Hybrid-MD).
+//
+// All three engines produce identical forces; they differ in search
+// cost and (in parallel, package parmd) in import volume — the paper's
+// central trade-off.
+//
+// Units: Å, fs, eV, amu. The conversion constant ForceToAccel maps
+// eV/Å/amu to Å/fs².
+package md
+
+import (
+	"fmt"
+
+	"sctuple/internal/geom"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// Physical constants.
+const (
+	// ForceToAccel converts force/mass (eV/Å/amu) to acceleration (Å/fs²).
+	ForceToAccel = 9.648533212e-3
+	// KB is Boltzmann's constant in eV/K.
+	KB = 8.617333262e-5
+)
+
+// System is the mutable simulation state.
+type System struct {
+	Box     geom.Box
+	Pos     []geom.Vec3
+	Vel     []geom.Vec3
+	Force   []geom.Vec3
+	Species []int32
+	Model   *potential.Model
+
+	mass []float64 // per-atom mass cache
+}
+
+// NewSystem builds a System from a workload configuration and a model.
+func NewSystem(cfg *workload.Config, model *potential.Model) (*System, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ns := int32(len(model.Species))
+	for i, s := range cfg.Species {
+		if s < 0 || s >= ns {
+			return nil, fmt.Errorf("md: atom %d species %d out of range for model %q", i, s, model.Name)
+		}
+	}
+	sys := &System{
+		Box:     cfg.Box,
+		Pos:     append([]geom.Vec3(nil), cfg.Pos...),
+		Vel:     append([]geom.Vec3(nil), cfg.Vel...),
+		Force:   make([]geom.Vec3, len(cfg.Pos)),
+		Species: append([]int32(nil), cfg.Species...),
+		Model:   model,
+	}
+	sys.mass = make([]float64, len(sys.Pos))
+	for i, s := range sys.Species {
+		sys.mass[i] = model.Species[s].Mass
+	}
+	return sys, nil
+}
+
+// N returns the number of atoms.
+func (s *System) N() int { return len(s.Pos) }
+
+// Mass returns the mass of atom i.
+func (s *System) Mass(i int) float64 { return s.mass[i] }
+
+// KineticEnergy returns Σ ½mv² in eV.
+func (s *System) KineticEnergy() float64 {
+	ke := 0.0
+	for i, v := range s.Vel {
+		ke += 0.5 * s.mass[i] * v.Norm2()
+	}
+	return ke / ForceToAccel
+}
+
+// Temperature returns the instantaneous kinetic temperature in K.
+func (s *System) Temperature() float64 {
+	if len(s.Pos) == 0 {
+		return 0
+	}
+	return 2 * s.KineticEnergy() / (3 * float64(len(s.Pos)) * KB)
+}
+
+// Momentum returns the total momentum Σmv (amu·Å/fs).
+func (s *System) Momentum() geom.Vec3 {
+	var p geom.Vec3
+	for i, v := range s.Vel {
+		p = p.Add(v.Scale(s.mass[i]))
+	}
+	return p
+}
+
+// ZeroForces clears the force array.
+func (s *System) ZeroForces() {
+	for i := range s.Force {
+		s.Force[i] = geom.Vec3{}
+	}
+}
+
+// ComputeStats aggregates the per-step operation counts of a force
+// engine — the quantities the paper's cost model (Eq. 12, 31) and the
+// performance model of package perfmodel are built on.
+type ComputeStats struct {
+	SearchCandidates int64 // partial chains examined (Eq. 12 search cost)
+	PathApplications int64 // (cell, path) combinations processed
+	TuplesEvaluated  int64 // tuples passed to potential terms
+	PairListEntries  int64 // Verlet-list entries (Hybrid engine only)
+	TermTuples       map[int]int64
+	// Virial is W = Σ_tuples Σ_k f_k·r_k (eV), accumulated with the
+	// image-resolved tuple positions so periodic wrapping never
+	// corrupts it. The instantaneous pressure is (2·KE + W)/(3V).
+	Virial float64
+}
+
+// Add accumulates other into s.
+func (cs *ComputeStats) Add(other ComputeStats) {
+	cs.SearchCandidates += other.SearchCandidates
+	cs.PathApplications += other.PathApplications
+	cs.TuplesEvaluated += other.TuplesEvaluated
+	cs.PairListEntries += other.PairListEntries
+	cs.Virial += other.Virial
+	if other.TermTuples != nil {
+		if cs.TermTuples == nil {
+			cs.TermTuples = make(map[int]int64)
+		}
+		for n, c := range other.TermTuples {
+			cs.TermTuples[n] += c
+		}
+	}
+}
+
+// Pressure returns the instantaneous pressure of the system given the
+// virial W from the last force evaluation: P = (2·KE + W)/(3V), in
+// eV/Å³ (multiply by 160.2176 for GPa).
+func (s *System) Pressure(virial float64) float64 {
+	return (2*s.KineticEnergy() + virial) / (3 * s.Box.Volume())
+}
+
+// EVPerCubicAngstromToGPa converts pressure units.
+const EVPerCubicAngstromToGPa = 160.2176621
+
+// Engine computes forces and potential energy for a System.
+type Engine interface {
+	// Name identifies the engine in benchmark output.
+	Name() string
+	// Compute fills sys.Force with the current forces and returns the
+	// potential energy.
+	Compute(sys *System) (float64, error)
+	// Stats returns the operation counts of the last Compute call.
+	Stats() ComputeStats
+}

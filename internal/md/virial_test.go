@@ -1,0 +1,149 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// TestVirialConsistentAcrossEngines: all engines must report the same
+// virial, since it is a pure function of the force set.
+func TestVirialConsistentAcrossEngines(t *testing.T) {
+	sys := silicaSystem(t, 4, 300, 71)
+	model := sys.Model
+	var virials []float64
+	sc, err := NewCellEngine(model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := NewHybridEngine(model, sys.Box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := NewConcurrentCellEngine(model, sys.Box, FamilySC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []Engine{sc, hy, conc} {
+		if _, err := e.Compute(sys); err != nil {
+			t.Fatal(err)
+		}
+		virials = append(virials, e.Stats().Virial)
+	}
+	for i := 1; i < len(virials); i++ {
+		if math.Abs(virials[i]-virials[0]) > 1e-7*(1+math.Abs(virials[0])) {
+			t.Errorf("virial %d = %.10g differs from %.10g", i, virials[i], virials[0])
+		}
+	}
+}
+
+// TestVirialMatchesVolumeDerivative: the virial theorem identity
+// W = -3V·dU/dV, checked by uniformly rescaling an LJ fluid.
+func TestVirialMatchesVolumeDerivative(t *testing.T) {
+	model := potential.NewLJModel(0.0104, 3.4, 8.5, 39.948)
+	rng := rand.New(rand.NewSource(72))
+	cfg := workload.LJFluid(rng, 343, 0.7, 3.4)
+	sys, err := NewSystem(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewCellEngine(model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Compute(sys); err != nil {
+		t.Fatal(err)
+	}
+	virial := engine.Stats().Virial
+
+	// Numerical dU/dV by symmetric scaling of box and positions. The
+	// scaled engine needs its own lattice over the scaled box.
+	eps := 1e-5
+	up, err := scaledEnergy(cfg, model, 1+eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := scaledEnergy(cfg, model, 1-eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := cfg.Box.Volume()
+	dUdV := (up - dn) / (v0 * (math.Pow(1+eps, 3) - math.Pow(1-eps, 3)))
+	want := -3 * v0 * dUdV
+	if math.Abs(virial-want) > 1e-2*(1+math.Abs(want)) {
+		t.Errorf("virial %.6g, -3V·dU/dV = %.6g", virial, want)
+	}
+}
+
+// scaledEnergy returns the potential energy of the configuration with
+// box and positions uniformly scaled.
+func scaledEnergy(cfg *workload.Config, model *potential.Model, s float64) (float64, error) {
+	scaled := &workload.Config{
+		Box:     cfg.Box,
+		Species: cfg.Species,
+		Vel:     cfg.Vel,
+	}
+	scaled.Box.L = cfg.Box.L.Scale(s)
+	for _, r := range cfg.Pos {
+		scaled.Pos = append(scaled.Pos, r.Scale(s))
+	}
+	sys, err := NewSystem(scaled, model)
+	if err != nil {
+		return 0, err
+	}
+	engine, err := NewCellEngine(model, sys.Box, FamilySC)
+	if err != nil {
+		return 0, err
+	}
+	return engine.Compute(sys)
+}
+
+// TestPressureIdealGasLimit: with no interactions in range, pressure
+// reduces to N·kB·T/V.
+func TestPressureIdealGasLimit(t *testing.T) {
+	model := potential.NewLJModel(0.0104, 3.4, 8.5, 39.948)
+	rng := rand.New(rand.NewSource(73))
+	// Extremely dilute: no pair within the cutoff.
+	cfg := workload.LJFluid(rng, 64, 0.001, 3.4)
+	cfg.Thermalize(rng, model, 200)
+	sys, err := NewSystem(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewCellEngine(model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Compute(sys); err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Pressure(engine.Stats().Virial)
+	ideal := float64(sys.N()) * KB * sys.Temperature() / sys.Box.Volume()
+	if math.Abs(p-ideal) > 1e-9 {
+		t.Errorf("dilute pressure %g, ideal-gas %g", p, ideal)
+	}
+}
+
+// TestPressureCompressedLJIsPositive: a dense cold LJ fluid pushes out.
+func TestPressureCompressedLJIsPositive(t *testing.T) {
+	model := potential.NewLJModel(0.0104, 3.4, 8.5, 39.948)
+	rng := rand.New(rand.NewSource(74))
+	cfg := workload.LJFluid(rng, 729, 1.1, 3.4) // well above liquid density
+	sys, err := NewSystem(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewCellEngine(model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Compute(sys); err != nil {
+		t.Fatal(err)
+	}
+	if p := sys.Pressure(engine.Stats().Virial); p <= 0 {
+		t.Errorf("compressed LJ pressure %g, want > 0", p)
+	}
+}

@@ -1,0 +1,166 @@
+// Package nlist implements the Verlet neighbor list used by the
+// Hybrid-MD baseline of the paper (§5): a dynamic pair list built
+// every step from the full-shell cell pattern, from which shorter-
+// range triplets are pruned directly — avoiding a second cell search
+// at the triplet cutoff, at the price of full-shell import volume.
+package nlist
+
+import (
+	"fmt"
+
+	"sctuple/internal/cell"
+	"sctuple/internal/core"
+	"sctuple/internal/geom"
+	"sctuple/internal/tuple"
+)
+
+// PairList is a full (both-directions) neighbor list in CSR layout:
+// the neighbors of atom i are Nbr[Start[i]:Start[i+1]], with
+// image-resolved displacement vectors from i to each neighbor and the
+// corresponding distances stored alongside.
+type PairList struct {
+	Cutoff float64
+	Start  []int32
+	Nbr    []int32
+	Disp   []geom.Vec3
+	Dist   []float64
+
+	// BuildStats holds the enumeration counters of the cell-based
+	// pair search that produced the list.
+	BuildStats tuple.Stats
+}
+
+// Build constructs the pair list for all atoms within cutoff, using a
+// full-shell cell search (Ψ(2)FS with canonical dedup) exactly as
+// Hybrid-MD does. The list is symmetric: (i→j) and (j→i) both appear.
+func Build(bin *cell.Binning, positions []geom.Vec3, cutoff float64) (*PairList, error) {
+	e, err := tuple.NewEnumerator(bin, core.FS(2), cutoff, tuple.DedupCanonical)
+	if err != nil {
+		return nil, fmt.Errorf("nlist: %w", err)
+	}
+	n := len(positions)
+	pl := &PairList{Cutoff: cutoff, Start: make([]int32, n+1)}
+
+	type half struct {
+		i, j int32
+		d    geom.Vec3
+	}
+	var pairs []half
+	st := e.Visit(positions, func(atoms []int32, pos []geom.Vec3) {
+		pairs = append(pairs, half{atoms[0], atoms[1], pos[1].Sub(pos[0])})
+	})
+	pl.BuildStats = st
+
+	// Count degrees, prefix-sum, fill both directions.
+	for _, p := range pairs {
+		pl.Start[p.i+1]++
+		pl.Start[p.j+1]++
+	}
+	for i := 0; i < n; i++ {
+		pl.Start[i+1] += pl.Start[i]
+	}
+	total := int(pl.Start[n])
+	pl.Nbr = make([]int32, total)
+	pl.Disp = make([]geom.Vec3, total)
+	pl.Dist = make([]float64, total)
+	fill := make([]int32, n)
+	put := func(i, j int32, d geom.Vec3) {
+		k := pl.Start[i] + fill[i]
+		pl.Nbr[k] = j
+		pl.Disp[k] = d
+		pl.Dist[k] = d.Norm()
+		fill[i]++
+	}
+	for _, p := range pairs {
+		put(p.i, p.j, p.d)
+		put(p.j, p.i, p.d.Neg())
+	}
+	return pl, nil
+}
+
+// Refresh recomputes every entry's displacement and distance from the
+// current (possibly re-wrapped) positions under the minimum-image
+// convention. This is the Verlet-skin reuse path: a list built with
+// cutoff r+skin stays valid while no atom has moved more than skin/2
+// since the build, and refreshing costs O(entries) instead of a full
+// cell search. Minimum-image resolution requires every box side to
+// exceed 2·(r+skin), which the Build lattice (≥ 3 cells of side ≥
+// cutoff) already guarantees.
+func (pl *PairList) Refresh(box geom.Box, positions []geom.Vec3) {
+	n := len(pl.Start) - 1
+	for i := 0; i < n; i++ {
+		ri := positions[i]
+		for k := pl.Start[i]; k < pl.Start[i+1]; k++ {
+			d := box.MinImage(positions[pl.Nbr[k]].Sub(ri))
+			pl.Disp[k] = d
+			pl.Dist[k] = d.Norm()
+		}
+	}
+}
+
+// Degree returns the number of neighbors of atom i.
+func (pl *PairList) Degree(i int32) int {
+	return int(pl.Start[i+1] - pl.Start[i])
+}
+
+// NumEntries returns the total number of directed neighbor entries
+// (twice the number of pairs).
+func (pl *PairList) NumEntries() int { return len(pl.Nbr) }
+
+// VisitPairs calls fn once per undirected pair (i < j) with the
+// displacement from i to j.
+func (pl *PairList) VisitPairs(fn func(i, j int32, disp geom.Vec3, dist float64)) {
+	n := len(pl.Start) - 1
+	for i := 0; i < n; i++ {
+		for k := pl.Start[i]; k < pl.Start[i+1]; k++ {
+			j := pl.Nbr[k]
+			if int32(i) < j {
+				fn(int32(i), j, pl.Disp[k], pl.Dist[k])
+			}
+		}
+	}
+}
+
+// TripletStats counts the pruning work of VisitTriplets.
+type TripletStats struct {
+	ShortNeighbors int64 // list entries examined against the triplet cutoff
+	PairsExamined  int64 // neighbor pairs considered around a center
+	Emitted        int64 // triplets delivered
+}
+
+// VisitTriplets prunes triplets (i, j, k) with central atom j from the
+// pair list: both links within rcut3 ≤ Cutoff, each undirected triplet
+// visited once (neighbor order in the list with i-entry before
+// k-entry). fn receives the chain positions (center at its primary
+// position, ends displaced by the stored image-resolved
+// displacements) in the same layout the tuple enumerator uses, so the
+// same potential terms apply.
+func (pl *PairList) VisitTriplets(positions []geom.Vec3, rcut3 float64,
+	fn func(atoms [3]int32, pos [3]geom.Vec3)) TripletStats {
+
+	var st TripletStats
+	n := len(pl.Start) - 1
+	short := make([]int32, 0, 64) // indices into the CSR arrays
+	for j := 0; j < n; j++ {
+		short = short[:0]
+		for k := pl.Start[j]; k < pl.Start[j+1]; k++ {
+			st.ShortNeighbors++
+			if pl.Dist[k] < rcut3 {
+				short = append(short, k)
+			}
+		}
+		center := positions[j]
+		for a := 0; a < len(short); a++ {
+			for b := a + 1; b < len(short); b++ {
+				st.PairsExamined++
+				ka, kb := short[a], short[b]
+				st.Emitted++
+				fn(
+					[3]int32{pl.Nbr[ka], int32(j), pl.Nbr[kb]},
+					[3]geom.Vec3{center.Add(pl.Disp[ka]), center, center.Add(pl.Disp[kb])},
+				)
+			}
+		}
+	}
+	return st
+}

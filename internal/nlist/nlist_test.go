@@ -1,0 +1,151 @@
+package nlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/cell"
+	"sctuple/internal/geom"
+	"sctuple/internal/tuple"
+)
+
+func buildSystem(t *testing.T, seed int64, n int, side float64, dims geom.IVec3) (geom.Box, []geom.Vec3, *cell.Binning) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	box := geom.NewCubicBox(side)
+	pos := make([]geom.Vec3, n)
+	for i := range pos {
+		pos[i] = geom.V(rng.Float64()*side, rng.Float64()*side, rng.Float64()*side)
+	}
+	lat, err := cell.NewLatticeDims(box, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return box, pos, cell.NewBinning(lat, pos)
+}
+
+func TestPairListMatchesBruteForce(t *testing.T) {
+	box, pos, bin := buildSystem(t, 1, 200, 9, geom.IV(4, 4, 4))
+	cutoff := 2.0
+	pl, err := Build(bin, pos, cutoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]int32
+	pl.VisitPairs(func(i, j int32, _ geom.Vec3, _ float64) {
+		got = append(got, []int32{i, j})
+	})
+	want := tuple.BruteForce(box, pos, 2, cutoff)
+	if len(got) != len(want) {
+		t.Fatalf("pair list has %d pairs, brute force %d", len(got), len(want))
+	}
+	seen := make(map[[2]int32]bool)
+	for _, p := range got {
+		seen[[2]int32{p[0], p[1]}] = true
+	}
+	for _, w := range want {
+		if !seen[[2]int32{w[0], w[1]}] {
+			t.Fatalf("pair (%d,%d) missing from list", w[0], w[1])
+		}
+	}
+}
+
+func TestPairListSymmetry(t *testing.T) {
+	_, pos, bin := buildSystem(t, 2, 150, 9, geom.IV(4, 4, 4))
+	pl, err := Build(bin, pos, 2.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every (i→j) entry must have a matching (j→i) with negated
+	// displacement.
+	type key struct{ i, j int32 }
+	entries := make(map[key]geom.Vec3)
+	n := len(pl.Start) - 1
+	for i := 0; i < n; i++ {
+		for k := pl.Start[i]; k < pl.Start[i+1]; k++ {
+			entries[key{int32(i), pl.Nbr[k]}] = pl.Disp[k]
+		}
+	}
+	for kk, d := range entries {
+		rev, ok := entries[key{kk.j, kk.i}]
+		if !ok {
+			t.Fatalf("entry %v has no reverse", kk)
+		}
+		if rev.Add(d).Norm() > 1e-12 {
+			t.Fatalf("entry %v displacement not antisymmetric", kk)
+		}
+	}
+	if pl.NumEntries() != len(entries) {
+		t.Fatalf("NumEntries %d != %d", pl.NumEntries(), len(entries))
+	}
+}
+
+func TestTripletsMatchBruteForce(t *testing.T) {
+	box, pos, bin := buildSystem(t, 3, 120, 9, geom.IV(4, 4, 4))
+	rcut2, rcut3 := 2.2, 1.4
+	pl, err := Build(bin, pos, rcut2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]int32
+	pl.VisitTriplets(pos, rcut3, func(atoms [3]int32, _ [3]geom.Vec3) {
+		c := []int32{atoms[0], atoms[1], atoms[2]}
+		if c[0] > c[2] {
+			c[0], c[2] = c[2], c[0]
+		}
+		got = append(got, c)
+	})
+	want := tuple.BruteForce(box, pos, 3, rcut3)
+	if len(got) != len(want) {
+		t.Fatalf("pruned %d triplets, brute force %d", len(got), len(want))
+	}
+	seen := make(map[[3]int32]int)
+	for _, g := range got {
+		seen[[3]int32{g[0], g[1], g[2]}]++
+	}
+	for _, w := range want {
+		k := [3]int32{w[0], w[1], w[2]}
+		if seen[k] != 1 {
+			t.Fatalf("triplet %v seen %d times", k, seen[k])
+		}
+	}
+}
+
+func TestTripletPositionsImageResolved(t *testing.T) {
+	_, pos, bin := buildSystem(t, 4, 150, 9, geom.IV(4, 4, 4))
+	pl, err := Build(bin, pos, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.VisitTriplets(pos, 1.5, func(atoms [3]int32, p [3]geom.Vec3) {
+		if p[0].Sub(p[1]).Norm() >= 1.5 || p[2].Sub(p[1]).Norm() >= 1.5 {
+			t.Fatalf("triplet %v link exceeds cutoff", atoms)
+		}
+	})
+}
+
+func TestDegreeConsistency(t *testing.T) {
+	_, pos, bin := buildSystem(t, 5, 100, 9, geom.IV(4, 4, 4))
+	pl, err := Build(bin, pos, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := int32(0); i < 100; i++ {
+		total += pl.Degree(i)
+	}
+	if total != pl.NumEntries() {
+		t.Fatalf("degree sum %d != entries %d", total, pl.NumEntries())
+	}
+}
+
+func TestBuildStatsPopulated(t *testing.T) {
+	_, pos, bin := buildSystem(t, 6, 100, 9, geom.IV(4, 4, 4))
+	pl, err := Build(bin, pos, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.BuildStats.Candidates == 0 || pl.BuildStats.Cells != 64 {
+		t.Errorf("build stats %v", pl.BuildStats)
+	}
+}

@@ -1,0 +1,156 @@
+package parmd
+
+import (
+	"fmt"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+)
+
+// importHalo runs the staged halo exchange. Per axis there is one
+// transfer for SC-MD (receive the upper-corner slab from the +axis
+// neighbor — 7 effective source ranks reached in 3 communication
+// steps via forwarded routing, §4.2) and two for FS-/Hybrid-MD
+// (both directions — 26 effective sources in 6 steps). Because each
+// phase's slab selection includes halo atoms received in earlier
+// phases, edge and corner data are forwarded automatically.
+//
+// The wire format per atom is (id, species, extended-lattice cell in
+// the receiver's frame, local position in the receiver's frame); the
+// sender performs the frame shift, including the periodic image
+// correction when the transfer crosses the global boundary.
+func (r *rankState) importHalo() {
+	for axis := 0; axis < 3; axis++ {
+		// d = -1: my bottom slab fills the -axis neighbor's upper
+		// margin (the SC direction). d = +1: my top slab fills the
+		// +axis neighbor's lower margin (full-shell only).
+		if r.mHi > 0 {
+			r.haloPhaseExchange(axis, -1)
+		}
+		if r.mLo > 0 {
+			r.haloPhaseExchange(axis, +1)
+		}
+	}
+}
+
+// haloPhaseExchange sends this rank's slab toward direction d on one
+// axis and receives the symmetric slab from the opposite neighbor.
+func (r *rankState) haloPhaseExchange(axis, d int) {
+	cart := r.dec.Cart
+	sendPeer := cart.AxisNeighbor(r.p.Rank(), axis, d)
+	recvPeer := cart.AxisNeighbor(r.p.Rank(), axis, -d)
+	tag := tagHalo + axis*2 + (d+1)/2
+
+	// Slab selection in extended-cell coordinates along the axis:
+	// sending toward -axis means my low owned cells (thickness mHi,
+	// they become the receiver's upper margin); toward +axis my high
+	// owned cells (thickness mLo).
+	block := r.hi.Sub(r.lo)
+	var slabLo, slabHi int
+	if d < 0 {
+		slabLo, slabHi = r.mLo, r.mLo+r.mHi
+	} else {
+		slabLo, slabHi = r.mLo+block.Comp(axis)-r.mLo, r.mLo+block.Comp(axis)
+	}
+
+	// Frame shift into the receiver's coordinates.
+	cellAdj, posAdj := r.hopAdjust(axis, d)
+
+	var buf comm.Buffer
+	var sendIdx []int32
+	count := 0
+	for i := range r.ecell {
+		e := r.ecell[i].Comp(axis)
+		if e < slabLo || e >= slabHi {
+			continue
+		}
+		ec := r.ecell[i]
+		ec.SetComp(axis, e+cellAdj)
+		lp := r.lpos[i]
+		lp.SetComp(axis, lp.Comp(axis)+posAdj)
+		buf.Int64(r.ids[i])
+		buf.Int32(r.species[i])
+		buf.Int32(int32(ec.X))
+		buf.Int32(int32(ec.Y))
+		buf.Int32(int32(ec.Z))
+		buf.Vec3(lp)
+		sendIdx = append(sendIdx, int32(i))
+		count++
+	}
+	payload := buf.Bytes()
+	recv := r.p.SendRecv(sendPeer, tag, payload, recvPeer, tag)
+	r.stats.HaloMessages++
+
+	ph := haloPhase{
+		sendPeer:  sendPeer,
+		recvPeer:  recvPeer,
+		tag:       tag,
+		sendIdx:   sendIdx,
+		recvStart: len(r.ids),
+	}
+	rd := comm.NewReader(recv)
+	for rd.Remaining() > 0 {
+		id := rd.Int64()
+		sp := rd.Int32()
+		ec := geom.IV(int(rd.Int32()), int(rd.Int32()), int(rd.Int32()))
+		lp := rd.Vec3()
+		if !ec.InBox(r.extLat.Dims) {
+			panic(fmt.Sprintf("parmd: rank %d received halo atom %d in cell %v outside %v",
+				r.p.Rank(), id, ec, r.extLat.Dims))
+		}
+		r.ids = append(r.ids, id)
+		r.species = append(r.species, sp)
+		r.ecell = append(r.ecell, ec)
+		r.lpos = append(r.lpos, lp)
+		r.force = append(r.force, geom.Vec3{})
+		ph.recvCount++
+	}
+	r.stats.AtomsImported += int64(ph.recvCount)
+	r.phases = append(r.phases, ph)
+}
+
+// hopAdjust returns the extended-cell index shift and local-position
+// shift that map this rank's frame onto the frame of its axis-d
+// neighbor, including the periodic image correction at the global
+// boundary.
+func (r *rankState) hopAdjust(axis, d int) (cellAdj int, posAdj float64) {
+	cart := r.dec.Cart
+	nbCoordRaw := r.coord.Comp(axis) + d
+	crossed := 0
+	if nbCoordRaw < 0 || nbCoordRaw >= cart.Dims.Comp(axis) {
+		crossed = -d // image shift in box lengths
+	}
+	nbCoord := r.coord
+	nbCoord.SetComp(axis, nbCoordRaw)
+	nb := cart.Wrap(nbCoord)
+	nbBase := r.dec.BlockLo(nb).Comp(axis) - r.mLo
+
+	gdims := r.dec.Lat.Dims.Comp(axis)
+	cellAdj = r.base.Comp(axis) - nbBase + crossed*gdims
+	posAdj = float64(crossed)*r.dec.Lat.Box.L.Comp(axis) +
+		float64(r.base.Comp(axis)-nbBase)*r.dec.Lat.Side.Comp(axis)
+	return cellAdj, posAdj
+}
+
+// writeBackForces returns the forces accumulated on imported halo
+// atoms to their senders, in reverse phase order so forwarded
+// contributions propagate back through the same routing.
+func (r *rankState) writeBackForces() {
+	for i := len(r.phases) - 1; i >= 0; i-- {
+		ph := r.phases[i]
+		var buf comm.Buffer
+		for k := 0; k < ph.recvCount; k++ {
+			buf.Vec3(r.force[ph.recvStart+k])
+		}
+		tag := tagForce + ph.tag - tagHalo
+		recv := r.p.SendRecv(ph.recvPeer, tag, buf.Bytes(), ph.sendPeer, tag)
+		r.stats.HaloMessages++
+		rd := comm.NewReader(recv)
+		for _, idx := range ph.sendIdx {
+			r.force[idx] = r.force[idx].Add(rd.Vec3())
+		}
+		if rd.Remaining() != 0 {
+			panic(fmt.Sprintf("parmd: rank %d force write-back size mismatch", r.p.Rank()))
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package parmd
+
+import (
+	"fmt"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+)
+
+// migrate moves atoms that drifted out of this rank's block to their
+// new owners, with one staged exchange per axis (two directions each).
+// An atom may hop at most one rank per axis per step — guaranteed for
+// any sane time step, since blocks are at least one cutoff wide —
+// and diagonal moves complete over the successive axis phases.
+// Positions travel in wrapped global coordinates; the receiving owner
+// reassigns the global cell, so every downstream consumer sees
+// owner-authoritative integer cells.
+func (r *rankState) migrate() {
+	for i := 0; i < r.nOwned; i++ {
+		r.gpos[i] = r.dec.Lat.Box.Wrap(r.gpos[i])
+		r.gcell[i] = r.dec.Lat.CellOf(r.gpos[i])
+	}
+	for axis := 0; axis < 3; axis++ {
+		if r.dec.Cart.Dims.Comp(axis) == 1 {
+			continue // sole owner along this axis
+		}
+		r.migrateAxis(axis)
+	}
+	r.stats.OwnedAtoms = r.nOwned
+}
+
+// migrateAxis exchanges leavers with both axis neighbors.
+func (r *rankState) migrateAxis(axis int) {
+	cart := r.dec.Cart
+	myIdx := r.coord.Comp(axis)
+	dim := cart.Dims.Comp(axis)
+
+	var out [2]comm.Buffer // 0: toward -1, 1: toward +1
+	keep := 0
+	for i := 0; i < r.nOwned; i++ {
+		target := r.dec.ownerIndex(axis, r.gcell[i].Comp(axis))
+		d := hopDir(myIdx, target, dim)
+		if d == 0 {
+			r.copyAtom(keep, i)
+			keep++
+			continue
+		}
+		b := &out[(d+1)/2]
+		b.Int64(r.ids[i])
+		b.Int32(r.species[i])
+		b.Vec3(r.gpos[i])
+		b.Vec3(r.vel[i])
+	}
+	r.truncateOwned(keep)
+
+	for _, d := range [2]int{-1, +1} {
+		peer := cart.AxisNeighbor(r.p.Rank(), axis, d)
+		tag := tagMigrate + axis*2 + (d+1)/2
+		recv := r.p.SendRecv(peer, tag, out[(d+1)/2].Bytes(), cart.AxisNeighbor(r.p.Rank(), axis, -d), tag)
+		rd := comm.NewReader(recv)
+		for rd.Remaining() > 0 {
+			id := rd.Int64()
+			sp := rd.Int32()
+			g := rd.Vec3()
+			v := rd.Vec3()
+			gc := r.dec.Lat.CellOf(g)
+			r.ids = append(r.ids, id)
+			r.species = append(r.species, sp)
+			r.gpos = append(r.gpos, g)
+			r.gcell = append(r.gcell, gc)
+			r.vel = append(r.vel, v)
+			r.force = append(r.force, geom.Vec3{})
+			r.nOwned++
+			r.stats.AtomsMigrated++
+		}
+	}
+}
+
+// hopDir returns the single-step direction (-1, 0, +1) from block
+// index my toward block index target on a periodic axis of the given
+// dimension. It panics if the move needs more than one hop, which
+// would mean an atom crossed a whole block in one step.
+func hopDir(my, target, dim int) int {
+	if my == target {
+		return 0
+	}
+	diff := target - my
+	// Shortest periodic direction.
+	if diff > dim/2 {
+		diff -= dim
+	} else if diff < -dim/2 {
+		diff += dim
+	}
+	switch diff {
+	case 1, -1:
+		return diff
+	}
+	// dim == 2 wraps +1 and -1 onto the same neighbor.
+	if dim == 2 {
+		return 1
+	}
+	panic(fmt.Sprintf("parmd: atom moved %d blocks in one step (axis dim %d)", diff, dim))
+}
+
+// copyAtom moves atom src's owned fields to slot dst (dst ≤ src).
+func (r *rankState) copyAtom(dst, src int) {
+	if dst == src {
+		return
+	}
+	r.ids[dst] = r.ids[src]
+	r.species[dst] = r.species[src]
+	r.gpos[dst] = r.gpos[src]
+	r.gcell[dst] = r.gcell[src]
+	r.vel[dst] = r.vel[src]
+	r.force[dst] = r.force[src]
+}
+
+// truncateOwned shrinks the owned arrays to n atoms.
+func (r *rankState) truncateOwned(n int) {
+	r.ids = r.ids[:n]
+	r.species = r.species[:n]
+	r.gpos = r.gpos[:n]
+	r.gcell = r.gcell[:n]
+	r.vel = r.vel[:n]
+	r.force = r.force[:n]
+	r.nOwned = n
+}

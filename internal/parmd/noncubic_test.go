@@ -1,0 +1,138 @@
+package parmd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// TestNonCubicBoxAndTopology: rectangular boxes with anisotropic
+// topologies and uneven block splits must still match the serial
+// engine exactly.
+func TestNonCubicBoxAndTopology(t *testing.T) {
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(5, 4, 3) // 35.8 × 28.6 × 21.5 Å → 6×5×3 cells
+	cfg.Thermalize(rand.New(rand.NewSource(51)), model, 300)
+	wantF, wantPE, _ := serialReference(t, cfg, model, 0, 1)
+
+	for _, dims := range []geom.IVec3{
+		{X: 3, Y: 1, Z: 1}, // uneven 6/3 split
+		{X: 2, Y: 2, Z: 1},
+		{X: 3, Y: 2, Z: 1},
+	} {
+		cart, err := comm.NewCartDims(dims)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range Schemes() {
+			res, err := Run(cfg, model, Options{Scheme: scheme, Cart: cart, Dt: 1, Steps: 0})
+			if err != nil {
+				t.Fatalf("%v %v: %v", scheme, dims, err)
+			}
+			if rel := math.Abs(res.InitialPotential-wantPE) / math.Abs(wantPE); rel > 1e-10 {
+				t.Errorf("%v %v: PE rel error %g", scheme, dims, rel)
+			}
+			for i := range wantF {
+				if d := res.Forces[i].Sub(wantF[i]).Norm(); d > 1e-8 {
+					t.Fatalf("%v %v: atom %d force differs by %g", scheme, dims, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestManyRanksDynamics: a 12-rank world (2×3×2) running real dynamics
+// against the serial reference.
+func TestManyRanksDynamics(t *testing.T) {
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(5, 5, 5) // 6 cells per axis
+	cfg.Thermalize(rand.New(rand.NewSource(52)), model, 500)
+	_, _, sys := serialReference(t, cfg, model, 5, 1.0)
+
+	cart, err := comm.NewCartDims(geom.IV(2, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg, model, Options{Scheme: SchemeSC, Cart: cart, Dt: 1.0, Steps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.Pos {
+		if d := cfg.Box.Distance(res.Final.Pos[i], sys.Pos[i]); d > 1e-8 {
+			t.Fatalf("atom %d position differs by %g", i, d)
+		}
+	}
+	// Every rank should own some atoms for this uniform crystal.
+	for r, st := range res.RankStats {
+		if st.OwnedAtoms == 0 {
+			t.Errorf("rank %d owns no atoms", r)
+		}
+	}
+}
+
+// TestRankStatsAccumulate: the Add helper and MaxRank reduction.
+func TestRankStatsAccumulate(t *testing.T) {
+	a := RankStats{Steps: 1, SearchCandidates: 10, AtomsImported: 5, HaloMessages: 6}
+	b := RankStats{Steps: 2, SearchCandidates: 20, AtomsImported: 2, HaloMessages: 6}
+	a.Add(b)
+	if a.Steps != 3 || a.SearchCandidates != 30 || a.AtomsImported != 7 || a.HaloMessages != 12 {
+		t.Errorf("Add result %+v", a)
+	}
+	res := &Result{RankStats: []RankStats{
+		{SearchCandidates: 5, AtomsImported: 9, OwnedAtoms: 3},
+		{SearchCandidates: 8, AtomsImported: 2, OwnedAtoms: 7},
+	}}
+	m := res.MaxRank()
+	if m.SearchCandidates != 8 || m.AtomsImported != 9 || m.OwnedAtoms != 7 {
+		t.Errorf("MaxRank %+v", m)
+	}
+}
+
+// TestRunValidation: malformed options are rejected cleanly.
+func TestRunValidation(t *testing.T) {
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(3, 3, 3)
+	if _, err := Run(cfg, model, Options{Cart: comm.Cart{}, Dt: 1, Steps: 1}); err == nil {
+		t.Error("empty topology accepted")
+	}
+	cart := comm.NewCart(1)
+	if _, err := Run(cfg, model, Options{Cart: cart, Dt: 0, Steps: 1}); err == nil {
+		t.Error("zero dt accepted with steps > 0")
+	}
+	// Zero steps with zero dt is fine (pure force evaluation).
+	if _, err := Run(cfg, model, Options{Cart: cart, Dt: 0, Steps: 0}); err != nil {
+		t.Errorf("zero-step run rejected: %v", err)
+	}
+}
+
+// TestSchemeStrings.
+func TestSchemeStrings(t *testing.T) {
+	names := map[Scheme]string{SchemeSC: "SC-MD", SchemeFS: "FS-MD", SchemeHybrid: "Hybrid-MD"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d: %q, want %q", s, s.String(), want)
+		}
+	}
+	if Scheme(99).String() == "SC-MD" {
+		t.Error("unknown scheme mislabeled")
+	}
+}
+
+// TestHaloReach: the physical halo-thickness computation.
+func TestHaloReach(t *testing.T) {
+	silica := potential.NewSilicaModel()
+	// Pair: 1·5.5/5.5 = 1; triplet: 2·2.6/5.5 < 1 → 1. Max = 1.
+	if got := haloReach(silica, 5.5); got != 1 {
+		t.Errorf("silica halo reach %d, want 1", got)
+	}
+	// Torsion model on 2.5 cells: 3·1.8/2.5 = 2.16 → 3 capped at n-1=3.
+	tor := potential.NewTorsionModel(0.05, 1.8, 0.02, 1.0, 2.5, 12.0)
+	if got := haloReach(tor, 2.5); got != 3 {
+		t.Errorf("torsion halo reach %d, want 3", got)
+	}
+}

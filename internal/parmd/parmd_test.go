@@ -1,0 +1,356 @@
+package parmd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+	"sctuple/internal/md"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// serialReference runs the same configuration through the serial SC
+// engine and returns per-atom forces and the potential energy.
+func serialReference(t *testing.T, cfg *workload.Config, model *potential.Model, steps int, dt float64) ([]geom.Vec3, float64, *md.System) {
+	t.Helper()
+	sys, err := md.NewSystem(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := md.NewCellEngine(model, sys.Box, md.FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := md.NewSim(sys, engine, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps > 0 {
+		if err := sim.Run(steps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys.Force, sim.PotentialEnergy(), sys
+}
+
+// silicaConfig builds a thermalized silica crystal spanning ≥ minCells
+// global cells per axis.
+func silicaConfig(t *testing.T, unitCells int, tempK float64, seed int64) (*workload.Config, *potential.Model) {
+	t.Helper()
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(unitCells, unitCells, unitCells)
+	if tempK > 0 {
+		cfg.Thermalize(rand.New(rand.NewSource(seed)), model, tempK)
+	}
+	return cfg, model
+}
+
+// TestParallelForcesMatchSerial is the central parallel correctness
+// test: for all three schemes and several topologies, the zero-step
+// parallel forces and energy must match the serial SC engine.
+func TestParallelForcesMatchSerial(t *testing.T) {
+	// 4³ unit cells = 28.64 Å = 5 pair cells per axis, so 2-way splits
+	// give blocks of 3 and 2 cells — enough for FS-MD's 2-cell halo.
+	cfg, model := silicaConfig(t, 4, 300, 1)
+	wantF, wantPE, _ := serialReference(t, cfg, model, 0, 1)
+
+	topos := []geom.IVec3{
+		{X: 1, Y: 1, Z: 1},
+		{X: 2, Y: 1, Z: 1},
+		{X: 2, Y: 2, Z: 1},
+		{X: 1, Y: 2, Z: 2},
+		{X: 2, Y: 2, Z: 2},
+	}
+	for _, scheme := range Schemes() {
+		for _, dims := range topos {
+			cart, err := comm.NewCartDims(dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(cfg, model, Options{Scheme: scheme, Cart: cart, Dt: 1, Steps: 0})
+			if err != nil {
+				t.Fatalf("%v %v: %v", scheme, dims, err)
+			}
+			if rel := math.Abs(res.InitialPotential-wantPE) / math.Abs(wantPE); rel > 1e-10 {
+				t.Errorf("%v %v: PE %.12g, serial %.12g (rel %g)", scheme, dims, res.InitialPotential, wantPE, rel)
+			}
+			for i := range wantF {
+				if d := res.Forces[i].Sub(wantF[i]).Norm(); d > 1e-8 {
+					t.Fatalf("%v %v: atom %d force differs by %g", scheme, dims, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDynamicsMatchSerial runs real dynamics: after 10 steps
+// with migration and halo refresh every step, positions and energies
+// must still track the serial engine.
+func TestParallelDynamicsMatchSerial(t *testing.T) {
+	cfg, model := silicaConfig(t, 4, 600, 2)
+	_, _, sys := serialReference(t, cfg, model, 10, 1.0)
+
+	for _, scheme := range Schemes() {
+		cart, _ := comm.NewCartDims(geom.IV(2, 2, 2))
+		res, err := Run(cfg, model, Options{Scheme: scheme, Cart: cart, Dt: 1.0, Steps: 10})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		for i := range sys.Pos {
+			if d := cfg.Box.Distance(res.Final.Pos[i], sys.Pos[i]); d > 1e-7 {
+				t.Fatalf("%v: atom %d position differs by %g after 10 steps", scheme, i, d)
+			}
+			if d := res.Final.Vel[i].Sub(sys.Vel[i]).Norm(); d > 1e-8 {
+				t.Fatalf("%v: atom %d velocity differs by %g", scheme, i, d)
+			}
+		}
+	}
+}
+
+// TestParallelEnergyConservation: the parallel stack must conserve
+// total energy in NVE like the serial one.
+func TestParallelEnergyConservation(t *testing.T) {
+	cfg, model := silicaConfig(t, 3, 300, 3)
+	cart, _ := comm.NewCartDims(geom.IV(2, 2, 1))
+	res, err := Run(cfg, model, Options{
+		Scheme: SchemeSC, Cart: cart, Dt: 0.5, Steps: 60, TraceEnergies: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := res.Energies[0].Total()
+	ke0 := res.Energies[0].Kinetic
+	for s, e := range res.Energies {
+		if math.Abs(e.Total()-e0) > 0.02*ke0 {
+			t.Fatalf("step %d: energy drifted to %g from %g (KE0 %g)", s, e.Total(), e0, ke0)
+		}
+	}
+}
+
+// TestMigrationConservesAtoms: after many steps at high temperature,
+// every atom is still owned exactly once (Run checks ID completeness).
+func TestMigrationConservesAtoms(t *testing.T) {
+	cfg, model := silicaConfig(t, 3, 1500, 4)
+	cart, _ := comm.NewCartDims(geom.IV(3, 2, 1))
+	res, err := Run(cfg, model, Options{Scheme: SchemeSC, Cart: cart, Dt: 1.0, Steps: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrated := int64(0)
+	for _, s := range res.RankStats {
+		migrated += s.AtomsMigrated
+	}
+	if migrated == 0 {
+		t.Error("no atoms migrated in 40 hot steps — migration path untested")
+	}
+}
+
+// TestSCImportSmallerThanFS: the headline communication claim — for
+// the same run, SC-MD must import roughly half the atoms of FS-MD and
+// use fewer halo messages (3 vs 6 per step).
+func TestSCImportSmallerThanFS(t *testing.T) {
+	cfg, model := silicaConfig(t, 4, 300, 5)
+	cart, _ := comm.NewCartDims(geom.IV(2, 2, 2))
+	imports := map[Scheme]int64{}
+	messages := map[Scheme]int64{}
+	for _, scheme := range Schemes() {
+		res, err := Run(cfg, model, Options{Scheme: scheme, Cart: cart, Dt: 1, Steps: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range res.RankStats {
+			imports[scheme] += s.AtomsImported
+			messages[scheme] += s.HaloMessages
+		}
+	}
+	if !(imports[SchemeSC] < imports[SchemeFS]) {
+		t.Errorf("SC imported %d atoms, FS %d — SC should be smaller", imports[SchemeSC], imports[SchemeFS])
+	}
+	if !(imports[SchemeSC] < imports[SchemeHybrid]) {
+		t.Errorf("SC imported %d atoms, Hybrid %d — SC should be smaller", imports[SchemeSC], imports[SchemeHybrid])
+	}
+	// Octant one-cell slab vs thickness-2 full shell: the measured
+	// ratio is large at this block size ((l+4)³-l³ over (l+1)³-l³).
+	ratio := float64(imports[SchemeFS]) / float64(imports[SchemeSC])
+	if ratio < 4 || ratio > 20 {
+		t.Errorf("FS/SC import ratio %g, expected ≈ 10 for octant slab vs 2-cell full shell", ratio)
+	}
+	if imports[SchemeFS] != imports[SchemeHybrid] {
+		t.Errorf("Hybrid import %d != FS import %d — §5 says they match", imports[SchemeHybrid], imports[SchemeFS])
+	}
+	// Halo message count: SC has 3 import phases per step vs 6.
+	if 2*messages[SchemeSC] != messages[SchemeFS] {
+		t.Errorf("halo messages SC %d vs FS %d, want exactly half", messages[SchemeSC], messages[SchemeFS])
+	}
+}
+
+// TestHybridSearchCheaperThanSCForSilica: with r_cut3 ≪ r_cut2 the
+// Hybrid triplet pruning must examine far fewer candidates than the
+// SC cell search (the paper's rationale for Hybrid-MD winning at
+// coarse grain).
+func TestHybridSearchCheaperThanSCForSilica(t *testing.T) {
+	cfg, model := silicaConfig(t, 3, 300, 6)
+	cart, _ := comm.NewCartDims(geom.IV(1, 1, 1))
+	search := map[Scheme]int64{}
+	for _, scheme := range Schemes() {
+		res, err := Run(cfg, model, Options{Scheme: scheme, Cart: cart, Dt: 1, Steps: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range res.RankStats {
+			search[scheme] += s.SearchCandidates
+		}
+	}
+	if !(search[SchemeHybrid] < search[SchemeSC]) {
+		t.Errorf("Hybrid search %d not below SC %d", search[SchemeHybrid], search[SchemeSC])
+	}
+	if !(search[SchemeSC] < search[SchemeFS]) {
+		t.Errorf("SC search %d not below FS %d", search[SchemeSC], search[SchemeFS])
+	}
+}
+
+// TestSingleRankTopology: the degenerate 1×1×1 world must work (self
+// halo exchange across the periodic boundary).
+func TestSingleRankTopology(t *testing.T) {
+	cfg, model := silicaConfig(t, 3, 300, 7)
+	wantF, wantPE, _ := serialReference(t, cfg, model, 0, 1)
+	cart, _ := comm.NewCartDims(geom.IV(1, 1, 1))
+	res, err := Run(cfg, model, Options{Scheme: SchemeSC, Cart: cart, Dt: 1, Steps: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.InitialPotential-wantPE) / math.Abs(wantPE); rel > 1e-10 {
+		t.Errorf("PE %g vs serial %g", res.InitialPotential, wantPE)
+	}
+	for i := range wantF {
+		if d := res.Forces[i].Sub(wantF[i]).Norm(); d > 1e-8 {
+			t.Fatalf("atom %d force differs by %g", i, d)
+		}
+	}
+}
+
+// TestDecompBlocks: block arithmetic.
+func TestDecompBlocks(t *testing.T) {
+	box := geom.NewCubicBox(55)
+	cart, _ := comm.NewCartDims(geom.IV(3, 2, 1))
+	dec, err := NewDecomp(box, 5.5, cart) // 10 cells per axis
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Axis 0 split 10 into 3: 4,3,3.
+	if dec.BlockDims(geom.IV(0, 0, 0)) != geom.IV(4, 5, 10) {
+		t.Errorf("block(0,0,0) dims %v", dec.BlockDims(geom.IV(0, 0, 0)))
+	}
+	if dec.BlockLo(geom.IV(2, 1, 0)) != geom.IV(7, 5, 0) {
+		t.Errorf("block(2,1,0) lo %v", dec.BlockLo(geom.IV(2, 1, 0)))
+	}
+	// Every cell owned exactly once.
+	counts := make(map[int]int)
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			for z := 0; z < 10; z++ {
+				c := dec.OwnerCoord(geom.IV(x, y, z))
+				counts[cart.Rank(c)]++
+			}
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 1000 || len(counts) != 6 {
+		t.Errorf("ownership coverage: %d cells over %d ranks", total, len(counts))
+	}
+	if dec.MinBlockDim() != 3 {
+		t.Errorf("MinBlockDim %d", dec.MinBlockDim())
+	}
+}
+
+// TestDecompRejectsTooManyRanks.
+func TestDecompRejectsTooManyRanks(t *testing.T) {
+	box := geom.NewCubicBox(20)
+	cart, _ := comm.NewCartDims(geom.IV(5, 1, 1))
+	if _, err := NewDecomp(box, 5.5, cart); err == nil { // only 3 cells per axis
+		t.Error("decomposition with more ranks than cells accepted")
+	}
+}
+
+// TestHopDir covers the periodic hop logic.
+func TestHopDir(t *testing.T) {
+	if hopDir(0, 0, 4) != 0 {
+		t.Error("same block")
+	}
+	if hopDir(0, 1, 4) != 1 || hopDir(1, 0, 4) != -1 {
+		t.Error("adjacent hop")
+	}
+	if hopDir(0, 3, 4) != -1 || hopDir(3, 0, 4) != 1 {
+		t.Error("periodic wrap hop")
+	}
+	if hopDir(0, 1, 2) == 0 {
+		t.Error("dim-2 hop")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("two-block hop accepted")
+		}
+	}()
+	hopDir(0, 2, 5)
+}
+
+// TestLJParallelMatchesSerial: a second model (pair-only) through the
+// same machinery.
+func TestLJParallelMatchesSerial(t *testing.T) {
+	model := potential.NewLJModel(0.0104, 3.4, 8.5, 39.948)
+	rng := rand.New(rand.NewSource(8))
+	cfg := workload.LJFluid(rng, 512, 0.5, 3.4)
+	cfg.Thermalize(rng, model, 120)
+	wantF, wantPE, _ := serialReference(t, cfg, model, 0, 1)
+	for _, scheme := range []Scheme{SchemeSC, SchemeFS, SchemeHybrid} {
+		cart, _ := comm.NewCartDims(geom.IV(2, 2, 1))
+		res, err := Run(cfg, model, Options{Scheme: scheme, Cart: cart, Dt: 1, Steps: 0})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if rel := math.Abs(res.InitialPotential-wantPE) / math.Abs(wantPE); rel > 1e-10 {
+			t.Errorf("%v: PE %g vs serial %g", scheme, res.InitialPotential, wantPE)
+		}
+		for i := range wantF {
+			if d := res.Forces[i].Sub(wantF[i]).Norm(); d > 1e-9 {
+				t.Fatalf("%v: atom %d force differs by %g", scheme, i, d)
+			}
+		}
+	}
+}
+
+// TestTorsionParallel: n = 4 terms through SC-MD and FS-MD (Hybrid
+// cannot handle them by design).
+func TestTorsionParallel(t *testing.T) {
+	// 15σ box = 6 pair cells, so a 2-way split gives 3-cell blocks —
+	// enough for the n = 4 pattern-reach halo of 3 cells.
+	model := potential.NewTorsionModel(0.05, 1.8, 0.02, 1.0, 2.5, 12.0)
+	rng := rand.New(rand.NewSource(9))
+	cfg := workload.LJFluid(rng, 520, 0.15, 1.0)
+	wantF, wantPE, _ := serialReference(t, cfg, model, 0, 1)
+	for _, scheme := range []Scheme{SchemeSC, SchemeFS} {
+		cart, _ := comm.NewCartDims(geom.IV(2, 1, 1))
+		res, err := Run(cfg, model, Options{Scheme: scheme, Cart: cart, Dt: 1, Steps: 0})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if rel := math.Abs(res.InitialPotential-wantPE) / (math.Abs(wantPE) + 1e-12); rel > 1e-9 {
+			t.Errorf("%v: PE %g vs serial %g", scheme, res.InitialPotential, wantPE)
+		}
+		for i := range wantF {
+			if d := res.Forces[i].Sub(wantF[i]).Norm(); d > 1e-9 {
+				t.Fatalf("%v: atom %d force differs by %g", scheme, i, d)
+			}
+		}
+	}
+	cart, _ := comm.NewCartDims(geom.IV(2, 1, 1))
+	if _, err := Run(cfg, model, Options{Scheme: SchemeHybrid, Cart: cart, Dt: 1, Steps: 0}); err == nil {
+		t.Error("Hybrid accepted an n=4 model")
+	}
+}

@@ -1,0 +1,258 @@
+package parmd
+
+import (
+	"fmt"
+
+	"sctuple/internal/cell"
+	"sctuple/internal/comm"
+	"sctuple/internal/core"
+	"sctuple/internal/geom"
+	"sctuple/internal/md"
+	"sctuple/internal/potential"
+	"sctuple/internal/tuple"
+	"sctuple/internal/workload"
+)
+
+// Message tags. Halo and force tags are offset per (axis, direction)
+// so a protocol slip is caught by the tag check in comm.Recv.
+const (
+	tagMigrate = 100
+	tagHalo    = 200
+	tagForce   = 300
+)
+
+// RankStats accumulates one rank's per-run operation counts — the
+// inputs of the performance model (package perfmodel).
+type RankStats struct {
+	Steps            int
+	OwnedAtoms       int   // at end of run
+	SearchCandidates int64 // Eq. 12 search cost, summed over steps
+	TuplesEvaluated  int64
+	PairListEntries  int64 // Hybrid only
+	AtomsImported    int64 // halo atoms received, summed over steps
+	AtomsMigrated    int64 // atoms received in migration
+	HaloMessages     int64 // halo + write-back messages received
+}
+
+// Add accumulates other into s.
+func (s *RankStats) Add(o RankStats) {
+	s.Steps += o.Steps
+	s.SearchCandidates += o.SearchCandidates
+	s.TuplesEvaluated += o.TuplesEvaluated
+	s.PairListEntries += o.PairListEntries
+	s.AtomsImported += o.AtomsImported
+	s.AtomsMigrated += o.AtomsMigrated
+	s.HaloMessages += o.HaloMessages
+}
+
+// haloPhase records one import transfer for the reverse force
+// write-back.
+type haloPhase struct {
+	sendPeer  int     // rank the slab was sent to
+	recvPeer  int     // rank the margin fill came from
+	tag       int     // halo tag of this phase
+	sendIdx   []int32 // local indices sent
+	recvStart int     // first local index received
+	recvCount int
+}
+
+// rankState is the complete state of one rank of a parallel run.
+type rankState struct {
+	p      *comm.Proc
+	dec    *Decomp
+	scheme Scheme
+	model  *potential.Model
+
+	coord    geom.IVec3
+	lo, hi   geom.IVec3 // owned global cell range [lo, hi)
+	mLo, mHi int        // halo margins in cells (per scheme)
+	base     geom.IVec3 // global cell coords of the extended-lattice origin
+	extLat   cell.Lattice
+
+	// Atom storage: owned atoms in [0, nOwned), halo copies after.
+	nOwned  int
+	ids     []int64
+	gpos    []geom.Vec3  // wrapped global positions (owned atoms only are authoritative)
+	gcell   []geom.IVec3 // owner-assigned global cells (owned atoms)
+	ecell   []geom.IVec3 // extended-lattice cell of every atom (owned + halo)
+	lpos    []geom.Vec3  // local-frame positions (contiguous across the seam)
+	vel     []geom.Vec3
+	force   []geom.Vec3
+	species []int32
+	lcell   []int32 // linear extended cells, parallel to ecell
+
+	bin        *cell.Binning
+	ownedCells []geom.IVec3 // extended-lattice coords of owned cells
+	enums      []*tuple.Enumerator
+	pairEnum   *tuple.Enumerator // Hybrid: FS(2) raw pair search
+	phases     []haloPhase
+
+	stats RankStats
+}
+
+// newRankState builds the static geometry and enumerators of a rank.
+func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Scheme) (*rankState, error) {
+	r := &rankState{p: p, dec: dec, scheme: scheme, model: model}
+	r.coord = dec.Cart.Coord(p.Rank())
+	r.lo = dec.BlockLo(r.coord)
+	r.hi = dec.BlockHi(r.coord)
+
+	side := minSide(dec.Lat.Side)
+	mLo, mHi, err := scheme.margins(model, side)
+	if err != nil {
+		return nil, err
+	}
+	r.mLo, r.mHi = mLo, mHi
+	t := max(mLo, mHi)
+	if dec.MinBlockDim() < t {
+		return nil, fmt.Errorf("parmd: block dimension %d below halo thickness %d; use fewer ranks",
+			dec.MinBlockDim(), t)
+	}
+	r.base = r.lo.Sub(geom.IV(mLo, mLo, mLo))
+	ext := r.hi.Sub(r.lo).Add(geom.IV(mLo+mHi, mLo+mHi, mLo+mHi))
+	extBox := geom.NewBox(
+		float64(ext.X)*dec.Lat.Side.X,
+		float64(ext.Y)*dec.Lat.Side.Y,
+		float64(ext.Z)*dec.Lat.Side.Z,
+	)
+	r.extLat, err = cell.NewLatticeDims(extBox, ext)
+	if err != nil {
+		return nil, err
+	}
+	r.bin = cell.NewBinning(r.extLat, nil)
+
+	block := r.hi.Sub(r.lo)
+	for x := 0; x < block.X; x++ {
+		for y := 0; y < block.Y; y++ {
+			for z := 0; z < block.Z; z++ {
+				r.ownedCells = append(r.ownedCells, geom.IV(x+mLo, y+mLo, z+mLo))
+			}
+		}
+	}
+
+	switch scheme {
+	case SchemeSC, SchemeFS:
+		fam := md.FamilySC
+		if scheme == SchemeFS {
+			fam = md.FamilyFS
+		}
+		for _, term := range model.Terms {
+			en, err := tuple.NewBoundedEnumerator(r.bin, fam.Pattern(term.N()), term.Cutoff(), tuple.DedupAuto)
+			if err != nil {
+				return nil, fmt.Errorf("parmd: term n=%d: %w", term.N(), err)
+			}
+			r.enums = append(r.enums, en)
+		}
+	case SchemeHybrid:
+		// One raw (both orientations) full-shell pair search; pair and
+		// triplet terms are both served from the resulting list.
+		maxCut := 0.0
+		for _, term := range model.Terms {
+			switch term.N() {
+			case 2, 3:
+				if term.Cutoff() > maxCut && term.N() == 2 {
+					maxCut = term.Cutoff()
+				}
+			default:
+				return nil, fmt.Errorf("parmd: Hybrid-MD cannot handle n=%d terms", term.N())
+			}
+		}
+		if maxCut == 0 {
+			return nil, fmt.Errorf("parmd: Hybrid-MD needs a pair term")
+		}
+		en, err := tuple.NewBoundedEnumerator(r.bin, core.FS(2), maxCut, tuple.DedupNone)
+		if err != nil {
+			return nil, err
+		}
+		r.pairEnum = en
+	}
+	return r, nil
+}
+
+func minSide(v geom.Vec3) float64 {
+	m := v.X
+	if v.Y < m {
+		m = v.Y
+	}
+	if v.Z < m {
+		m = v.Z
+	}
+	return m
+}
+
+// adopt takes ownership of the atoms of a global configuration that
+// fall in this rank's block. IDs are the configuration indices.
+func (r *rankState) adopt(cfg *workload.Config) {
+	for i, g := range cfg.Pos {
+		gc := r.dec.Lat.CellOf(g)
+		if r.ownsCell(gc) {
+			r.ids = append(r.ids, int64(i))
+			r.gpos = append(r.gpos, g)
+			r.gcell = append(r.gcell, gc)
+			r.vel = append(r.vel, cfg.Vel[i])
+			r.species = append(r.species, cfg.Species[i])
+		}
+	}
+	r.nOwned = len(r.ids)
+	r.force = make([]geom.Vec3, r.nOwned)
+	r.stats.OwnedAtoms = r.nOwned
+}
+
+// ownsCell reports whether a global cell is in this rank's block.
+func (r *rankState) ownsCell(gc geom.IVec3) bool {
+	return gc.X >= r.lo.X && gc.X < r.hi.X &&
+		gc.Y >= r.lo.Y && gc.Y < r.hi.Y &&
+		gc.Z >= r.lo.Z && gc.Z < r.hi.Z
+}
+
+// dropHalo truncates the atom arrays back to owned atoms only.
+func (r *rankState) dropHalo() {
+	r.ids = r.ids[:r.nOwned]
+	r.gpos = r.gpos[:r.nOwned]
+	r.gcell = r.gcell[:r.nOwned]
+	r.vel = r.vel[:r.nOwned]
+	r.species = r.species[:r.nOwned]
+	r.force = r.force[:r.nOwned]
+	r.ecell = r.ecell[:0]
+	r.lpos = r.lpos[:0]
+	r.phases = r.phases[:0]
+}
+
+// deriveOwned recomputes the extended-lattice cell and local position
+// of every owned atom from its owner-assigned global cell. Exact
+// integer arithmetic on cells keeps rank-local binning consistent with
+// the global decomposition even for atoms exactly on cell boundaries.
+func (r *rankState) deriveOwned() {
+	r.ecell = r.ecell[:0]
+	r.lpos = r.lpos[:0]
+	for i := 0; i < r.nOwned; i++ {
+		ec := r.gcell[i].Sub(r.base)
+		r.ecell = append(r.ecell, ec)
+		r.lpos = append(r.lpos, r.localPos(r.gpos[i], 0, 0, 0))
+	}
+}
+
+// localPos maps a wrapped global position into this rank's local
+// frame, with kx, ky, kz the per-axis periodic image shifts (in box
+// lengths) needed for halo copies.
+func (r *rankState) localPos(g geom.Vec3, kx, ky, kz int) geom.Vec3 {
+	L := r.dec.Lat.Box.L
+	s := r.dec.Lat.Side
+	return geom.V(
+		g.X+float64(kx)*L.X-float64(r.base.X)*s.X,
+		g.Y+float64(ky)*L.Y-float64(r.base.Y)*s.Y,
+		g.Z+float64(kz)*L.Z-float64(r.base.Z)*s.Z,
+	)
+}
+
+// rebin refreshes the CSR binning from the current ecell assignment.
+func (r *rankState) rebin() {
+	if cap(r.lcell) < len(r.ecell) {
+		r.lcell = make([]int32, len(r.ecell))
+	}
+	r.lcell = r.lcell[:len(r.ecell)]
+	for i, ec := range r.ecell {
+		r.lcell[i] = int32(r.extLat.Linear(ec))
+	}
+	r.bin.RebinCells(r.lcell)
+}

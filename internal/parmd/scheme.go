@@ -1,0 +1,90 @@
+package parmd
+
+import (
+	"fmt"
+	"math"
+
+	"sctuple/internal/potential"
+)
+
+// Scheme selects which of the paper's three parallel codes a run uses.
+type Scheme int
+
+// The three codes benchmarked in §5.
+const (
+	// SchemeSC is SC-MD: shift-collapse patterns, octant import from 7
+	// neighbor ranks in 3 forwarded communication steps.
+	SchemeSC Scheme = iota
+	// SchemeFS is FS-MD: full-shell patterns, 26-neighbor import.
+	SchemeFS
+	// SchemeHybrid is Hybrid-MD: full-shell pair search building a
+	// Verlet pair list; triplets pruned from the list. 26-neighbor
+	// import.
+	SchemeHybrid
+)
+
+// String names the scheme as the paper does.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeSC:
+		return "SC-MD"
+	case SchemeFS:
+		return "FS-MD"
+	case SchemeHybrid:
+		return "Hybrid-MD"
+	}
+	return "?"
+}
+
+// Schemes lists all three codes, in the paper's plotting order.
+func Schemes() []Scheme { return []Scheme{SchemeSC, SchemeFS, SchemeHybrid} }
+
+// haloReach returns the halo thickness (in cells) a model's terms
+// physically require on a lattice with the given minimum cell side: a
+// chain of n-1 links each below r_cut-n extends at most (n-1)·r_cut-n
+// along an axis, never past ceil of that over the cell side (and never
+// past the pattern reach n-1). This is the slab thickness actually
+// imported — e.g. one cell for the silica model (r_cut3 < r_cut2, §5),
+// even though the n = 3 pattern formally spans two cells.
+func haloReach(model *potential.Model, side float64) int {
+	t := 0
+	for _, term := range model.Terms {
+		span := float64(term.N()-1) * term.Cutoff()
+		k := int(math.Ceil(span/side - 1e-12))
+		if k > term.N()-1 {
+			k = term.N() - 1
+		}
+		if k < 1 {
+			k = 1
+		}
+		if k > t {
+			t = k
+		}
+	}
+	return t
+}
+
+// margins returns the halo margin (in cells) on the low and high side
+// of every axis for a scheme.
+//
+// SC-MD imports only the upper-corner octant (owner-compute relaxed,
+// §4.2), restricted to the physically reachable slab — one cell for
+// the silica workload, since r_cut3 < r_cut2/2 keeps triplet chains
+// inside the first neighbor cell layer.
+//
+// FS-MD imports the full coverage of its uncollapsed pattern: a shell
+// of thickness n_max − 1 on every side ((l+2(n-1))³ − l³, §4.3.1 and
+// Eq. 33's full-shell counterpart), exactly as the production code
+// does; and per §5, Hybrid-MD inherits FS-MD's import volume
+// unchanged — the pair list trims its triplet search, not its halo.
+func (s Scheme) margins(model *potential.Model, side float64) (lo, hi int, err error) {
+	switch s {
+	case SchemeSC:
+		t := haloReach(model, side)
+		return 0, t, nil
+	case SchemeFS, SchemeHybrid:
+		t := model.MaxN() - 1
+		return t, t, nil
+	}
+	return 0, 0, fmt.Errorf("parmd: unknown scheme %d", s)
+}

@@ -1,0 +1,221 @@
+package parmd
+
+import (
+	"fmt"
+	"sort"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+	"sctuple/internal/md"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// Options configures a parallel run.
+type Options struct {
+	Scheme Scheme
+	Cart   comm.Cart // process topology; comm.NewCart(p) picks one
+	Dt     float64   // fs
+	Steps  int
+	// TraceEnergies records global PE/KE each step (costs two
+	// reductions per step).
+	TraceEnergies bool
+}
+
+// StepEnergy is one global energy sample.
+type StepEnergy struct {
+	Potential float64
+	Kinetic   float64
+}
+
+// Total returns PE + KE.
+func (e StepEnergy) Total() float64 { return e.Potential + e.Kinetic }
+
+// Result collects the outcome of a parallel run.
+type Result struct {
+	// Final holds the gathered end state, ordered by global atom ID,
+	// positions wrapped into the global box.
+	Final *workload.Config
+	// Forces holds the final per-atom forces, ordered by global ID.
+	Forces []geom.Vec3
+	// InitialPotential is the potential energy before the first step.
+	InitialPotential float64
+	// Energies holds one entry per step when TraceEnergies is set.
+	Energies []StepEnergy
+	// RankStats holds each rank's accumulated counters.
+	RankStats []RankStats
+	// Comm summarizes all communication of the run.
+	Comm comm.Stats
+}
+
+// MaxRank returns the component-wise maximum over RankStats, the
+// critical-path load used by the performance model.
+func (r *Result) MaxRank() RankStats {
+	var m RankStats
+	for _, s := range r.RankStats {
+		if s.SearchCandidates > m.SearchCandidates {
+			m.SearchCandidates = s.SearchCandidates
+		}
+		if s.TuplesEvaluated > m.TuplesEvaluated {
+			m.TuplesEvaluated = s.TuplesEvaluated
+		}
+		if s.AtomsImported > m.AtomsImported {
+			m.AtomsImported = s.AtomsImported
+		}
+		if s.OwnedAtoms > m.OwnedAtoms {
+			m.OwnedAtoms = s.OwnedAtoms
+		}
+		if s.HaloMessages > m.HaloMessages {
+			m.HaloMessages = s.HaloMessages
+		}
+	}
+	return m
+}
+
+// Run executes a complete parallel MD run of the given configuration
+// and model over an in-process rank world, and gathers the final
+// state. The decomposition's cell lattice uses the model's largest
+// cutoff as minimum cell side, exactly like the serial engines, so
+// serial and parallel runs are comparable.
+func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !(opt.Dt > 0) && opt.Steps > 0 {
+		return nil, fmt.Errorf("parmd: time step %g must be positive", opt.Dt)
+	}
+	if opt.Cart.Size() == 0 {
+		return nil, fmt.Errorf("parmd: empty process topology")
+	}
+	dec, err := NewDecomp(cfg.Box, model.MaxCutoff(), opt.Cart)
+	if err != nil {
+		return nil, err
+	}
+	// The global lattice must be large enough that a chain can never
+	// close onto a periodic image of its own first atom.
+	need := 3
+	for _, t := range model.Terms {
+		if t.N() > need {
+			need = t.N()
+		}
+	}
+	for axis := 0; axis < 3; axis++ {
+		if dec.Lat.Dims.Comp(axis) < need {
+			return nil, fmt.Errorf("parmd: global lattice %v needs ≥ %d cells per axis", dec.Lat.Dims, need)
+		}
+	}
+
+	world := comm.NewWorld(opt.Cart.Size())
+	res := &Result{RankStats: make([]RankStats, world.Size())}
+	if opt.TraceEnergies {
+		res.Energies = make([]StepEnergy, opt.Steps)
+	}
+	type finalAtom struct {
+		id      int64
+		pos     geom.Vec3
+		vel     geom.Vec3
+		force   geom.Vec3
+		species int32
+	}
+	finals := make([][]finalAtom, world.Size())
+
+	err = world.Run(func(p *comm.Proc) error {
+		r, err := newRankState(p, dec, model, opt.Scheme)
+		if err != nil {
+			return err
+		}
+		r.adopt(cfg)
+
+		masses := make([]float64, len(model.Species))
+		for i, s := range model.Species {
+			masses[i] = s.Mass
+		}
+
+		pe := r.computeForces()
+		totalPE := p.AllReduceSum(pe)
+		if p.Rank() == 0 {
+			res.InitialPotential = totalPE
+		}
+
+		for step := 0; step < opt.Steps; step++ {
+			// Velocity Verlet: half kick, drift, migrate, forces,
+			// half kick.
+			half := 0.5 * opt.Dt * md.ForceToAccel
+			for i := 0; i < r.nOwned; i++ {
+				r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
+			}
+			for i := 0; i < r.nOwned; i++ {
+				r.gpos[i] = r.gpos[i].Add(r.vel[i].Scale(opt.Dt))
+			}
+			r.migrate()
+			pe := r.computeForces()
+			for i := 0; i < r.nOwned; i++ {
+				r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
+			}
+			if opt.TraceEnergies {
+				ke := 0.0
+				for i := 0; i < r.nOwned; i++ {
+					ke += 0.5 * masses[r.species[i]] * r.vel[i].Norm2()
+				}
+				ke /= md.ForceToAccel
+				gpe := p.AllReduceSum(pe)
+				gke := p.AllReduceSum(ke)
+				if p.Rank() == 0 {
+					res.Energies[step] = StepEnergy{Potential: gpe, Kinetic: gke}
+				}
+			}
+		}
+
+		// Gather final state (shared-memory collection; the comm
+		// counters only meter the simulation's own traffic).
+		fin := make([]finalAtom, r.nOwned)
+		for i := 0; i < r.nOwned; i++ {
+			fin[i] = finalAtom{
+				id:      r.ids[i],
+				pos:     dec.Lat.Box.Wrap(r.gpos[i]),
+				vel:     r.vel[i],
+				force:   r.force[i],
+				species: r.species[i],
+			}
+		}
+		finals[p.Rank()] = fin
+		res.RankStats[p.Rank()] = r.stats
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble the global final state ordered by atom ID.
+	var all []finalAtom
+	for _, f := range finals {
+		all = append(all, f...)
+	}
+	if len(all) != cfg.N() {
+		return nil, fmt.Errorf("parmd: gathered %d atoms, expected %d (atoms lost or duplicated)",
+			len(all), cfg.N())
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	final := &workload.Config{
+		Box:     cfg.Box,
+		Pos:     make([]geom.Vec3, len(all)),
+		Vel:     make([]geom.Vec3, len(all)),
+		Species: make([]int32, len(all)),
+	}
+	res.Forces = make([]geom.Vec3, len(all))
+	for i, a := range all {
+		if a.id != int64(i) {
+			return nil, fmt.Errorf("parmd: atom ID %d appears at position %d (atoms lost or duplicated)", a.id, i)
+		}
+		final.Pos[i] = a.pos
+		final.Vel[i] = a.vel
+		final.Species[i] = a.species
+		res.Forces[i] = a.force
+	}
+	res.Final = final
+	res.Comm = world.TotalStats()
+	return res, nil
+}

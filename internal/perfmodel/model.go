@@ -1,0 +1,199 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"sctuple/internal/parmd"
+	"sctuple/internal/workload"
+)
+
+// Silica workload geometry shared by all of §5's benchmarks.
+const (
+	// CellSide is the pair cell side (= r_cut2 of the silica model).
+	CellSide = 5.5
+	// AtomsPerCell is ⟨ρ_cell⟩ for amorphous-silica density and
+	// pair-sized cells.
+	AtomsPerCell = workload.SilicaDensity * CellSide * CellSide * CellSide
+	// haloAtomBytes is the wire size of one imported atom
+	// (id + species + cell + position).
+	haloAtomBytes = 48
+	// forceBytes is the wire size of one written-back force.
+	forceBytes = 24
+)
+
+// StepTime is the modeled per-step wall time of one task, decomposed.
+type StepTime struct {
+	Search  float64 // tuple-search (filtering) time
+	Eval    float64 // interaction evaluation time
+	Latency float64 // per-message λ·n_msg
+	Volume  float64 // bytes/β
+}
+
+// Total returns the full step time.
+func (t StepTime) Total() float64 { return t.Search + t.Eval + t.Latency + t.Volume }
+
+// Comm returns the communication part.
+func (t StepTime) Comm() float64 { return t.Latency + t.Volume }
+
+// Model predicts per-step times for the silica workload on one
+// machine.
+type Model struct {
+	Machine Machine
+	rates   map[parmd.Scheme]Rates
+}
+
+// NewModel builds a model, measuring engine rates on first use.
+func NewModel(m Machine) (*Model, error) {
+	rates := make(map[parmd.Scheme]Rates)
+	for _, s := range parmd.Schemes() {
+		r, err := MeasureRates(s)
+		if err != nil {
+			return nil, err
+		}
+		rates[s] = r
+	}
+	return &Model{Machine: m, rates: rates}, nil
+}
+
+// Rates returns the measured per-atom rates of a scheme.
+func (m *Model) Rates(s parmd.Scheme) Rates { return m.rates[s] }
+
+// ImportAtoms returns the modeled number of halo atoms a task imports
+// per step at granularity nPerTask, matching the halo geometry of
+// package parmd for the silica workload (n_max = 3): SC-MD imports the
+// one-cell upper-corner octant slab ((l+1)³ − l³ cells — r_cut3 <
+// r_cut2/2 keeps triplet chains inside the first cell layer); FS-MD
+// imports the full coverage of its pattern, a shell of thickness
+// n_max−1 = 2 on every side ((l+4)³ − l³); Hybrid-MD inherits FS-MD's
+// import unchanged (§5). l = (n/⟨ρ_cell⟩)^(1/3) is the block side in
+// cells.
+func ImportAtoms(scheme parmd.Scheme, nPerTask float64) float64 {
+	l := math.Cbrt(nPerTask / AtomsPerCell)
+	var cells float64
+	switch scheme {
+	case parmd.SchemeSC:
+		cells = math.Pow(l+1, 3) - l*l*l
+	default:
+		cells = math.Pow(l+4, 3) - l*l*l
+	}
+	return cells * AtomsPerCell
+}
+
+// MessagesPerStep returns the per-step message count of a task:
+// import plus force write-back phases (3+3 for SC's forwarded octant
+// routing, 6+6 for the full shell) plus the 6 staged migration
+// exchanges.
+func MessagesPerStep(scheme parmd.Scheme) float64 {
+	switch scheme {
+	case parmd.SchemeSC:
+		return 3 + 3 + 6
+	default:
+		return 6 + 6 + 6
+	}
+}
+
+// StepTime returns the modeled per-step time of one task owning
+// nPerTask atoms.
+func (m *Model) StepTime(scheme parmd.Scheme, nPerTask float64) StepTime {
+	r := m.rates[scheme]
+	imported := ImportAtoms(scheme, nPerTask)
+	bytes := imported * (haloAtomBytes + forceBytes)
+	return StepTime{
+		Search:  nPerTask * (r.SearchPerAtom*m.Machine.CandidateTime + r.PathsPerAtom*m.Machine.PathTime),
+		Eval:    nPerTask * (r.PairsPerAtom*m.Machine.PairEvalTime + r.TripletsPerAtom*m.Machine.TripletEvalTime),
+		Latency: MessagesPerStep(scheme) * m.Machine.Latency,
+		Volume:  bytes / m.Machine.Bandwidth,
+	}
+}
+
+// Fig8Row is one granularity point of Figure 8: modeled runtime per
+// MD step for the three codes at N/P = Grain.
+type Fig8Row struct {
+	Grain float64
+	SC    StepTime
+	FS    StepTime
+	Hy    StepTime
+}
+
+// Fig8 sweeps granularity (atoms per task) and returns the modeled
+// runtimes of the three codes — the reproduction of Figure 8(a)/(b).
+func (m *Model) Fig8(grains []float64) []Fig8Row {
+	rows := make([]Fig8Row, len(grains))
+	for i, g := range grains {
+		rows[i] = Fig8Row{
+			Grain: g,
+			SC:    m.StepTime(parmd.SchemeSC, g),
+			FS:    m.StepTime(parmd.SchemeFS, g),
+			Hy:    m.StepTime(parmd.SchemeHybrid, g),
+		}
+	}
+	return rows
+}
+
+// Crossover locates the granularity where SC-MD and Hybrid-MD trade
+// the advantage (paper: ≈ 2095 on Xeon, ≈ 425 on BG/Q), by bisection
+// over [lo, hi]. It returns an error when no crossover exists in the
+// bracket.
+func (m *Model) Crossover(lo, hi float64) (float64, error) {
+	diff := func(g float64) float64 {
+		return m.StepTime(parmd.SchemeSC, g).Total() - m.StepTime(parmd.SchemeHybrid, g).Total()
+	}
+	dlo, dhi := diff(lo), diff(hi)
+	if dlo*dhi > 0 {
+		return 0, fmt.Errorf("perfmodel: no SC/Hybrid crossover in [%g, %g]", lo, hi)
+	}
+	for i := 0; i < 80; i++ {
+		mid := math.Sqrt(lo * hi) // bisect in log space
+		if diff(mid)*dlo <= 0 {
+			hi = mid
+		} else {
+			lo = mid
+			dlo = diff(lo)
+		}
+	}
+	return math.Sqrt(lo * hi), nil
+}
+
+// Fig9Row is one point of the strong-scaling Figure 9.
+type Fig9Row struct {
+	Tasks  int
+	Grain  float64
+	SC     float64 // speedup vs reference
+	FS     float64
+	Hy     float64
+	SCEff  float64 // parallel efficiency
+	FSEff  float64
+	HyEff  float64
+	SCTime float64 // modeled step time (s)
+	FSTime float64
+	HyTime float64
+}
+
+// Fig9 models strong scaling of a fixed N-atom silica system over the
+// given task counts, with speedups referenced to refTasks (one node in
+// the paper's runs): S = T(ref)·(something fixed N) / T(P), η =
+// S/(P/ref).
+func (m *Model) Fig9(nAtoms float64, taskCounts []int, refTasks int) []Fig9Row {
+	ref := map[parmd.Scheme]float64{}
+	for _, s := range parmd.Schemes() {
+		ref[s] = m.StepTime(s, nAtoms/float64(refTasks)).Total()
+	}
+	rows := make([]Fig9Row, len(taskCounts))
+	for i, p := range taskCounts {
+		g := nAtoms / float64(p)
+		tSC := m.StepTime(parmd.SchemeSC, g).Total()
+		tFS := m.StepTime(parmd.SchemeFS, g).Total()
+		tHy := m.StepTime(parmd.SchemeHybrid, g).Total()
+		scale := float64(p) / float64(refTasks)
+		rows[i] = Fig9Row{
+			Tasks: p, Grain: g,
+			SC: ref[parmd.SchemeSC] / tSC, FS: ref[parmd.SchemeFS] / tFS, Hy: ref[parmd.SchemeHybrid] / tHy,
+			SCTime: tSC, FSTime: tFS, HyTime: tHy,
+		}
+		rows[i].SCEff = rows[i].SC / scale
+		rows[i].FSEff = rows[i].FS / scale
+		rows[i].HyEff = rows[i].Hy / scale
+	}
+	return rows
+}

@@ -1,0 +1,193 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"sctuple/internal/parmd"
+)
+
+func TestMeasuredRatesSanity(t *testing.T) {
+	sc, err := MeasureRates(parmd.SchemeSC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := MeasureRates(parmd.SchemeFS)
+	hy, _ := MeasureRates(parmd.SchemeHybrid)
+
+	// All schemes evaluate the same physics: identical tuple counts.
+	if math.Abs(sc.PairsPerAtom-hy.PairsPerAtom) > 1e-9 ||
+		math.Abs(sc.TripletsPerAtom-hy.TripletsPerAtom) > 1e-9 ||
+		math.Abs(sc.PairsPerAtom-fs.PairsPerAtom) > 1e-9 {
+		t.Errorf("tuple counts differ across schemes: SC %+v FS %+v Hy %+v", sc, fs, hy)
+	}
+	// §5.1: FS searches about twice as many candidates as SC.
+	if r := fs.SearchPerAtom / sc.SearchPerAtom; r < 1.7 || r > 2.2 {
+		t.Errorf("FS/SC search ratio %g, want ≈ 27/14", r)
+	}
+	// Hybrid prunes triplets from the pair list: cheapest search.
+	if !(hy.SearchPerAtom < sc.SearchPerAtom) {
+		t.Errorf("Hybrid search %g not below SC %g", hy.SearchPerAtom, sc.SearchPerAtom)
+	}
+	// Pattern-application overhead dominates for the cell codes only.
+	if !(sc.PathsPerAtom > 50 && hy.PathsPerAtom < 10) {
+		t.Errorf("path application rates: SC %g, Hy %g", sc.PathsPerAtom, hy.PathsPerAtom)
+	}
+	// Physical plausibility of the silica workload: ~23 pairs within
+	// 5.5 Å and ~9 triplets within 2.6 Å per atom.
+	if sc.PairsPerAtom < 15 || sc.PairsPerAtom > 35 {
+		t.Errorf("pairs per atom %g outside silica expectation", sc.PairsPerAtom)
+	}
+}
+
+func TestImportGeometry(t *testing.T) {
+	// SC imports must stay below the baselines at every granularity,
+	// approaching the 3l² vs 12l² surface ratio of 1/4 for large l.
+	for _, g := range []float64{24, 100, 1000, 10000, 1e6} {
+		sc := ImportAtoms(parmd.SchemeSC, g)
+		fs := ImportAtoms(parmd.SchemeFS, g)
+		hy := ImportAtoms(parmd.SchemeHybrid, g)
+		if !(sc < fs) || fs != hy {
+			t.Errorf("g=%g: imports SC %g FS %g Hy %g", g, sc, fs, hy)
+		}
+	}
+	r := ImportAtoms(parmd.SchemeSC, 1e9) / ImportAtoms(parmd.SchemeFS, 1e9)
+	if math.Abs(r-0.25) > 0.02 {
+		t.Errorf("asymptotic SC/FS import ratio %g, want ≈ 1/4", r)
+	}
+}
+
+func TestModelFig8Shape(t *testing.T) {
+	for _, machine := range Machines() {
+		m, err := NewModel(machine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// SC-MD must be fastest at the finest grain of Fig. 8.
+		fine := m.Fig8([]float64{24})[0]
+		if !(fine.SC.Total() < fine.Hy.Total() && fine.SC.Total() < fine.FS.Total()) {
+			t.Errorf("%s: SC not fastest at N/P=24", machine.Name)
+		}
+		// FS-MD is never the winner (paper Fig. 8: SC or Hybrid win).
+		for _, g := range []float64{24, 300, 3000, 3e5} {
+			row := m.Fig8([]float64{g})[0]
+			if row.FS.Total() < row.SC.Total() && row.FS.Total() < row.Hy.Total() {
+				t.Errorf("%s: FS wins at g=%g", machine.Name, g)
+			}
+		}
+		// Runtime must be monotonically increasing in granularity.
+		rows := m.Fig8([]float64{24, 100, 425, 2095, 10000})
+		for i := 1; i < len(rows); i++ {
+			if rows[i].SC.Total() <= rows[i-1].SC.Total() {
+				t.Errorf("%s: SC time not increasing at %g", machine.Name, rows[i].Grain)
+			}
+		}
+	}
+}
+
+func TestModelCrossoversExistAndOrder(t *testing.T) {
+	xeon, err := NewModel(IntelXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgq, err := NewModel(BlueGeneQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xx, err := xeon.Crossover(30, 1e8)
+	if err != nil {
+		t.Fatalf("Xeon: %v", err)
+	}
+	xb, err := bgq.Crossover(30, 1e8)
+	if err != nil {
+		t.Fatalf("BGQ: %v", err)
+	}
+	// Paper Fig. 8: the BG/Q crossover falls at considerably finer
+	// granularity than the Xeon one (425 vs 2095 in the paper).
+	if !(xb < xx/3) {
+		t.Errorf("crossovers: BGQ %g not well below Xeon %g", xb, xx)
+	}
+}
+
+func TestModelFineGrainSpeedups(t *testing.T) {
+	// The paper's headline finest-grain speedups: 9.7×/10.5× over
+	// Hybrid/FS on Xeon, 5.1×/5.7× on BG/Q (§5.2). The model must land
+	// within ±25%.
+	cases := []struct {
+		m    Machine
+		vsHy float64
+		vsFS float64
+	}{
+		{IntelXeon(), 9.7, 10.5},
+		{BlueGeneQ(), 5.1, 5.7},
+	}
+	for _, c := range cases {
+		m, err := NewModel(c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := m.Fig8([]float64{24})[0]
+		gotHy := row.Hy.Total() / row.SC.Total()
+		gotFS := row.FS.Total() / row.SC.Total()
+		if math.Abs(gotHy-c.vsHy)/c.vsHy > 0.25 {
+			t.Errorf("%s: SC speedup vs Hybrid at N/P=24 = %.2f, paper %.1f", c.m.Name, gotHy, c.vsHy)
+		}
+		if math.Abs(gotFS-c.vsFS)/c.vsFS > 0.25 {
+			t.Errorf("%s: SC speedup vs FS at N/P=24 = %.2f, paper %.1f", c.m.Name, gotFS, c.vsFS)
+		}
+	}
+}
+
+func TestModelFig9Shape(t *testing.T) {
+	// Strong scaling of 0.88 M atoms on Xeon, 12 → 768 tasks: SC stays
+	// far more efficient than both baselines, baselines collapse.
+	m, err := NewModel(IntelXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := m.Fig9(0.88e6, []int{12, 48, 192, 768}, 12)
+	last := rows[len(rows)-1]
+	if !(last.SCEff > 0.6) {
+		t.Errorf("SC efficiency at 768 tasks = %.2f, want > 0.6 (paper 0.926)", last.SCEff)
+	}
+	if !(last.FSEff < 0.55 && last.HyEff < 0.4) {
+		t.Errorf("baseline efficiencies FS %.2f Hy %.2f too high (paper 0.383/0.268)", last.FSEff, last.HyEff)
+	}
+	if !(last.SCEff > last.FSEff && last.FSEff > last.HyEff) {
+		t.Errorf("Xeon efficiency ordering broken: SC %.2f FS %.2f Hy %.2f", last.SCEff, last.FSEff, last.HyEff)
+	}
+	// Reference row scales to exactly 1.
+	if math.Abs(rows[0].SC-1) > 1e-12 || math.Abs(rows[0].SCEff-1) > 1e-12 {
+		t.Errorf("reference row speedup %.3f eff %.3f", rows[0].SC, rows[0].SCEff)
+	}
+	// Speedups must increase with task count for SC.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SC <= rows[i-1].SC {
+			t.Errorf("SC speedup not increasing at %d tasks", rows[i].Tasks)
+		}
+	}
+}
+
+func TestModelExtremeScalePoint(t *testing.T) {
+	// §5.3: 50.3 M atoms on up to 524 288 BG/Q cores (2 097 152 tasks),
+	// reference 128 cores (512 tasks): SC keeps > 60% efficiency.
+	m, err := NewModel(BlueGeneQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := m.Fig9(50.3e6, []int{512, 16384, 524288, 2097152}, 512)
+	last := rows[len(rows)-1]
+	if !(last.SCEff > 0.6) {
+		t.Errorf("extreme-scale SC efficiency %.2f, want > 0.6 (paper 0.919)", last.SCEff)
+	}
+}
+
+func TestCrossoverErrorWhenNoBracket(t *testing.T) {
+	m, err := NewModel(IntelXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Crossover(30, 40); err == nil {
+		t.Error("expected bracket error")
+	}
+}

@@ -1,0 +1,66 @@
+package potential
+
+import (
+	"math"
+
+	"sctuple/internal/geom"
+)
+
+// LennardJones is the truncated-and-shifted 12-6 Lennard-Jones pair
+// potential
+//
+//	V(r) = 4ε[(σ/r)¹² − (σ/r)⁶] − V(rc)   for r < rc,
+//
+// a single-species pair (n = 2) term. The shift removes the energy
+// discontinuity at the cutoff; the residual force discontinuity is
+// O(ε/rc⁷) and negligible for rc ≥ 2.5σ.
+type LennardJones struct {
+	Epsilon float64 // well depth ε (eV)
+	Sigma   float64 // zero-crossing distance σ (Å)
+	Rc      float64 // cutoff (Å)
+
+	shift float64 // V(rc) before shifting
+}
+
+// NewLennardJones builds the term and precomputes the energy shift.
+func NewLennardJones(epsilon, sigma, rc float64) *LennardJones {
+	lj := &LennardJones{Epsilon: epsilon, Sigma: sigma, Rc: rc}
+	sr6 := math.Pow(sigma/rc, 6)
+	lj.shift = 4 * epsilon * (sr6*sr6 - sr6)
+	return lj
+}
+
+// NewLJModel wraps a Lennard-Jones term in a single-species model with
+// the given atomic mass.
+func NewLJModel(epsilon, sigma, rc, mass float64) *Model {
+	return &Model{
+		Name:    "lennard-jones",
+		Species: []Species{{Name: "LJ", Mass: mass}},
+		Terms:   []Term{NewLennardJones(epsilon, sigma, rc)},
+	}
+}
+
+// N returns 2.
+func (lj *LennardJones) N() int { return 2 }
+
+// Cutoff returns the pair cutoff.
+func (lj *LennardJones) Cutoff() float64 { return lj.Rc }
+
+// Eval implements Term for the pair (i, j).
+func (lj *LennardJones) Eval(_ []int32, pos []geom.Vec3, f []geom.Vec3) float64 {
+	d := pos[0].Sub(pos[1])
+	r2 := d.Norm2()
+	if r2 >= lj.Rc*lj.Rc || r2 == 0 {
+		return 0
+	}
+	s2 := lj.Sigma * lj.Sigma / r2
+	s6 := s2 * s2 * s2
+	s12 := s6 * s6
+	e := 4*lj.Epsilon*(s12-s6) - lj.shift
+	// F_i = -∂V/∂r_i = (24ε/r²)(2(σ/r)¹² − (σ/r)⁶) · (r_i − r_j)
+	fr := 24 * lj.Epsilon * (2*s12 - s6) / r2
+	fv := d.Scale(fr)
+	f[0] = f[0].Add(fv)
+	f[1] = f[1].Sub(fv)
+	return e
+}

@@ -1,0 +1,90 @@
+package potential
+
+import (
+	"math"
+
+	"sctuple/internal/geom"
+)
+
+// StillingerWeberParams holds the classic Stillinger-Weber silicon
+// parameters (Stillinger & Weber, PRB 31, 5262 (1985)).
+type StillingerWeberParams struct {
+	Epsilon float64 // energy scale ε (eV)
+	Sigma   float64 // length scale σ (Å)
+	A, B    float64 // pair strengths
+	P, Q    float64 // pair exponents
+	ACut    float64 // reduced cutoff a: pair/triplet cutoff is a·σ
+	Lambda  float64 // three-body strength λ
+	Gamma   float64 // three-body decay γ
+}
+
+// SiliconSW returns the published silicon parameter set.
+func SiliconSW() StillingerWeberParams {
+	return StillingerWeberParams{
+		Epsilon: 2.1683,
+		Sigma:   2.0951,
+		A:       7.049556277,
+		B:       0.6022245584,
+		P:       4,
+		Q:       0,
+		ACut:    1.80,
+		Lambda:  21.0,
+		Gamma:   1.20,
+	}
+}
+
+// swPair is the Stillinger-Weber two-body term
+//
+//	V₂(r) = εA (B(σ/r)^p − (σ/r)^q) exp(σ/(r − aσ)),
+//
+// which vanishes with all derivatives at r = aσ.
+type swPair struct {
+	p  StillingerWeberParams
+	rc float64
+}
+
+// NewStillingerWeberModel builds a single-species SW model (silicon by
+// default via SiliconSW). The three-body part reuses the Vashishta
+// bond-bending term, to which SW's h-function is mathematically
+// identical: B = ελ, cosθ̄ = −1/3, γ' = γσ, r0 = aσ, C = 0.
+func NewStillingerWeberModel(p StillingerWeberParams, mass float64) *Model {
+	rc := p.ACut * p.Sigma
+	trip := [][][]VashishtaTripletParams{
+		{{{B: p.Epsilon * p.Lambda, CosTheta0: -1.0 / 3.0, C: 0, Gamma: p.Gamma * p.Sigma, R0: rc}}},
+	}
+	return &Model{
+		Name:    "stillinger-weber",
+		Species: []Species{{Name: "Si", Mass: mass}},
+		Terms: []Term{
+			&swPair{p: p, rc: rc},
+			NewVashishtaTripletTerm(rc, trip),
+		},
+	}
+}
+
+// N returns 2.
+func (s *swPair) N() int { return 2 }
+
+// Cutoff returns aσ.
+func (s *swPair) Cutoff() float64 { return s.rc }
+
+// Eval implements Term for the pair (i, j).
+func (s *swPair) Eval(_ []int32, pos []geom.Vec3, f []geom.Vec3) float64 {
+	d := pos[0].Sub(pos[1])
+	r2 := d.Norm2()
+	if r2 >= s.rc*s.rc || r2 == 0 {
+		return 0
+	}
+	r := math.Sqrt(r2)
+	p := s.p
+	sp := math.Pow(p.Sigma/r, p.P)
+	sq := math.Pow(p.Sigma/r, p.Q)
+	expf := math.Exp(p.Sigma / (r - s.rc))
+	v := p.Epsilon * p.A * (p.B*sp - sq) * expf
+	dv := p.Epsilon*p.A*(-p.P*p.B*sp/r+p.Q*sq/r)*expf -
+		v*p.Sigma/((r-s.rc)*(r-s.rc))
+	fv := d.Scale(-dv / r)
+	f[0] = f[0].Add(fv)
+	f[1] = f[1].Sub(fv)
+	return v
+}

@@ -1,0 +1,119 @@
+package potential
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/geom"
+)
+
+func TestTabulatedPairAccuracy(t *testing.T) {
+	model := NewSilicaModel()
+	src := model.Terms[0]
+	tab, err := NewTabulatedPair(src, 2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pos := []geom.Vec3{{}, {}}
+	fa := []geom.Vec3{{}, {}}
+	fb := []geom.Vec3{{}, {}}
+	for trial := 0; trial < 2000; trial++ {
+		r := 1.6 + rng.Float64()*(src.Cutoff()-1.65)
+		dir := geom.V(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalized()
+		pos[1] = dir.Scale(r)
+		sp := []int32{int32(rng.Intn(2)), int32(rng.Intn(2))}
+		fa[0], fa[1], fb[0], fb[1] = geom.Vec3{}, geom.Vec3{}, geom.Vec3{}, geom.Vec3{}
+		eSrc := src.Eval(sp, pos, fa)
+		eTab := tab.Eval(sp, pos, fb)
+		if math.Abs(eSrc-eTab) > 2e-5*(1+math.Abs(eSrc)) {
+			t.Fatalf("r=%.3f sp=%v: energy %g vs table %g", r, sp, eSrc, eTab)
+		}
+		if d := fa[0].Sub(fb[0]).Norm(); d > 5e-4*(1+fa[0].Norm()) {
+			t.Fatalf("r=%.3f sp=%v: force %v vs table %v", r, sp, fa[0], fb[0])
+		}
+	}
+}
+
+func TestTabulatedPairCutoffAndCore(t *testing.T) {
+	tab, err := NewTabulatedPair(NewLennardJones(1, 1, 2.5), 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := []geom.Vec3{{}, {}}
+	if e := tab.Eval([]int32{0, 0}, []geom.Vec3{{}, geom.V(2.6, 0, 0)}, f); e != 0 {
+		t.Errorf("beyond-cutoff energy %g", e)
+	}
+	// Deep core stays finite (clamped to the innermost sample).
+	e := tab.Eval([]int32{0, 0}, []geom.Vec3{{}, geom.V(0.05, 0, 0)}, f)
+	if math.IsInf(e, 0) || math.IsNaN(e) {
+		t.Errorf("core energy %v", e)
+	}
+}
+
+func TestTabulatedPairNewtonThirdLaw(t *testing.T) {
+	tab, err := NewTabulatedPair(NewLennardJones(1, 1, 2.5), 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := []geom.Vec3{{}, {}}
+	tab.Eval([]int32{0, 0}, []geom.Vec3{{}, geom.V(1.2, 0.4, -0.3)}, f)
+	if s := f[0].Add(f[1]).Norm(); s > 1e-12 {
+		t.Errorf("forces sum to %g", s)
+	}
+}
+
+func TestTabulatedPairValidation(t *testing.T) {
+	model := NewSilicaModel()
+	if _, err := NewTabulatedPair(model.Terms[1], 2, 1024); err == nil {
+		t.Error("triplet term tabulated")
+	}
+	if _, err := NewTabulatedPair(model.Terms[0], 2, 4); err == nil {
+		t.Error("tiny resolution accepted")
+	}
+	if _, err := NewTabulatedPair(model.Terms[0], 0, 1024); err == nil {
+		t.Error("zero species accepted")
+	}
+}
+
+func TestTabulatedModel(t *testing.T) {
+	model := NewSilicaModel()
+	tab, err := TabulatedModel(model, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.MaxN() != 3 || tab.MaxCutoff() != model.MaxCutoff() {
+		t.Errorf("tabulated model shape changed: maxN %d cutoff %g", tab.MaxN(), tab.MaxCutoff())
+	}
+	if _, ok := tab.Terms[0].(*TabulatedPair); !ok {
+		t.Error("pair term not tabulated")
+	}
+	if tab.Terms[1] != model.Terms[1] {
+		t.Error("triplet term should be shared, not copied")
+	}
+}
+
+func TestTabulatedPairForceDirection(t *testing.T) {
+	// At short range LJ is repulsive: the force on atom 0 points away
+	// from atom 1.
+	tab, err := NewTabulatedPair(NewLennardJones(1, 1, 2.5), 1, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := []geom.Vec3{{}, {}}
+	tab.Eval([]int32{0, 0}, []geom.Vec3{{}, geom.V(0.9, 0, 0)}, f)
+	if f[0].X >= 0 {
+		t.Errorf("repulsive force on atom 0 has X = %g, want < 0", f[0].X)
+	}
+	// Near the minimum (r ≈ 1.12σ) attraction: force on atom 0 toward
+	// atom 1.
+	f[0], f[1] = geom.Vec3{}, geom.Vec3{}
+	tab.Eval([]int32{0, 0}, []geom.Vec3{{}, geom.V(1.5, 0, 0)}, f)
+	if f[0].X <= 0 {
+		t.Errorf("attractive force on atom 0 has X = %g, want > 0", f[0].X)
+	}
+}

@@ -1,0 +1,39 @@
+package trajio
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrame hardens the parser against malformed trajectories: it
+// must return an error or a frame, never panic, and any parsed frame
+// must be internally consistent.
+func FuzzReadFrame(f *testing.F) {
+	f.Add("1\nLattice=\"1 0 0 0 1 0 0 0 1\"\nSi 0 0 0\n")
+	f.Add("2\nLattice=\"2 0 0 0 3 0 0 0 4\" step=1\nSi 0.5 0.5 0.5\nO 1 1 1\n")
+	f.Add("0\nLattice=\"1 0 0 0 1 0 0 0 1\"\n")
+	f.Add("x\n")
+	f.Add("")
+	f.Add("3\nLattice=\"1 0 0\"\n")
+	f.Add("1\nLattice=\"1 0 0 0 1 0 0 0 1\nSi nan inf 0\n")
+	f.Add("9999999999\nLattice=\"1 0 0 0 1 0 0 0 1\"\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		r := NewReader(strings.NewReader(input))
+		for i := 0; i < 4; i++ {
+			frame, err := r.ReadFrame()
+			if err != nil {
+				if err != io.EOF && frame != nil {
+					t.Fatal("frame returned alongside an error")
+				}
+				return
+			}
+			if len(frame.Names) != len(frame.Pos) {
+				t.Fatalf("inconsistent frame: %d names, %d positions", len(frame.Names), len(frame.Pos))
+			}
+			if !(frame.Box.L.X > 0 && frame.Box.L.Y > 0 && frame.Box.L.Z > 0) {
+				t.Fatalf("non-positive box %v accepted", frame.Box.L)
+			}
+		}
+	})
+}

@@ -1,0 +1,182 @@
+// Package trajio reads and writes atomic configurations in the
+// (extended) XYZ trajectory format, the lingua franca of MD
+// visualization tools. Frames carry the periodic box in the comment
+// line as a Lattice= attribute, so round trips preserve the full
+// simulation state geometry.
+package trajio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"sctuple/internal/geom"
+)
+
+// Frame is one trajectory snapshot.
+type Frame struct {
+	Box     geom.Box
+	Names   []string // species names, parallel to Pos
+	Pos     []geom.Vec3
+	Comment string // free-form remainder of the comment line
+}
+
+// N returns the atom count.
+func (f *Frame) N() int { return len(f.Pos) }
+
+// WriteFrame appends one frame in extended-XYZ form:
+//
+//	<natoms>
+//	Lattice="Lx 0 0 0 Ly 0 0 0 Lz" <comment>
+//	<name> <x> <y> <z>
+func WriteFrame(w io.Writer, f *Frame) error {
+	if len(f.Names) != len(f.Pos) {
+		return fmt.Errorf("trajio: %d names for %d positions", len(f.Names), len(f.Pos))
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", len(f.Pos))
+	fmt.Fprintf(bw, "Lattice=\"%g 0 0 0 %g 0 0 0 %g\"", f.Box.L.X, f.Box.L.Y, f.Box.L.Z)
+	if f.Comment != "" {
+		fmt.Fprintf(bw, " %s", f.Comment)
+	}
+	fmt.Fprintln(bw)
+	for i, r := range f.Pos {
+		fmt.Fprintf(bw, "%s %.17g %.17g %.17g\n", f.Names[i], r.X, r.Y, r.Z)
+	}
+	return bw.Flush()
+}
+
+// Reader streams frames from an XYZ trajectory.
+type Reader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewReader wraps an input stream.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	return &Reader{s: s}
+}
+
+func (r *Reader) next() (string, bool) {
+	if !r.s.Scan() {
+		return "", false
+	}
+	r.line++
+	return r.s.Text(), true
+}
+
+// ReadFrame parses the next frame. It returns io.EOF when the stream
+// is exhausted cleanly.
+func (r *Reader) ReadFrame() (*Frame, error) {
+	header, ok := r.next()
+	if !ok {
+		if err := r.s.Err(); err != nil {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	header = strings.TrimSpace(header)
+	if header == "" {
+		return nil, io.EOF
+	}
+	n, err := strconv.Atoi(header)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("trajio: line %d: bad atom count %q", r.line, header)
+	}
+	comment, ok := r.next()
+	if !ok {
+		return nil, fmt.Errorf("trajio: line %d: missing comment line", r.line)
+	}
+	// Never trust the header for allocation: a corrupt count must fail
+	// at the first missing atom line, not by exhausting memory.
+	capHint := n
+	if capHint > 65536 {
+		capHint = 65536
+	}
+	f := &Frame{
+		Names: make([]string, 0, capHint),
+		Pos:   make([]geom.Vec3, 0, capHint),
+	}
+	f.Box, f.Comment, err = parseComment(comment)
+	if err != nil {
+		return nil, fmt.Errorf("trajio: line %d: %w", r.line, err)
+	}
+	for i := 0; i < n; i++ {
+		line, ok := r.next()
+		if !ok {
+			return nil, fmt.Errorf("trajio: truncated frame: %d of %d atoms", i, n)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("trajio: line %d: want 4 fields, got %d", r.line, len(fields))
+		}
+		var v geom.Vec3
+		for c := 0; c < 3; c++ {
+			x, err := strconv.ParseFloat(fields[c+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trajio: line %d: %w", r.line, err)
+			}
+			v.SetComp(c, x)
+		}
+		f.Names = append(f.Names, fields[0])
+		f.Pos = append(f.Pos, v)
+	}
+	return f, nil
+}
+
+// ReadAll collects every remaining frame.
+func (r *Reader) ReadAll() ([]*Frame, error) {
+	var out []*Frame
+	for {
+		f, err := r.ReadFrame()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, f)
+	}
+}
+
+// parseComment extracts the Lattice attribute (orthorhombic diagonal)
+// and returns the rest of the comment.
+func parseComment(line string) (geom.Box, string, error) {
+	const key = `Lattice="`
+	idx := strings.Index(line, key)
+	if idx < 0 {
+		return geom.Box{}, "", fmt.Errorf("no Lattice attribute in %q", line)
+	}
+	rest := line[idx+len(key):]
+	end := strings.Index(rest, `"`)
+	if end < 0 {
+		return geom.Box{}, "", fmt.Errorf("unterminated Lattice attribute")
+	}
+	fields := strings.Fields(rest[:end])
+	if len(fields) != 9 {
+		return geom.Box{}, "", fmt.Errorf("Lattice needs 9 numbers, got %d", len(fields))
+	}
+	vals := make([]float64, 9)
+	for i, f := range fields {
+		x, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return geom.Box{}, "", err
+		}
+		vals[i] = x
+	}
+	for i, v := range vals {
+		onDiag := i == 0 || i == 4 || i == 8
+		if !onDiag && v != 0 {
+			return geom.Box{}, "", fmt.Errorf("only orthorhombic lattices supported")
+		}
+		if onDiag && !(v > 0) {
+			return geom.Box{}, "", fmt.Errorf("non-positive lattice diagonal")
+		}
+	}
+	comment := strings.Join(strings.Fields(line[:idx]+rest[end+1:]), " ")
+	return geom.NewBox(vals[0], vals[4], vals[8]), comment, nil
+}

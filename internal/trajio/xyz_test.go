@@ -1,0 +1,122 @@
+package trajio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sctuple/internal/geom"
+)
+
+func randomFrame(rng *rand.Rand, n int) *Frame {
+	f := &Frame{
+		Box:     geom.NewBox(10, 12.5, 8.25),
+		Comment: "step=42",
+	}
+	names := []string{"Si", "O"}
+	for i := 0; i < n; i++ {
+		f.Names = append(f.Names, names[rng.Intn(2)])
+		f.Pos = append(f.Pos, geom.V(rng.Float64()*10, rng.Float64()*12.5, rng.Float64()*8.25))
+	}
+	return f
+}
+
+func TestRoundTripSingleFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	want := randomFrame(rng, 50)
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != want.N() || got.Comment != want.Comment {
+		t.Fatalf("frame meta mismatch: %d atoms, comment %q", got.N(), got.Comment)
+	}
+	if got.Box.L != want.Box.L {
+		t.Fatalf("box %v, want %v", got.Box.L, want.Box.L)
+	}
+	for i := range want.Pos {
+		if got.Names[i] != want.Names[i] {
+			t.Fatalf("atom %d name %q, want %q", i, got.Names[i], want.Names[i])
+		}
+		if got.Pos[i].Sub(want.Pos[i]).Norm() > 1e-9 {
+			t.Fatalf("atom %d position %v, want %v", i, got.Pos[i], want.Pos[i])
+		}
+	}
+}
+
+func TestRoundTripTrajectory(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var buf bytes.Buffer
+	var frames []*Frame
+	for i := 0; i < 5; i++ {
+		f := randomFrame(rng, 10+i)
+		frames = append(frames, f)
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("read %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if got[i].N() != frames[i].N() {
+			t.Fatalf("frame %d has %d atoms, want %d", i, got[i].N(), frames[i].N())
+		}
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want EOF", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad count":        "x\ncomment\n",
+		"missing comment":  "2\n",
+		"truncated atoms":  "2\nLattice=\"1 0 0 0 1 0 0 0 1\"\nSi 0 0 0\n",
+		"bad field count":  "1\nLattice=\"1 0 0 0 1 0 0 0 1\"\nSi 0 0\n",
+		"bad coordinate":   "1\nLattice=\"1 0 0 0 1 0 0 0 1\"\nSi a b c\n",
+		"no lattice":       "1\njust a comment\nSi 0 0 0\n",
+		"non-orthorhombic": "1\nLattice=\"1 0.5 0 0 1 0 0 0 1\"\nSi 0 0 0\n",
+		"short lattice":    "1\nLattice=\"1 0 0\"\nSi 0 0 0\n",
+	}
+	for name, input := range cases {
+		if _, err := NewReader(strings.NewReader(input)).ReadFrame(); err == nil {
+			t.Errorf("%s: error expected", name)
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	f := &Frame{Box: geom.NewCubicBox(1), Names: []string{"Si"}, Pos: nil}
+	if err := WriteFrame(io.Discard, f); err == nil {
+		t.Error("mismatched names/positions accepted")
+	}
+}
+
+func TestCommentPreserved(t *testing.T) {
+	input := "1\nprefix Lattice=\"2 0 0 0 3 0 0 0 4\" suffix words\nO 1 2 3\n"
+	f, err := NewReader(strings.NewReader(input)).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Comment != "prefix suffix words" {
+		t.Errorf("comment %q", f.Comment)
+	}
+	if f.Box.L != geom.V(2, 3, 4) {
+		t.Errorf("box %v", f.Box.L)
+	}
+}

@@ -1,0 +1,132 @@
+package tuple
+
+import (
+	"sort"
+
+	"sctuple/internal/geom"
+)
+
+// BruteForce enumerates Γ*(n) (Eq. 6) directly from positions, with no
+// cell structure: every undirected chain of n distinct atoms whose
+// consecutive minimum-image distances are below the cutoff, each
+// reported once in canonical orientation (first index < last index).
+//
+// Cost is O(N·k^(n-1)) with k the mean neighbor count, so this is
+// strictly a reference for tests and small benchmarks. The returned
+// chains are sorted lexicographically.
+func BruteForce(box geom.Box, positions []geom.Vec3, n int, cutoff float64) [][]int32 {
+	if n < 2 {
+		return nil
+	}
+	adj := adjacency(box, positions, cutoff)
+	var out [][]int32
+	chain := make([]int32, n)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			if chain[0] < chain[n-1] ||
+				(chain[0] == chain[n-1] && false) { // ends never equal: atoms distinct
+				c := make([]int32, n)
+				copy(c, chain)
+				out = append(out, c)
+			}
+			return
+		}
+		last := chain[k-1]
+		for _, nb := range adj[last] {
+			used := false
+			for j := 0; j < k; j++ {
+				if chain[j] == nb {
+					used = true
+					break
+				}
+			}
+			if used {
+				continue
+			}
+			chain[k] = nb
+			rec(k + 1)
+		}
+	}
+	for i := range positions {
+		chain[0] = int32(i)
+		rec(1)
+	}
+	sortChains(out)
+	return out
+}
+
+// adjacency builds, for every atom, the list of atoms strictly within
+// the cutoff (minimum-image convention).
+func adjacency(box geom.Box, positions []geom.Vec3, cutoff float64) [][]int32 {
+	c2 := cutoff * cutoff
+	adj := make([][]int32, len(positions))
+	for i := 0; i < len(positions); i++ {
+		for j := i + 1; j < len(positions); j++ {
+			if box.Distance2(positions[i], positions[j]) < c2 {
+				adj[i] = append(adj[i], int32(j))
+				adj[j] = append(adj[j], int32(i))
+			}
+		}
+	}
+	return adj
+}
+
+// Canonical returns the chain in canonical orientation: reversed if the
+// last index is below the first.
+func Canonical(chain []int32) []int32 {
+	if len(chain) == 0 || chain[0] <= chain[len(chain)-1] {
+		return chain
+	}
+	r := make([]int32, len(chain))
+	for i, v := range chain {
+		r[len(chain)-1-i] = v
+	}
+	return r
+}
+
+// sortChains orders chains lexicographically in place.
+func sortChains(chains [][]int32) {
+	sort.Slice(chains, func(a, b int) bool {
+		x, y := chains[a], chains[b]
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return len(x) < len(y)
+	})
+}
+
+// ChainsEqual reports whether two sorted chain lists are identical.
+func ChainsEqual(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CollectCanonical runs the enumerator and gathers every emitted tuple
+// in canonical orientation, sorted — the form BruteForce produces —
+// so tests can compare force sets directly.
+func CollectCanonical(e *Enumerator, positions []geom.Vec3) ([][]int32, Stats) {
+	var out [][]int32
+	st := e.Visit(positions, func(atoms []int32, _ []geom.Vec3) {
+		c := make([]int32, len(atoms))
+		copy(c, atoms)
+		c = Canonical(c)
+		out = append(out, c)
+	})
+	sortChains(out)
+	return out, st
+}

@@ -1,0 +1,323 @@
+package tuple
+
+import (
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/cell"
+	"sctuple/internal/core"
+	"sctuple/internal/geom"
+)
+
+// testSystem builds a random uniform configuration binned on a lattice
+// with the given cell dimensions.
+func testSystem(t *testing.T, seed int64, natoms int, boxSide float64, dims geom.IVec3) (geom.Box, []geom.Vec3, *cell.Binning) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	box := geom.NewCubicBox(boxSide)
+	pos := make([]geom.Vec3, natoms)
+	for i := range pos {
+		pos[i] = geom.V(rng.Float64()*boxSide, rng.Float64()*boxSide, rng.Float64()*boxSide)
+	}
+	lat, err := cell.NewLatticeDims(box, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return box, pos, cell.NewBinning(lat, pos)
+}
+
+// TestSCMatchesBruteForce is the gold test of the whole core+tuple
+// stack: for n = 2, 3, 4 the SC pattern's force set, canonicalized,
+// must equal Γ*(n) from brute force exactly (Theorem 2 made concrete).
+func TestSCMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		n      int
+		natoms int
+		dims   geom.IVec3
+	}{
+		{2, 120, geom.IV(4, 4, 4)},
+		{3, 70, geom.IV(4, 4, 4)},
+		{4, 40, geom.IV(5, 5, 5)},
+	}
+	for _, c := range cases {
+		for seed := int64(1); seed <= 3; seed++ {
+			box, pos, bin := testSystem(t, seed*100+int64(c.n), c.natoms, 8.0, c.dims)
+			cutoff := 0.95 * min3(bin.Lat.Side)
+			e, err := NewEnumerator(bin, core.SC(c.n), cutoff, DedupAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, st := CollectCanonical(e, pos)
+			want := BruteForce(box, pos, c.n, cutoff)
+			if !ChainsEqual(got, want) {
+				t.Errorf("n=%d seed=%d: SC force set has %d tuples, brute force %d",
+					c.n, seed, len(got), len(want))
+			}
+			if st.Emitted != int64(len(want)) {
+				t.Errorf("n=%d seed=%d: emitted %d != |Γ*| %d (duplicates?)",
+					c.n, seed, st.Emitted, len(want))
+			}
+		}
+	}
+}
+
+// TestFSMatchesBruteForce verifies Lemma 1: the full-shell pattern with
+// canonical dedup also reproduces Γ*(n) exactly, at roughly double the
+// search cost.
+func TestFSMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		dims := geom.IV(5, 5, 5)
+		box, pos, bin := testSystem(t, int64(n), 60, 8.0, dims)
+		cutoff := 0.95 * min3(bin.Lat.Side)
+		e, err := NewEnumerator(bin, core.FS(n), cutoff, DedupAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Dedup() != DedupCanonical {
+			t.Fatalf("FS pattern resolved dedup %v, want canonical", e.Dedup())
+		}
+		got, _ := CollectCanonical(e, pos)
+		want := BruteForce(box, pos, n, cutoff)
+		if !ChainsEqual(got, want) {
+			t.Errorf("n=%d: FS force set has %d tuples, brute force %d", n, len(got), len(want))
+		}
+	}
+}
+
+// TestHalfAndEighthShellMatchBruteForce covers the classic pair methods.
+func TestHalfAndEighthShellMatchBruteForce(t *testing.T) {
+	for _, shell := range []core.Shell{core.ShellFull, core.ShellHalf, core.ShellEighth} {
+		box, pos, bin := testSystem(t, 42, 150, 9.0, geom.IV(4, 4, 4))
+		cutoff := 0.9 * min3(bin.Lat.Side)
+		e, err := NewEnumerator(bin, shell.Pattern(), cutoff, DedupAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := CollectCanonical(e, pos)
+		want := BruteForce(box, pos, 2, cutoff)
+		if !ChainsEqual(got, want) {
+			t.Errorf("%v: %d pairs, brute force %d", shell, len(got), len(want))
+		}
+	}
+}
+
+// TestFSCandidatesRoughlyDoubleSC quantifies §5.1 on a real
+// configuration: FS examines about twice the candidates of SC.
+func TestFSCandidatesRoughlyDoubleSC(t *testing.T) {
+	_, pos, bin := testSystem(t, 7, 300, 12.0, geom.IV(6, 6, 6))
+	cutoff := 0.9 * min3(bin.Lat.Side)
+	scE, err := NewEnumerator(bin, core.SC(3), cutoff, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsE, err := NewEnumerator(bin, core.FS(3), cutoff, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scE.Count(pos)
+	fs := fsE.Count(pos)
+	ratio := float64(fs.Candidates) / float64(sc.Candidates)
+	if ratio < 1.7 || ratio > 2.2 {
+		t.Errorf("FS/SC candidate ratio = %g, want ≈ 27/14 = 1.93", ratio)
+	}
+	if fs.Emitted != sc.Emitted {
+		t.Errorf("FS emitted %d != SC emitted %d", fs.Emitted, sc.Emitted)
+	}
+}
+
+// TestDedupNoneCountsBothOrientations: without reflection filtering,
+// every tuple appears in both orientations.
+func TestDedupNoneCountsBothOrientations(t *testing.T) {
+	_, pos, bin := testSystem(t, 8, 100, 8.0, geom.IV(4, 4, 4))
+	cutoff := 0.9 * min3(bin.Lat.Side)
+	fsRaw, err := NewEnumerator(bin, core.FS(2), cutoff, DedupNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsCan, err := NewEnumerator(bin, core.FS(2), cutoff, DedupCanonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := fsRaw.Count(pos)
+	can := fsCan.Count(pos)
+	if raw.Emitted != 2*can.Emitted {
+		t.Errorf("raw emitted %d != 2 × canonical %d", raw.Emitted, can.Emitted)
+	}
+}
+
+// TestPalindromicFilterExactness: for the SC pattern the reflection
+// cuts come only from palindromic paths, and the emitted set is exact.
+func TestPalindromicFilterExactness(t *testing.T) {
+	box, pos, bin := testSystem(t, 9, 80, 8.0, geom.IV(4, 4, 4))
+	cutoff := 0.9 * min3(bin.Lat.Side)
+	e, err := NewEnumerator(bin, core.SC(3), cutoff, DedupPalindromic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st := CollectCanonical(e, pos)
+	want := BruteForce(box, pos, 3, cutoff)
+	if !ChainsEqual(got, want) {
+		t.Errorf("palindromic dedup: %d tuples, want %d", len(got), len(want))
+	}
+	if st.ReflectionCut == 0 {
+		t.Error("expected some palindromic reflection cuts in a dense system")
+	}
+}
+
+// TestVisitCellsPartitionEqualsWhole: anchoring at disjoint cell sets
+// partitions the force set — the property parallel decomposition
+// relies on.
+func TestVisitCellsPartitionEqualsWhole(t *testing.T) {
+	box, pos, bin := testSystem(t, 10, 90, 8.0, geom.IV(4, 4, 4))
+	cutoff := 0.9 * min3(bin.Lat.Side)
+	e, err := NewEnumerator(bin, core.SC(3), cutoff, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all [][]int32
+	var half1, half2 []geom.IVec3
+	for i := 0; i < bin.Lat.NumCells(); i++ {
+		q := bin.Lat.CellAt(i)
+		if i%2 == 0 {
+			half1 = append(half1, q)
+		} else {
+			half2 = append(half2, q)
+		}
+	}
+	collect := func(cells []geom.IVec3) {
+		e.VisitCells(cells, pos, func(atoms []int32, _ []geom.Vec3) {
+			c := make([]int32, len(atoms))
+			copy(c, atoms)
+			all = append(all, Canonical(c))
+		})
+	}
+	collect(half1)
+	collect(half2)
+	sortChains(all)
+	want := BruteForce(box, pos, 3, cutoff)
+	if !ChainsEqual(all, want) {
+		t.Errorf("partitioned enumeration: %d tuples, want %d", len(all), len(want))
+	}
+}
+
+// TestCutoffSmallerThanCell: a link cutoff well below the cell side
+// (the r_cut3 < r_cut2 situation of the silica workload) must still be
+// exact.
+func TestCutoffSmallerThanCell(t *testing.T) {
+	box, pos, bin := testSystem(t, 11, 200, 8.0, geom.IV(4, 4, 4))
+	cutoff := 0.45 * min3(bin.Lat.Side)
+	e, err := NewEnumerator(bin, core.SC(3), cutoff, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := CollectCanonical(e, pos)
+	want := BruteForce(box, pos, 3, cutoff)
+	if !ChainsEqual(got, want) {
+		t.Errorf("small cutoff: %d tuples, want %d", len(got), len(want))
+	}
+}
+
+// TestEnumeratorRejectsOversizedCutoff and undersized lattices.
+func TestEnumeratorValidation(t *testing.T) {
+	_, _, bin := testSystem(t, 12, 10, 8.0, geom.IV(4, 4, 4))
+	if _, err := NewEnumerator(bin, core.SC(2), 2.5, DedupAuto); err == nil {
+		t.Error("cutoff > cell side accepted")
+	}
+	big := core.NewPattern(MaxN+1, core.NewPath(make([]geom.IVec3, MaxN+1)...))
+	if _, err := NewEnumerator(bin, big, 1.0, DedupAuto); err == nil {
+		t.Error("n > MaxN accepted")
+	}
+	_, _, small := testSystem(t, 13, 10, 8.0, geom.IV(2, 2, 2))
+	if _, err := NewEnumerator(small, core.SC(2), 1.0, DedupAuto); err == nil {
+		t.Error("2³ lattice accepted (needs ≥ 3 per side)")
+	}
+	// FS(3) spans [-2,2]: needs ≥ 5 cells per side.
+	_, _, four := testSystem(t, 14, 10, 8.0, geom.IV(4, 4, 4))
+	if _, err := NewEnumerator(four, core.FS(3), 1.0, DedupAuto); err == nil {
+		t.Error("4³ lattice accepted for FS(3) span 4")
+	}
+}
+
+// TestEmptySystem: enumerating zero atoms is a no-op, not a crash.
+func TestEmptySystem(t *testing.T) {
+	_, _, bin := testSystem(t, 15, 0, 8.0, geom.IV(4, 4, 4))
+	e, err := NewEnumerator(bin, core.SC(3), 1.5, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Count(nil)
+	if st.Emitted != 0 || st.Candidates != 0 {
+		t.Errorf("empty system produced work: %v", st)
+	}
+}
+
+// TestTupleGeometryAcrossBoundary: emitted positions must be
+// image-resolved so consecutive distances are real distances.
+func TestTupleGeometryAcrossBoundary(t *testing.T) {
+	box := geom.NewCubicBox(9)
+	// Chain crossing the periodic boundary in x.
+	pos := []geom.Vec3{
+		geom.V(8.8, 4.5, 4.5),
+		geom.V(0.2, 4.5, 4.5),
+		geom.V(1.5, 4.5, 4.5),
+	}
+	lat, _ := cell.NewLatticeDims(box, geom.IV(3, 3, 3))
+	bin := cell.NewBinning(lat, pos)
+	e, err := NewEnumerator(bin, core.SC(3), 2.9, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	e.Visit(pos, func(atoms []int32, p []geom.Vec3) {
+		found++
+		for k := 1; k < len(p); k++ {
+			d := p[k].Sub(p[k-1]).Norm()
+			if d >= 2.9 {
+				t.Errorf("emitted link distance %g ≥ cutoff", d)
+			}
+			want := box.Distance(pos[atoms[k]], pos[atoms[k-1]])
+			if diff := d - want; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("link %d: emitted distance %g, min-image %g", k, d, want)
+			}
+		}
+	})
+	// Exactly one triplet: 0-1-2 (distances 0.4+1.3 within cutoff,
+	// plus pairs are not tuples here). Chain 1-0-2 blocked (d(0,2)=2.7 < 2.9!).
+	// Distances: d01=0.4, d12=1.3, d02=2.7. Chains: 0-1-2 ✓, 1-0-2 (0.4, 2.7) ✓,
+	// 0-2-1 (2.7, 1.3) ✓. All three are valid triplets.
+	if found != 3 {
+		t.Errorf("found %d boundary-crossing triplets, want 3", found)
+	}
+}
+
+// TestStatsAccounting: counter identities that must hold exactly.
+func TestStatsAccounting(t *testing.T) {
+	_, pos, bin := testSystem(t, 16, 120, 8.0, geom.IV(4, 4, 4))
+	e, err := NewEnumerator(bin, core.SC(2), 1.9, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := e.Count(pos)
+	if st.Cells != bin.Lat.NumCells() {
+		t.Errorf("cells visited %d, want %d", st.Cells, bin.Lat.NumCells())
+	}
+	if st.PathApplications != int64(st.Cells)*int64(core.SC(2).Len()) {
+		t.Errorf("path applications %d, want cells×|Ψ|", st.PathApplications)
+	}
+	// Visiting again accumulates independently and identically.
+	st2 := e.Count(pos)
+	if st2 != st {
+		t.Errorf("re-enumeration differs: %+v vs %+v", st2, st)
+	}
+}
+
+func min3(v geom.Vec3) float64 {
+	m := v.X
+	if v.Y < m {
+		m = v.Y
+	}
+	if v.Z < m {
+		m = v.Z
+	}
+	return m
+}

@@ -1,0 +1,133 @@
+package tuple
+
+import (
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/cell"
+	"sctuple/internal/core"
+	"sctuple/internal/geom"
+)
+
+// TestBoundedEnumeratorMatchesPeriodicInterior: on a configuration
+// confined to the interior cells (empty boundary layer), bounded and
+// periodic enumeration see identical tuples.
+func TestBoundedEnumeratorMatchesPeriodicInterior(t *testing.T) {
+	box, pos, bin := testSystem(t, 31, 0, 10.0, geom.IV(5, 5, 5))
+	_ = box
+	// Fill only the interior 3×3×3 block of a 5×5×5 lattice.
+	rng := rand.New(rand.NewSource(31))
+	pos = pos[:0]
+	for i := 0; i < 120; i++ {
+		pos = append(pos, geom.V(2+6*rng.Float64(), 2+6*rng.Float64(), 2+6*rng.Float64()))
+	}
+	bin.Rebin(pos)
+
+	per, err := NewEnumerator(bin, core.SC(3), 1.9, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bnd, err := NewBoundedEnumerator(bin, core.SC(3), 1.9, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := CollectCanonical(per, pos)
+	b, _ := CollectCanonical(bnd, pos)
+	if !ChainsEqual(a, b) {
+		t.Errorf("bounded %d tuples, periodic %d", len(b), len(a))
+	}
+}
+
+// TestBoundedEnumeratorDropsBoundaryChains: with atoms at the lattice
+// edge, the bounded enumerator must NOT wrap around while the periodic
+// one does.
+func TestBoundedEnumeratorDropsBoundaryChains(t *testing.T) {
+	box := geom.NewCubicBox(9)
+	pos := []geom.Vec3{
+		geom.V(0.2, 4.5, 4.5), // cell x=0
+		geom.V(8.8, 4.5, 4.5), // cell x=2 — within 0.4 Å periodically
+	}
+	lat, err := cell.NewLatticeDims(box, geom.IV(3, 3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := cell.NewBinning(lat, pos)
+	per, err := NewEnumerator(bin, core.SC(2), 2.5, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bnd, err := NewBoundedEnumerator(bin, core.SC(2), 2.5, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := per.Count(pos); st.Emitted != 1 {
+		t.Errorf("periodic emitted %d, want the boundary-crossing pair", st.Emitted)
+	}
+	if st := bnd.Count(pos); st.Emitted != 0 {
+		t.Errorf("bounded emitted %d, want 0 (no wrapping)", st.Emitted)
+	}
+}
+
+// TestSetKeysControlsCanonicalOrientation: with reversed keys, the
+// canonical filter keeps the opposite orientation — and the tuple set
+// is unchanged up to reflection.
+func TestSetKeysControlsCanonicalOrientation(t *testing.T) {
+	_, pos, bin := testSystem(t, 32, 100, 9.0, geom.IV(4, 4, 4))
+	e, err := NewEnumerator(bin, core.FS(2), 2.0, DedupCanonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default keys: first index below last.
+	var defaultOrient [][2]int32
+	e.Visit(pos, func(atoms []int32, _ []geom.Vec3) {
+		if atoms[0] > atoms[1] {
+			t.Fatal("default canonical orientation violated")
+		}
+		defaultOrient = append(defaultOrient, [2]int32{atoms[0], atoms[1]})
+	})
+
+	// Reversed keys: orientation flips, pair set identical.
+	keys := make([]int64, len(pos))
+	for i := range keys {
+		keys[i] = int64(len(pos) - i)
+	}
+	e.SetKeys(keys)
+	seen := make(map[[2]int32]bool)
+	count := 0
+	e.Visit(pos, func(atoms []int32, _ []geom.Vec3) {
+		if keys[atoms[0]] > keys[atoms[1]] {
+			t.Fatal("key-based canonical orientation violated")
+		}
+		seen[[2]int32{atoms[1], atoms[0]}] = true // store reversed
+		count++
+	})
+	if count != len(defaultOrient) {
+		t.Fatalf("key change altered pair count: %d vs %d", count, len(defaultOrient))
+	}
+	for _, p := range defaultOrient {
+		if !seen[p] {
+			t.Fatalf("pair %v missing under reversed keys", p)
+		}
+	}
+}
+
+// TestSetKeysNilRestoresDefault.
+func TestSetKeysNilRestoresDefault(t *testing.T) {
+	_, pos, bin := testSystem(t, 33, 60, 9.0, geom.IV(4, 4, 4))
+	e, err := NewEnumerator(bin, core.FS(2), 2.0, DedupCanonical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Count(pos)
+	keys := make([]int64, len(pos))
+	for i := range keys {
+		keys[i] = int64(i) * 7
+	}
+	e.SetKeys(keys)
+	during := e.Count(pos)
+	e.SetKeys(nil)
+	after := e.Count(pos)
+	if before.Emitted != during.Emitted || before.Emitted != after.Emitted {
+		t.Errorf("emitted counts: %d / %d / %d", before.Emitted, during.Emitted, after.Emitted)
+	}
+}

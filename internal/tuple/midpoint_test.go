@@ -1,0 +1,87 @@
+package tuple
+
+import (
+	"testing"
+
+	"sctuple/internal/core"
+	"sctuple/internal/geom"
+)
+
+// TestMidpointSCMatchesBruteForce: the §6 generalization — SC patterns
+// on a lattice with cells smaller than the cutoff (radius-k steps) —
+// must still reproduce Γ*(n) exactly.
+func TestMidpointSCMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		n, k   int
+		natoms int
+		dims   geom.IVec3
+	}{
+		{2, 2, 150, geom.IV(7, 7, 7)},
+		{2, 3, 120, geom.IV(10, 10, 10)},
+		{3, 2, 60, geom.IV(9, 9, 9)},
+	}
+	for _, c := range cases {
+		box, pos, bin := testSystem(t, int64(10*c.n+c.k), c.natoms, 9.0, c.dims)
+		// Cutoff close to k cell sides: the finest search the radius
+		// supports.
+		cutoff := 0.95 * float64(c.k) * min3(bin.Lat.Side)
+		e, err := NewEnumerator(bin, core.SCRadius(c.n, c.k), cutoff, DedupAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st := CollectCanonical(e, pos)
+		want := BruteForce(box, pos, c.n, cutoff)
+		if !ChainsEqual(got, want) {
+			t.Errorf("n=%d k=%d: midpoint SC force set %d tuples, brute force %d",
+				c.n, c.k, len(got), len(want))
+		}
+		if st.Emitted != int64(len(want)) {
+			t.Errorf("n=%d k=%d: emitted %d, want %d", c.n, c.k, st.Emitted, len(want))
+		}
+	}
+}
+
+// TestMidpointTighterSearch: at equal cutoff, the radius-2 lattice
+// must examine fewer candidates per emitted tuple than the radius-1
+// lattice — §6's "SC improves the midpoint method" measured for real.
+func TestMidpointTighterSearch(t *testing.T) {
+	box := geom.NewCubicBox(12)
+	_ = box
+	cutoff := 1.9
+	// Radius-1: cells ≥ cutoff (6 cells of side 2).
+	_, pos, binCoarse := testSystem(t, 77, 800, 12.0, geom.IV(6, 6, 6))
+	eCoarse, err := NewEnumerator(binCoarse, core.SC(2), cutoff, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius-2: cells of side 1 (12 per axis), same positions.
+	_, _, binFine := testSystem(t, 77, 800, 12.0, geom.IV(12, 12, 12))
+	eFine, err := NewEnumerator(binFine, core.SCRadius(2, 2), cutoff, DedupAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := eCoarse.Count(pos)
+	fine := eFine.Count(pos)
+	if coarse.Emitted != fine.Emitted {
+		t.Fatalf("force sets differ: coarse %d, fine %d", coarse.Emitted, fine.Emitted)
+	}
+	// Candidates per emitted pair: fine lattice should be tighter.
+	rc := float64(coarse.Candidates) / float64(coarse.Emitted)
+	rf := float64(fine.Candidates) / float64(fine.Emitted)
+	if !(rf < rc) {
+		t.Errorf("fine lattice not tighter: %.2f vs %.2f candidates/pair", rf, rc)
+	}
+}
+
+// TestEnumeratorRejectsTooCoarseRadius: a radius-1 pattern with a
+// cutoff beyond one cell side must be rejected, while the radius-2
+// pattern accepts it.
+func TestEnumeratorRejectsTooCoarseRadius(t *testing.T) {
+	_, _, bin := testSystem(t, 78, 50, 12.0, geom.IV(12, 12, 12))
+	if _, err := NewEnumerator(bin, core.SC(2), 1.9, DedupAuto); err == nil {
+		t.Error("radius-1 pattern accepted cutoff of ~2 cell sides")
+	}
+	if _, err := NewEnumerator(bin, core.SCRadius(2, 2), 1.9, DedupAuto); err != nil {
+		t.Errorf("radius-2 pattern rejected: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package tuple
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sctuple/internal/cell"
+	"sctuple/internal/core"
+	"sctuple/internal/geom"
+)
+
+// TestPropertySCEqualsFSEqualsBrute: a quick-check over randomized
+// system shapes — box size, atom count, cutoff fraction, seed — that
+// the SC and FS force sets both equal brute force for pairs and
+// triplets. This is the paper's completeness theorem as a random
+// property rather than a fixed-seed example.
+func TestPropertySCEqualsFSEqualsBrute(t *testing.T) {
+	property := func(seed int64, sizeSel, cutSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		u := uint64(seed)
+		dims := 4 + int(sizeSel)%3 // 4..6 cells per side
+		side := 8.0 + float64(u%7)
+		n := 40 + int(u%40)
+		cutFrac := 0.5 + 0.45*float64(cutSel)/255.0
+
+		box := geom.NewCubicBox(side)
+		pos := make([]geom.Vec3, n)
+		for i := range pos {
+			pos[i] = geom.V(rng.Float64()*side, rng.Float64()*side, rng.Float64()*side)
+		}
+		lat, err := cell.NewLatticeDims(box, geom.IV(dims, dims, dims))
+		if err != nil {
+			return false
+		}
+		bin := cell.NewBinning(lat, pos)
+		cutoff := cutFrac * lat.Side.X
+
+		for _, n := range []int{2, 3} {
+			if n == 3 && dims < 5 {
+				continue // FS(3) needs 5 cells per side
+			}
+			want := BruteForce(box, pos, n, cutoff)
+			for _, pat := range []*core.Pattern{core.SC(n), core.FS(n)} {
+				e, err := NewEnumerator(bin, pat, cutoff, DedupAuto)
+				if err != nil {
+					return false
+				}
+				got, _ := CollectCanonical(e, pos)
+				if !ChainsEqual(got, want) {
+					t.Logf("seed=%d dims=%d cutoff=%.3f n=%d: %d vs %d tuples",
+						seed, dims, cutoff, n, len(got), len(want))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStatsInvariants: counter identities that must hold for
+// any random configuration.
+func TestPropertyStatsInvariants(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		box := geom.NewCubicBox(10)
+		n := 30 + int(uint64(seed)%120)
+		pos := make([]geom.Vec3, n)
+		for i := range pos {
+			pos[i] = geom.V(rng.Float64()*10, rng.Float64()*10, rng.Float64()*10)
+		}
+		lat, _ := cell.NewLatticeDims(box, geom.IV(4, 4, 4))
+		bin := cell.NewBinning(lat, pos)
+		e, err := NewEnumerator(bin, core.SC(2), 2.2, DedupAuto)
+		if err != nil {
+			return false
+		}
+		st := e.Count(pos)
+		// Every candidate either extends, gets pruned, or (at the last
+		// level) resolves to emitted/reflection-cut/duplicate.
+		if st.Emitted+st.ReflectionCut+st.DistancePruned+st.DuplicateAtom > st.Candidates {
+			return false
+		}
+		// Pair count bounded by N(N-1)/2 plus periodic images.
+		if st.Emitted > int64(n*(n-1)) {
+			return false
+		}
+		return st.Cells == 64 && st.PathApplications == int64(64*core.SC(2).Len())
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

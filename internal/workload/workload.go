@@ -1,0 +1,263 @@
+// Package workload builds the atom configurations used by examples,
+// tests, and the paper's benchmarks: uniform random fluids (the
+// paper's strong-scaling systems use uniformly distributed atoms, §5.3)
+// and β-cristobalite-like crystalline silica for physically meaningful
+// SiO₂ runs.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sctuple/internal/geom"
+	"sctuple/internal/potential"
+)
+
+// Config is a complete initial condition: a box, positions, species
+// indices (into some model's species table), and velocities.
+type Config struct {
+	Box     geom.Box
+	Pos     []geom.Vec3
+	Species []int32
+	Vel     []geom.Vec3
+}
+
+// N returns the number of atoms.
+func (c *Config) N() int { return len(c.Pos) }
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	if len(c.Species) != len(c.Pos) || len(c.Vel) != len(c.Pos) {
+		return fmt.Errorf("workload: inconsistent array lengths %d/%d/%d",
+			len(c.Pos), len(c.Species), len(c.Vel))
+	}
+	for i, r := range c.Pos {
+		if !c.Box.Contains(r) {
+			return fmt.Errorf("workload: atom %d at %v outside box", i, r)
+		}
+	}
+	return nil
+}
+
+// UniformRandom places n atoms uniformly in a cubic box of the given
+// side, drawing species from the given proportions (e.g. {1, 2} for
+// SiO₂ stoichiometry). Velocities are zero; call Thermalize to set a
+// temperature. This is the uniform-density workload of the paper's
+// benchmarks.
+func UniformRandom(rng *rand.Rand, side float64, n int, proportions []float64) *Config {
+	box := geom.NewCubicBox(side)
+	cfg := &Config{
+		Box:     box,
+		Pos:     make([]geom.Vec3, n),
+		Species: make([]int32, n),
+		Vel:     make([]geom.Vec3, n),
+	}
+	total := 0.0
+	for _, p := range proportions {
+		total += p
+	}
+	for i := range cfg.Pos {
+		cfg.Pos[i] = geom.V(rng.Float64()*side, rng.Float64()*side, rng.Float64()*side)
+		u := rng.Float64() * total
+		acc := 0.0
+		for s, p := range proportions {
+			acc += p
+			if u < acc {
+				cfg.Species[i] = int32(s)
+				break
+			}
+		}
+	}
+	return cfg
+}
+
+// SilicaDensity is the atom number density of amorphous silica
+// (2.2 g/cm³ ≈ 0.0662 atoms/Å³).
+const SilicaDensity = 0.0662
+
+// UniformSilica builds a uniform random SiO₂ configuration (1 Si : 2 O)
+// with the given total atom count at amorphous-silica density,
+// enforcing a minimum separation so the steep Vashishta core does not
+// blow up the first MD steps. It is the workload shape used for the
+// paper's granularity and scaling benchmarks.
+func UniformSilica(rng *rand.Rand, n int) *Config {
+	side := math.Cbrt(float64(n) / SilicaDensity)
+	cfg := withMinSeparation(rng, side, n, 1.35)
+	// Deterministic stoichiometry: every third atom Si.
+	for i := range cfg.Species {
+		if i%3 == 0 {
+			cfg.Species[i] = 0 // Si
+		} else {
+			cfg.Species[i] = 1 // O
+		}
+	}
+	return cfg
+}
+
+// withMinSeparation draws uniform positions rejecting any closer than
+// minSep to a previous atom (checked on a throwaway grid).
+func withMinSeparation(rng *rand.Rand, side float64, n int, minSep float64) *Config {
+	box := geom.NewCubicBox(side)
+	cfg := &Config{
+		Box:     box,
+		Pos:     make([]geom.Vec3, 0, n),
+		Species: make([]int32, n),
+		Vel:     make([]geom.Vec3, n),
+	}
+	// Simple uniform hash grid for the rejection test.
+	cells := int(side / minSep)
+	if cells < 1 {
+		cells = 1
+	}
+	grid := make(map[[3]int][]geom.Vec3)
+	key := func(r geom.Vec3) [3]int {
+		k := [3]int{int(r.X / side * float64(cells)), int(r.Y / side * float64(cells)), int(r.Z / side * float64(cells))}
+		for c := range k {
+			if k[c] >= cells {
+				k[c] = cells - 1
+			}
+		}
+		return k
+	}
+	sep2 := minSep * minSep
+	maxTries := 200 * n
+	for len(cfg.Pos) < n && maxTries > 0 {
+		maxTries--
+		r := geom.V(rng.Float64()*side, rng.Float64()*side, rng.Float64()*side)
+		k := key(r)
+		ok := true
+	scan:
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for dz := -1; dz <= 1; dz++ {
+					kk := [3]int{mod(k[0]+dx, cells), mod(k[1]+dy, cells), mod(k[2]+dz, cells)}
+					for _, q := range grid[kk] {
+						if box.Distance2(r, q) < sep2 {
+							ok = false
+							break scan
+						}
+					}
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		grid[k] = append(grid[k], r)
+		cfg.Pos = append(cfg.Pos, r)
+	}
+	// If rejection stalls (density too high for minSep), fill the rest
+	// unconditionally; the thermostat equilibrates the residual
+	// overlaps.
+	for len(cfg.Pos) < n {
+		cfg.Pos = append(cfg.Pos, geom.V(rng.Float64()*side, rng.Float64()*side, rng.Float64()*side))
+	}
+	return cfg
+}
+
+func mod(a, n int) int {
+	m := a % n
+	if m < 0 {
+		m += n
+	}
+	return m
+}
+
+// BetaCristobalite builds an nx×ny×nz supercell of idealized
+// β-cristobalite SiO₂: silicon on a diamond lattice (conventional cell
+// a = 7.16 Å) and oxygen at the Si-Si bond midpoints. Species 0 is Si,
+// species 1 is O — matching potential.NewSilicaModel. Each conventional
+// cell holds 24 atoms (8 Si + 16 O).
+func BetaCristobalite(nx, ny, nz int) *Config {
+	const a = 7.16
+	box := geom.NewBox(float64(nx)*a, float64(ny)*a, float64(nz)*a)
+	fcc := []geom.Vec3{
+		{X: 0, Y: 0, Z: 0},
+		{X: 0, Y: 0.5, Z: 0.5},
+		{X: 0.5, Y: 0, Z: 0.5},
+		{X: 0.5, Y: 0.5, Z: 0},
+	}
+	bondDirs := []geom.Vec3{
+		{X: 1, Y: 1, Z: 1},
+		{X: 1, Y: -1, Z: -1},
+		{X: -1, Y: 1, Z: -1},
+		{X: -1, Y: -1, Z: 1},
+	}
+	cfg := &Config{Box: box}
+	add := func(r geom.Vec3, s int32) {
+		cfg.Pos = append(cfg.Pos, box.Wrap(r))
+		cfg.Species = append(cfg.Species, s)
+	}
+	for ix := 0; ix < nx; ix++ {
+		for iy := 0; iy < ny; iy++ {
+			for iz := 0; iz < nz; iz++ {
+				origin := geom.V(float64(ix)*a, float64(iy)*a, float64(iz)*a)
+				for _, f := range fcc {
+					siA := origin.Add(f.Scale(a))
+					add(siA, 0)                            // sublattice A
+					add(siA.Add(geom.V(a/4, a/4, a/4)), 0) // sublattice B
+					for _, d := range bondDirs {           // O at bond midpoints
+						add(siA.Add(d.Scale(a/8)), 1)
+					}
+				}
+			}
+		}
+	}
+	cfg.Vel = make([]geom.Vec3, len(cfg.Pos))
+	return cfg
+}
+
+// Thermalize draws Maxwell-Boltzmann velocities at temperature T (K)
+// for the given model's species masses and removes the net momentum.
+func (c *Config) Thermalize(rng *rand.Rand, model *potential.Model, tempK float64) {
+	const kB = 8.617333262e-5 // eV/K
+	// Velocity unit: Å/fs. v² scale: kB·T/m in eV/amu → ×
+	// 9.648533e-3 Å²/fs² per (eV/amu).
+	const accel = 9.648533212e-3
+	var pSum geom.Vec3
+	var mSum float64
+	for i := range c.Vel {
+		m := model.Species[c.Species[i]].Mass
+		sd := math.Sqrt(kB * tempK / m * accel)
+		c.Vel[i] = geom.V(rng.NormFloat64()*sd, rng.NormFloat64()*sd, rng.NormFloat64()*sd)
+		pSum = pSum.Add(c.Vel[i].Scale(m))
+		mSum += m
+	}
+	if len(c.Vel) == 0 {
+		return
+	}
+	drift := pSum.Scale(1 / mSum)
+	for i := range c.Vel {
+		c.Vel[i] = c.Vel[i].Sub(drift)
+	}
+}
+
+// LJFluid builds an n-atom single-species fluid on a perturbed simple
+// cubic lattice at the given reduced density ρ* = N σ³/V, a standard
+// Lennard-Jones quickstart workload.
+func LJFluid(rng *rand.Rand, n int, density, sigma float64) *Config {
+	side := math.Cbrt(float64(n) / density * sigma * sigma * sigma)
+	perSide := int(math.Ceil(math.Cbrt(float64(n))))
+	spacing := side / float64(perSide)
+	box := geom.NewCubicBox(side)
+	cfg := &Config{
+		Box:     box,
+		Species: make([]int32, n),
+		Vel:     make([]geom.Vec3, n),
+	}
+	jitter := 0.05 * spacing
+	for ix := 0; ix < perSide && len(cfg.Pos) < n; ix++ {
+		for iy := 0; iy < perSide && len(cfg.Pos) < n; iy++ {
+			for iz := 0; iz < perSide && len(cfg.Pos) < n; iz++ {
+				r := geom.V(
+					(float64(ix)+0.5)*spacing+rng.NormFloat64()*jitter,
+					(float64(iy)+0.5)*spacing+rng.NormFloat64()*jitter,
+					(float64(iz)+0.5)*spacing+rng.NormFloat64()*jitter,
+				)
+				cfg.Pos = append(cfg.Pos, box.Wrap(r))
+			}
+		}
+	}
+	return cfg
+}

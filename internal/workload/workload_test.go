@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/potential"
+)
+
+func TestUniformRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := UniformRandom(rng, 20, 600, []float64{1, 2})
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N() != 600 {
+		t.Fatalf("N = %d", cfg.N())
+	}
+	counts := [2]int{}
+	for _, s := range cfg.Species {
+		counts[s]++
+	}
+	// 1:2 proportions within sampling noise.
+	frac := float64(counts[1]) / 600
+	if math.Abs(frac-2.0/3.0) > 0.06 {
+		t.Errorf("species-1 fraction %g, want ≈ 2/3", frac)
+	}
+}
+
+func TestUniformSilica(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := UniformSilica(rng, 900)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Density must match amorphous silica.
+	density := float64(cfg.N()) / cfg.Box.Volume()
+	if math.Abs(density-SilicaDensity) > 0.01*SilicaDensity {
+		t.Errorf("density %g, want %g", density, SilicaDensity)
+	}
+	// Exact 1:2 stoichiometry.
+	si := 0
+	for _, s := range cfg.Species {
+		if s == 0 {
+			si++
+		}
+	}
+	if si != 300 {
+		t.Errorf("Si count %d, want 300", si)
+	}
+	// Minimum separation: spot check.
+	for i := 0; i < 200; i++ {
+		a, b := rng.Intn(cfg.N()), rng.Intn(cfg.N())
+		if a != b && cfg.Box.Distance(cfg.Pos[a], cfg.Pos[b]) < 1.0 {
+			t.Fatalf("atoms %d,%d closer than 1 Å", a, b)
+		}
+	}
+}
+
+func TestBetaCristobalite(t *testing.T) {
+	cfg := BetaCristobalite(2, 3, 1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N() != 24*2*3*1 {
+		t.Fatalf("N = %d, want %d", cfg.N(), 24*6)
+	}
+	si, o := 0, 0
+	for _, s := range cfg.Species {
+		if s == 0 {
+			si++
+		} else {
+			o++
+		}
+	}
+	if o != 2*si {
+		t.Errorf("stoichiometry Si=%d O=%d", si, o)
+	}
+	// Each O sits 7.16·√3/8 ≈ 1.55 Å from its two Si neighbors.
+	model := potential.NewSilicaModel()
+	_ = model
+	wantBond := 7.16 * math.Sqrt(3) / 8
+	bonds := 0
+	for i, s := range cfg.Species {
+		if s != 1 {
+			continue
+		}
+		for j, s2 := range cfg.Species {
+			if s2 != 0 {
+				continue
+			}
+			d := cfg.Box.Distance(cfg.Pos[i], cfg.Pos[j])
+			if math.Abs(d-wantBond) < 1e-9 {
+				bonds++
+			}
+		}
+	}
+	if bonds != 2*o {
+		t.Errorf("Si-O bonds at ideal length: %d, want %d", bonds, 2*o)
+	}
+}
+
+func TestThermalize(t *testing.T) {
+	model := potential.NewSilicaModel()
+	cfg := BetaCristobalite(2, 2, 2)
+	cfg.Thermalize(rand.New(rand.NewSource(3)), model, 300)
+	// Zero net momentum.
+	var px, py, pz float64
+	for i, v := range cfg.Vel {
+		m := model.Species[cfg.Species[i]].Mass
+		px += m * v.X
+		py += m * v.Y
+		pz += m * v.Z
+	}
+	if math.Abs(px)+math.Abs(py)+math.Abs(pz) > 1e-9 {
+		t.Errorf("net momentum (%g,%g,%g)", px, py, pz)
+	}
+}
+
+func TestLJFluid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := LJFluid(rng, 216, 0.6, 3.4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N() != 216 {
+		t.Fatalf("N = %d", cfg.N())
+	}
+	density := float64(cfg.N()) * 3.4 * 3.4 * 3.4 / cfg.Box.Volume()
+	if math.Abs(density-0.6) > 0.01 {
+		t.Errorf("reduced density %g, want 0.6", density)
+	}
+}
