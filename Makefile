@@ -1,8 +1,10 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench figures examples vet fmt
+.PHONY: all check build test test-short race bench figures examples vet fmt
 
-all: build vet test
+all: check
+
+check: build vet test race
 
 build:
 	go build ./...
@@ -18,6 +20,9 @@ test:
 
 test-short:
 	go test -short ./...
+
+race:
+	go test -race ./...
 
 bench:
 	go test -bench=. -benchmem -run XXX ./...

@@ -12,6 +12,7 @@ package sctuple_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"sctuple/internal/bench"
@@ -247,6 +248,37 @@ func BenchmarkForceSilica(b *testing.B) {
 	b.Run("SC-MD", func(b *testing.B) { run(b, scE) })
 	b.Run("FS-MD", func(b *testing.B) { run(b, fsE) })
 	b.Run("Hybrid-MD", func(b *testing.B) { run(b, hyE) })
+}
+
+// BenchmarkKernel sweeps the unified force kernel's worker count over
+// the silica pair+triplet model (§6 concurrency): the same
+// kernel.Sharded accumulator under 1, 2, 4, and GOMAXPROCS workers.
+func BenchmarkKernel(b *testing.B) {
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(4, 4, 4)
+	cfg.Thermalize(rand.New(rand.NewSource(6)), model, 300)
+	sys, err := md.NewSystem(cfg, model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		e, err := md.NewConcurrentCellEngine(model, sys.Box, md.FamilySC, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Compute(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sys.N()), "atoms")
+		})
+	}
 }
 
 // --- Parallel stepping (Figure 8/9 substrate) ---

@@ -10,6 +10,7 @@
 //	scbench midpoint          §6 cell-refinement trade-off (midpoint generalization)
 //	scbench ablate            measured ablations of each design choice
 //	scbench validate          real parallel runs vs performance model
+//	scbench workers           intra-node worker sweep of the force kernel (§6)
 //	scbench all               everything above
 package main
 
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"sctuple/internal/bench"
 	"sctuple/internal/perfmodel"
@@ -47,6 +49,8 @@ func main() {
 		err = runAblate(args)
 	case "validate":
 		err = runValidate(args)
+	case "workers":
+		err = runWorkers(args)
 	case "all":
 		err = runAll()
 	default:
@@ -60,7 +64,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scbench {patterns|imports|midpoint|fig7|fig8|fig9|ablate|validate|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: scbench {patterns|imports|midpoint|fig7|fig8|fig9|ablate|validate|workers|all} [flags]")
 	fmt.Fprintln(os.Stderr, "  fig8/fig9 flags: -machine {xeon|bgq}; fig9 also -extreme")
 }
 
@@ -163,6 +167,14 @@ func runValidate(args []string) error {
 	return bench.ValidateReport(os.Stdout, *atoms, []int{1, 8}, *steps, 1)
 }
 
+func runWorkers(args []string) error {
+	fs := flag.NewFlagSet("workers", flag.ExitOnError)
+	atoms := fs.Int("atoms", 3000, "atom count of the sweep system")
+	ranks := fs.Int("ranks", 8, "ranks of the rank-parallel sweep")
+	fs.Parse(args)
+	return bench.WorkersReport(os.Stdout, *atoms, *ranks, []int{1, 2, 4, runtime.GOMAXPROCS(0)}, 1)
+}
+
 func runAll() error {
 	bench.PatternsReport(os.Stdout, 5)
 	fmt.Println()
@@ -199,5 +211,9 @@ func runAll() error {
 		return err
 	}
 	fmt.Println()
-	return bench.ValidateReport(os.Stdout, 3000, []int{1, 8}, 3, 1)
+	if err := bench.ValidateReport(os.Stdout, 3000, []int{1, 8}, 3, 1); err != nil {
+		return err
+	}
+	fmt.Println()
+	return bench.WorkersReport(os.Stdout, 3000, 8, []int{1, 2, 4, runtime.GOMAXPROCS(0)}, 1)
 }

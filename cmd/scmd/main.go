@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 
 	"sctuple/internal/analysis"
@@ -44,7 +45,7 @@ func main() {
 		trajPath   = flag.String("traj", "", "write an extended-XYZ trajectory to this file (serial runs)")
 		analyze    = flag.Bool("analyze", false, "print structure analysis (RDF peaks, angles) after the run")
 		skin       = flag.Float64("skin", 0, "Verlet-list skin (Å) for the hybrid engine; 0 rebuilds every step")
-		workers    = flag.Int("workers", 1, "worker goroutines for the sc/fs engines (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 1, "worker goroutines per force evaluation, serial engines and per rank in parallel runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -103,7 +104,7 @@ func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermo
 		if opts.traj != "" {
 			return fmt.Errorf("-traj is supported for serial runs only")
 		}
-		return runParallel(cfg, model, engineName, steps, dt, ranks, every)
+		return runParallel(cfg, model, engineName, steps, dt, ranks, every, opts.workers)
 	}
 	return runSerial(cfg, model, engineName, steps, dt, thermostat, every, opts)
 }
@@ -244,7 +245,10 @@ func printStructure(sys *md.System, model *potential.Model) error {
 	return nil
 }
 
-func runParallel(cfg *workload.Config, model *potential.Model, engineName string, steps int, dt float64, ranks, every int) error {
+func runParallel(cfg *workload.Config, model *potential.Model, engineName string, steps int, dt float64, ranks, every, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	var scheme parmd.Scheme
 	switch engineName {
 	case "sc":
@@ -257,11 +261,11 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 		return fmt.Errorf("unknown engine %q", engineName)
 	}
 	cart := comm.NewCart(ranks)
-	fmt.Printf("engine %v on %d ranks (%v topology), dt %g fs, %d steps\n",
-		scheme, ranks, cart.Dims, dt, steps)
+	fmt.Printf("engine %v on %d ranks (%v topology) × %d workers, dt %g fs, %d steps\n",
+		scheme, ranks, cart.Dims, workers, dt, steps)
 	start := time.Now()
 	res, err := parmd.Run(cfg, model, parmd.Options{
-		Scheme: scheme, Cart: cart, Dt: dt, Steps: steps, TraceEnergies: true,
+		Scheme: scheme, Cart: cart, Dt: dt, Steps: steps, Workers: workers, TraceEnergies: true,
 	})
 	if err != nil {
 		return err

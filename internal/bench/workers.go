@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+	"sctuple/internal/md"
+	"sctuple/internal/parmd"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// WorkersReport measures the intra-node scaling of the unified force
+// kernel (the §6 concurrency property): the shared-memory concurrent
+// engine at each worker count against the serial SC engine, and a
+// rank-parallel run with intra-rank workers (the paper's hybrid
+// rank×thread execution), with force agreement checked each time.
+func WorkersReport(w io.Writer, atoms, ranks int, workers []int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := workload.UniformSilica(rng, atoms)
+	model := potential.NewSilicaModel()
+
+	fmt.Fprintf(w, "Force-kernel worker sweep on a %d-atom uniform silica system\n", cfg.N())
+
+	sys, err := md.NewSystem(cfg, model)
+	if err != nil {
+		return err
+	}
+	serial, err := md.NewCellEngine(model, sys.Box, md.FamilySC)
+	if err != nil {
+		return err
+	}
+	base := time.Now()
+	if _, err := serial.Compute(sys); err != nil {
+		return err
+	}
+	serialMS := time.Since(base).Seconds() * 1e3
+	ref := append([]geom.Vec3(nil), sys.Force...)
+
+	fmt.Fprintln(w, "\n1. Shared-memory concurrent SC engine (kernel.Sharded, slots = workers):")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "workers\tms/eval\tspeedup\tmax |ΔF| vs serial (eV/Å)")
+	fmt.Fprintf(tw, "serial\t%.2f\t1.00\t—\n", serialMS)
+	for _, nw := range dedupInts(workers) {
+		e, err := md.NewConcurrentCellEngine(model, sys.Box, md.FamilySC, nw)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := e.Compute(sys); err != nil {
+			return err
+		}
+		ms := time.Since(start).Seconds() * 1e3
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.2e\n", nw, ms, serialMS/ms, maxForceDev(ref, sys.Force))
+	}
+	tw.Flush()
+
+	fmt.Fprintf(w, "\n2. Rank-parallel SC run, %d ranks × workers (forces bit-identical across worker counts):\n", ranks)
+	cart := comm.NewCart(ranks)
+	var refPar []geom.Vec3
+	tw = newTable(w)
+	fmt.Fprintln(tw, "workers\tms/eval\tmax |ΔF| vs 1 worker (eV/Å)")
+	for _, nw := range dedupInts(append([]int{1}, workers...)) {
+		start := time.Now()
+		res, err := parmd.Run(cfg, model, parmd.Options{
+			Scheme: parmd.SchemeSC, Cart: cart, Dt: 1, Steps: 0, Workers: nw,
+		})
+		if err != nil {
+			return err
+		}
+		ms := time.Since(start).Seconds() * 1e3
+		if refPar == nil {
+			refPar = res.Forces
+			fmt.Fprintf(tw, "%d\t%.2f\t—\n", nw, ms)
+			continue
+		}
+		fmt.Fprintf(tw, "%d\t%.2f\t%.2e\n", nw, ms, maxForceDev(refPar, res.Forces))
+	}
+	return tw.Flush()
+}
+
+// dedupInts drops repeated worker counts, keeping first-seen order.
+func dedupInts(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// maxForceDev returns the largest per-component force deviation.
+func maxForceDev(a, b []geom.Vec3) float64 {
+	dev := 0.0
+	for i := range a {
+		d := a[i].Sub(b[i])
+		for _, c := range []float64{d.X, d.Y, d.Z} {
+			if c < 0 {
+				c = -c
+			}
+			if c > dev {
+				dev = c
+			}
+		}
+	}
+	return dev
+}

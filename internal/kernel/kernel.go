@@ -1,0 +1,351 @@
+// Package kernel is the unified force-evaluation core shared by every
+// engine in the tree — the serial cell engines, the concurrent
+// shared-memory engine, the Hybrid pair-list engine, and the
+// rank-parallel steppers of package parmd.
+//
+// The paper's §6 observation is that SC's n-tuple computations are
+// mutually independent, so the force inner loop is the same regardless
+// of where the tuple stream comes from (a tuple.Enumerator, an
+// nlist.PairList, or a rank-local bounded enumeration) and of how it
+// is parallelized. This package owns that inner loop exactly once:
+//
+//   - TermKernel evaluates one potential.Term per streamed tuple and
+//     accumulates energy, per-atom forces, the virial, and operation
+//     counts into a Slot.
+//   - An Accumulator manages the Slots: Direct is the single-buffer
+//     serial form; Sharded holds a fixed number of padded per-shard
+//     buffers that independent workers may fill concurrently, reduced
+//     in fixed shard order so results are deterministic — and, because
+//     the shard count (not the worker count) fixes the partition,
+//     independent of how many goroutines executed the shards.
+//
+// The per-worker-buffer + ordered-reduction shape follows the standard
+// shared-memory short-range MD design (Meyer, arXiv:1305.4196); the
+// rank layer in parmd composes it with message passing in the style of
+// Beazley & Lomdahl (arXiv:comp-gas/9303002).
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sctuple/internal/geom"
+	"sctuple/internal/potential"
+	"sctuple/internal/tuple"
+)
+
+// ComputeStats aggregates the per-step operation counts of a force
+// engine — the quantities the paper's cost model (Eq. 12, 31) and the
+// performance model of package perfmodel are built on.
+type ComputeStats struct {
+	SearchCandidates int64 // partial chains examined (Eq. 12 search cost)
+	PathApplications int64 // (cell, path) combinations processed
+	TuplesEvaluated  int64 // tuples passed to potential terms
+	PairListEntries  int64 // Verlet-list entries (Hybrid engine only)
+	TermTuples       map[int]int64
+	// Virial is W = Σ_tuples Σ_k f_k·r_k (eV), accumulated with the
+	// image-resolved tuple positions so periodic wrapping never
+	// corrupts it. The instantaneous pressure is (2·KE + W)/(3V).
+	Virial float64
+}
+
+// Add accumulates other into cs.
+func (cs *ComputeStats) Add(other ComputeStats) {
+	cs.SearchCandidates += other.SearchCandidates
+	cs.PathApplications += other.PathApplications
+	cs.TuplesEvaluated += other.TuplesEvaluated
+	cs.PairListEntries += other.PairListEntries
+	cs.Virial += other.Virial
+	if other.TermTuples != nil {
+		if cs.TermTuples == nil {
+			cs.TermTuples = make(map[int]int64)
+		}
+		for n, c := range other.TermTuples {
+			cs.TermTuples[n] += c
+		}
+	}
+}
+
+// Slot is one accumulation buffer: a force array plus the scalar sums
+// and operation counts gathered alongside it. Exactly one worker may
+// write a Slot at a time; distinct Slots may be written concurrently.
+// The trailing pad keeps adjacent Slots of a Sharded accumulator from
+// sharing a cache line, so concurrent scalar accumulation never false-
+// shares.
+type Slot struct {
+	Force  []geom.Vec3
+	Energy float64
+	Virial float64
+	// Enum collects enumeration counters (search candidates, path
+	// applications) from whatever produced this slot's tuple stream.
+	Enum tuple.Stats
+	// Tuples counts tuples actually evaluated through this slot.
+	Tuples int64
+	// PairEntries counts Verlet-list entries (Hybrid engines only).
+	PairEntries int64
+	// TermTuples[n] counts evaluated tuples of length n.
+	TermTuples [tuple.MaxN + 1]int64
+
+	_ [64]byte // pad against false sharing between adjacent slots
+}
+
+// reset clears everything but the force buffer's storage.
+func (s *Slot) reset() {
+	s.Energy = 0
+	s.Virial = 0
+	s.Enum = tuple.Stats{}
+	s.Tuples = 0
+	s.PairEntries = 0
+	s.TermTuples = [tuple.MaxN + 1]int64{}
+}
+
+// addTo folds the slot's scalar sums into stats.
+func (s *Slot) addTo(stats *ComputeStats) {
+	stats.SearchCandidates += s.Enum.Candidates
+	stats.PathApplications += s.Enum.PathApplications
+	stats.TuplesEvaluated += s.Tuples
+	stats.PairListEntries += s.PairEntries
+	stats.Virial += s.Virial
+	for n, c := range s.TermTuples {
+		if c != 0 {
+			stats.TermTuples[n] += c
+		}
+	}
+}
+
+// Accumulator manages the accumulation buffers of one force
+// evaluation. The protocol is Begin → fill slots (possibly from
+// several goroutines, one per slot) → End.
+type Accumulator interface {
+	// Begin prepares the accumulator for one force evaluation whose
+	// final forces land in dst; dst is zeroed.
+	Begin(dst []geom.Vec3)
+	// Slots returns the number of independent accumulation slots.
+	Slots() int
+	// Slot returns slot s. Distinct slots may be filled concurrently.
+	Slot(s int) *Slot
+	// End folds every slot into dst in fixed slot order and returns
+	// the total energy and the combined stats.
+	End() (energy float64, stats ComputeStats)
+}
+
+// Direct is the single-buffer Accumulator of the serial engines: its
+// one slot accumulates straight into the destination force array, so
+// there is no reduction pass at all.
+type Direct struct {
+	slot Slot
+}
+
+// NewDirect builds the serial accumulator.
+func NewDirect() *Direct { return &Direct{} }
+
+// Begin implements Accumulator.
+func (a *Direct) Begin(dst []geom.Vec3) {
+	clear(dst)
+	a.slot.Force = dst
+	a.slot.reset()
+}
+
+// Slots implements Accumulator.
+func (a *Direct) Slots() int { return 1 }
+
+// Slot implements Accumulator.
+func (a *Direct) Slot(int) *Slot { return &a.slot }
+
+// End implements Accumulator.
+func (a *Direct) End() (float64, ComputeStats) {
+	stats := ComputeStats{TermTuples: make(map[int]int64)}
+	a.slot.addTo(&stats)
+	return a.slot.Energy, stats
+}
+
+// Sharded is the parallel Accumulator: a fixed number of private,
+// padded slots filled concurrently and reduced in slot order. The
+// slot buffers are allocated once and reused across steps — Begin
+// performs no allocation after the first evaluation at a given atom
+// count. Because the work partition hangs off the shard count, not
+// the worker count, results are bit-identical for any number of
+// executing workers (and across repeated runs).
+type Sharded struct {
+	dst   []geom.Vec3
+	slots []Slot
+}
+
+// NewSharded builds an accumulator with the given number of slots
+// (minimum 1).
+func NewSharded(slots int) *Sharded {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Sharded{slots: make([]Slot, slots)}
+}
+
+// Begin implements Accumulator.
+func (a *Sharded) Begin(dst []geom.Vec3) {
+	a.dst = dst
+	clear(dst)
+	n := len(dst)
+	for s := range a.slots {
+		sl := &a.slots[s]
+		if cap(sl.Force) < n {
+			sl.Force = make([]geom.Vec3, n)
+		}
+		sl.Force = sl.Force[:n]
+		clear(sl.Force)
+		sl.reset()
+	}
+}
+
+// Slots implements Accumulator.
+func (a *Sharded) Slots() int { return len(a.slots) }
+
+// Slot implements Accumulator.
+func (a *Sharded) Slot(s int) *Slot { return &a.slots[s] }
+
+// End implements Accumulator: the deterministic fixed-order reduction.
+func (a *Sharded) End() (float64, ComputeStats) {
+	energy := 0.0
+	stats := ComputeStats{TermTuples: make(map[int]int64)}
+	for s := range a.slots {
+		sl := &a.slots[s]
+		energy += sl.Energy
+		sl.addTo(&stats)
+		for i, f := range sl.Force {
+			a.dst[i] = a.dst[i].Add(f)
+		}
+	}
+	return energy, stats
+}
+
+// Chunk splits n items into parts contiguous chunks (ceiling-sized,
+// like the concurrent engine has always done) and returns the
+// half-open range of chunk i. Trailing chunks may be empty.
+func Chunk(n, parts, i int) (lo, hi int) {
+	chunk := (n + parts - 1) / parts
+	lo = i * chunk
+	if lo > n {
+		lo = n
+	}
+	hi = min(lo+chunk, n)
+	return lo, hi
+}
+
+// Run executes fn(worker, shard) for every shard in [0, shards) on up
+// to workers goroutines. The shard index selects the accumulation
+// slot (and through Chunk the work range); the worker index selects
+// per-goroutine scratch such as enumerators, which must not be shared
+// between goroutines. Shards are handed out dynamically for load
+// balance — legal because each shard writes only its own slot, so the
+// result does not depend on which worker ran it. workers ≤ 1 runs
+// everything inline on the calling goroutine.
+func Run(shards, workers int, fn func(worker, shard int)) {
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(0, s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(w, s)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TermKernel binds one potential term to a species table and produces
+// the visitors that evaluate the term for every streamed tuple,
+// accumulating energy, forces, virial, and counts into a Slot. This
+// is the single audited copy of the force inner loop; every engine
+// routes through it.
+type TermKernel struct {
+	Term    potential.Term
+	Species []int32
+}
+
+// Visitor returns a tuple.Visitor for enumerator streams (the SC/FS
+// cell engines, serial and rank-local). Scratch is hoisted into the
+// closure, so the per-tuple path allocates nothing.
+func (k TermKernel) Visitor(slot *Slot) tuple.Visitor {
+	term := k.Term
+	species := k.Species
+	n := term.N()
+	var sp [tuple.MaxN]int32
+	var fb [tuple.MaxN]geom.Vec3
+	return func(atoms []int32, pos []geom.Vec3) {
+		for i := 0; i < n; i++ {
+			sp[i] = species[atoms[i]]
+			fb[i] = geom.Vec3{}
+		}
+		slot.Energy += term.Eval(sp[:n], pos, fb[:n])
+		for i := 0; i < n; i++ {
+			slot.Force[atoms[i]] = slot.Force[atoms[i]].Add(fb[i])
+			slot.Virial += fb[i].Dot(pos[i])
+		}
+		slot.Tuples++
+		slot.TermTuples[n]++
+	}
+}
+
+// PairVisitor returns a visitor for directed pair-list streams (the
+// Hybrid engines): it receives endpoints i, j and the image-resolved
+// displacement from i to j, reconstructing the j-image position from
+// positions[i]. The signature matches nlist.PairList.VisitPairs.
+func (k TermKernel) PairVisitor(slot *Slot, positions []geom.Vec3) func(i, j int32, disp geom.Vec3, dist float64) {
+	term := k.Term
+	species := k.Species
+	var sp [2]int32
+	var fb [2]geom.Vec3
+	var pp [2]geom.Vec3
+	return func(i, j int32, disp geom.Vec3, _ float64) {
+		sp[0], sp[1] = species[i], species[j]
+		fb[0], fb[1] = geom.Vec3{}, geom.Vec3{}
+		pp[0] = positions[i]
+		pp[1] = positions[i].Add(disp)
+		slot.Energy += term.Eval(sp[:2], pp[:2], fb[:2])
+		slot.Force[i] = slot.Force[i].Add(fb[0])
+		slot.Force[j] = slot.Force[j].Add(fb[1])
+		slot.Virial += fb[0].Dot(pp[0]) + fb[1].Dot(pp[1])
+		slot.Tuples++
+		slot.TermTuples[2]++
+	}
+}
+
+// TripletVisitor returns a visitor for pruned triplet streams (the
+// Hybrid engines), matching nlist.PairList.VisitTriplets: atoms and
+// image-resolved chain positions arrive ready-made, center in the
+// middle.
+func (k TermKernel) TripletVisitor(slot *Slot) func(atoms [3]int32, pos [3]geom.Vec3) {
+	term := k.Term
+	species := k.Species
+	var sp [3]int32
+	var fb [3]geom.Vec3
+	var pp [3]geom.Vec3
+	return func(atoms [3]int32, pos [3]geom.Vec3) {
+		for m := 0; m < 3; m++ {
+			sp[m] = species[atoms[m]]
+			fb[m] = geom.Vec3{}
+			pp[m] = pos[m]
+		}
+		slot.Energy += term.Eval(sp[:3], pp[:3], fb[:3])
+		for m := 0; m < 3; m++ {
+			slot.Force[atoms[m]] = slot.Force[atoms[m]].Add(fb[m])
+			slot.Virial += fb[m].Dot(pp[m])
+		}
+		slot.Tuples++
+		slot.TermTuples[3]++
+	}
+}

@@ -1,0 +1,141 @@
+package kernel
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"sctuple/internal/geom"
+	"sctuple/internal/potential"
+)
+
+func TestChunkCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 16, 17, 100} {
+		for _, parts := range []int{1, 2, 7, 16, 40} {
+			next := 0
+			for i := 0; i < parts; i++ {
+				lo, hi := Chunk(n, parts, i)
+				if lo != next {
+					t.Fatalf("n=%d parts=%d: chunk %d starts at %d, want %d", n, parts, i, lo, next)
+				}
+				if hi < lo || hi > n {
+					t.Fatalf("n=%d parts=%d: chunk %d = [%d,%d)", n, parts, i, lo, hi)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d parts=%d: chunks cover [0,%d), want [0,%d)", n, parts, next, n)
+			}
+		}
+	}
+}
+
+func TestRunCoversEveryShardOnce(t *testing.T) {
+	const shards = 16
+	for _, workers := range []int{0, 1, 2, 5, 16, 64} {
+		var hits [shards]atomic.Int64
+		Run(shards, workers, func(w, s int) {
+			if w < 0 || (workers > 1 && w >= workers) || (workers <= 1 && w != 0) {
+				t.Errorf("workers=%d: worker index %d out of range", workers, w)
+			}
+			hits[s].Add(1)
+		})
+		for s := range hits {
+			if got := hits[s].Load(); got != 1 {
+				t.Fatalf("workers=%d: shard %d ran %d times", workers, s, got)
+			}
+		}
+	}
+}
+
+// TestShardedMatchesDirect: the same tuple stream split across shards
+// must reduce to the direct accumulator's result exactly (forces
+// bitwise, since each atom is touched by exactly one shard here).
+func TestShardedMatchesDirect(t *testing.T) {
+	model := potential.NewLJModel(0.0104, 3.4, 8.5, 39.948)
+	term := model.Terms[0]
+	pos := []geom.Vec3{
+		geom.V(0, 0, 0), geom.V(3.5, 0, 0),
+		geom.V(0, 3.6, 0), geom.V(3.4, 3.4, 0.5),
+	}
+	species := []int32{0, 0, 0, 0}
+	pairs := [][2]int32{{0, 1}, {2, 3}}
+	k := TermKernel{Term: term, Species: species}
+
+	dir := NewDirect()
+	fDir := make([]geom.Vec3, len(pos))
+	dir.Begin(fDir)
+	visit := k.Visitor(dir.Slot(0))
+	for _, p := range pairs {
+		visit(p[:], []geom.Vec3{pos[p[0]], pos[p[1]]})
+	}
+	eDir, stDir := dir.End()
+
+	sh := NewSharded(2)
+	fSh := make([]geom.Vec3, len(pos))
+	sh.Begin(fSh)
+	for s, p := range pairs {
+		k.Visitor(sh.Slot(s))(p[:], []geom.Vec3{pos[p[0]], pos[p[1]]})
+	}
+	eSh, stSh := sh.End()
+
+	if eSh != eDir {
+		t.Errorf("energy: sharded %v, direct %v", eSh, eDir)
+	}
+	if stSh.TuplesEvaluated != stDir.TuplesEvaluated || stSh.TermTuples[2] != stDir.TermTuples[2] {
+		t.Errorf("stats: sharded %+v, direct %+v", stSh, stDir)
+	}
+	if math.Abs(stSh.Virial-stDir.Virial) > 1e-15*(1+math.Abs(stDir.Virial)) {
+		t.Errorf("virial: sharded %v, direct %v", stSh.Virial, stDir.Virial)
+	}
+	for i := range fDir {
+		if fSh[i] != fDir[i] {
+			t.Errorf("atom %d force: sharded %v, direct %v", i, fSh[i], fDir[i])
+		}
+	}
+}
+
+// TestShardedReuseAcrossSizes: Begin must clear stale forces and stats
+// when reused, including at a smaller atom count.
+func TestShardedReuseAcrossSizes(t *testing.T) {
+	sh := NewSharded(4)
+	big := make([]geom.Vec3, 8)
+	sh.Begin(big)
+	sh.Slot(2).Force[5] = geom.V(1, 2, 3)
+	sh.Slot(2).Energy = 7
+	sh.Slot(2).Tuples = 9
+	sh.End()
+
+	small := []geom.Vec3{geom.V(4, 4, 4), geom.V(5, 5, 5)}
+	sh.Begin(small)
+	e, st := sh.End()
+	if e != 0 || st.TuplesEvaluated != 0 {
+		t.Errorf("stale sums after reuse: energy %v, stats %+v", e, st)
+	}
+	for i, f := range small {
+		if f != (geom.Vec3{}) {
+			t.Errorf("atom %d force %v after empty evaluation, want zero", i, f)
+		}
+	}
+}
+
+// TestVisitorVirial: the accumulated virial equals Σ f·r over the
+// evaluated tuple.
+func TestVisitorVirial(t *testing.T) {
+	model := potential.NewLJModel(0.0104, 3.4, 8.5, 39.948)
+	term := model.Terms[0]
+	pos := []geom.Vec3{geom.V(1, 2, 3), geom.V(4.4, 2.5, 3.1)}
+	species := []int32{0, 0}
+
+	dir := NewDirect()
+	f := make([]geom.Vec3, 2)
+	dir.Begin(f)
+	k := TermKernel{Term: term, Species: species}
+	k.Visitor(dir.Slot(0))([]int32{0, 1}, pos)
+	_, st := dir.End()
+
+	want := f[0].Dot(pos[0]) + f[1].Dot(pos[1])
+	if math.Abs(st.Virial-want) > 1e-12*(1+math.Abs(want)) {
+		t.Errorf("virial %v, Σ f·r = %v", st.Virial, want)
+	}
+}

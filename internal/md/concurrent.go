@@ -3,10 +3,10 @@ package md
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"sctuple/internal/cell"
 	"sctuple/internal/geom"
+	"sctuple/internal/kernel"
 	"sctuple/internal/potential"
 	"sctuple/internal/tuple"
 )
@@ -17,12 +17,13 @@ import (
 // list-then-prune pipeline — the cell search-spaces can be evaluated
 // by any number of workers in parallel.
 //
-// The engine partitions each term's anchor cells across W workers;
-// every worker enumerates its cells with a private Enumerator and
-// accumulates forces into a private buffer, and the buffers are
-// reduced in fixed worker order, so results are deterministic for a
-// given worker count (force sums are floating-point-identical run to
-// run, and agree with the serial engine to rounding).
+// The engine partitions each term's anchor cells across W shards of a
+// kernel.Sharded accumulator; every worker enumerates its shard's
+// cells with a private Enumerator and accumulates forces into the
+// shard's private buffer, and the buffers are reduced in fixed shard
+// order, so results are deterministic for a given worker count (force
+// sums are floating-point-identical run to run, and agree with the
+// serial engine to rounding).
 type ConcurrentCellEngine struct {
 	family  Family
 	model   *potential.Model
@@ -36,8 +37,8 @@ type ConcurrentCellEngine struct {
 	// must not be shared between goroutines).
 	enums [][]*tuple.Enumerator
 
-	forces [][]geom.Vec3 // per-worker force buffers
-	stats  ComputeStats
+	acc   *kernel.Sharded
+	stats ComputeStats
 }
 
 // NewConcurrentCellEngine builds the engine with the given worker
@@ -49,7 +50,12 @@ func NewConcurrentCellEngine(model *potential.Model, box geom.Box, family Family
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &ConcurrentCellEngine{family: family, model: model, workers: workers}
+	e := &ConcurrentCellEngine{
+		family:  family,
+		model:   model,
+		workers: workers,
+		acc:     kernel.NewSharded(workers),
+	}
 	for _, term := range model.Terms {
 		lat, err := cell.NewLattice(box, term.Cutoff())
 		if err != nil {
@@ -67,14 +73,17 @@ func NewConcurrentCellEngine(model *potential.Model, box geom.Box, family Family
 	e.enums = make([][]*tuple.Enumerator, workers)
 	for w := 0; w < workers; w++ {
 		for ti, term := range model.Terms {
-			en, err := tuple.NewEnumerator(e.bins[ti], family.Pattern(term.N()), term.Cutoff(), tuple.DedupAuto)
+			pattern, err := family.Pattern(term.N())
+			if err != nil {
+				return nil, err
+			}
+			en, err := tuple.NewEnumerator(e.bins[ti], pattern, term.Cutoff(), tuple.DedupAuto)
 			if err != nil {
 				return nil, fmt.Errorf("md: term n=%d: %w", term.N(), err)
 			}
 			e.enums[w] = append(e.enums[w], en)
 		}
 	}
-	e.forces = make([][]geom.Vec3, workers)
 	return e, nil
 }
 
@@ -92,73 +101,23 @@ func (e *ConcurrentCellEngine) Compute(sys *System) (float64, error) {
 		return 0, fmt.Errorf("md: engine model %q does not match system model %q",
 			e.model.Name, sys.Model.Name)
 	}
-	n := sys.N()
-	for w := range e.forces {
-		if cap(e.forces[w]) < n {
-			e.forces[w] = make([]geom.Vec3, n)
-		}
-		e.forces[w] = e.forces[w][:n]
-		for i := range e.forces[w] {
-			e.forces[w][i] = geom.Vec3{}
-		}
-	}
-	e.stats = ComputeStats{TermTuples: make(map[int]int64)}
-	energy := 0.0
-
+	e.acc.Begin(sys.Force)
 	for ti, term := range e.model.Terms {
 		e.bins[ti].Rebin(sys.Pos)
 		all := e.cells[ti]
-		chunk := (len(all) + e.workers - 1) / e.workers
-
-		energies := make([]float64, e.workers)
-		virials := make([]float64, e.workers)
-		statList := make([]tuple.Stats, e.workers)
-		var wg sync.WaitGroup
-		for w := 0; w < e.workers; w++ {
-			lo := w * chunk
-			if lo >= len(all) {
-				break
+		k := kernel.TermKernel{Term: term, Species: sys.Species}
+		kernel.Run(e.acc.Slots(), e.workers, func(w, s int) {
+			lo, hi := kernel.Chunk(len(all), e.acc.Slots(), s)
+			if lo >= hi {
+				return
 			}
-			hi := min(lo+chunk, len(all))
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				nTerm := term.N()
-				var species [tuple.MaxN]int32
-				var fbuf [tuple.MaxN]geom.Vec3
-				force := e.forces[w]
-				statList[w] = e.enums[w][ti].VisitCells(all[lo:hi], sys.Pos, func(atoms []int32, pos []geom.Vec3) {
-					for k := 0; k < nTerm; k++ {
-						species[k] = sys.Species[atoms[k]]
-						fbuf[k] = geom.Vec3{}
-					}
-					energies[w] += term.Eval(species[:nTerm], pos, fbuf[:nTerm])
-					for k := 0; k < nTerm; k++ {
-						force[atoms[k]] = force[atoms[k]].Add(fbuf[k])
-						virials[w] += fbuf[k].Dot(pos[k])
-					}
-				})
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		for w := 0; w < e.workers; w++ {
-			energy += energies[w]
-			e.stats.Virial += virials[w]
-			e.stats.SearchCandidates += statList[w].Candidates
-			e.stats.PathApplications += statList[w].PathApplications
-			e.stats.TuplesEvaluated += statList[w].Emitted
-			e.stats.TermTuples[term.N()] += statList[w].Emitted
-		}
+			slot := e.acc.Slot(s)
+			e.enums[w][ti].VisitCellsInto(all[lo:hi], sys.Pos, k.Visitor(slot), &slot.Enum)
+		})
 	}
-
-	// Deterministic reduction in fixed worker order.
-	sys.ZeroForces()
-	for w := 0; w < e.workers; w++ {
-		fw := e.forces[w]
-		for i := range fw {
-			sys.Force[i] = sys.Force[i].Add(fw[i])
-		}
-	}
+	// Deterministic reduction in fixed shard order.
+	energy, stats := e.acc.End()
+	e.stats = stats
 	return energy, nil
 }
 

@@ -1,0 +1,82 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"sctuple/internal/geom"
+)
+
+// TestFamilyPatternUnknown: an invalid family yields an error, not a
+// panic, while the known families yield their patterns.
+func TestFamilyPatternUnknown(t *testing.T) {
+	for _, f := range []Family{FamilySC, FamilyFS} {
+		p, err := f.Pattern(3)
+		if err != nil || p == nil {
+			t.Errorf("%v.Pattern(3) = %v, %v", f, p, err)
+		}
+	}
+	if _, err := Family(99).Pattern(2); err == nil {
+		t.Error("Family(99).Pattern(2) succeeded, want error")
+	}
+	sys := silicaSystem(t, 3, 0, 1)
+	if _, err := NewCellEngine(sys.Model, sys.Box, Family(99)); err == nil {
+		t.Error("NewCellEngine with unknown family succeeded, want error")
+	}
+	if _, err := NewConcurrentCellEngine(sys.Model, sys.Box, Family(99), 2); err == nil {
+		t.Error("NewConcurrentCellEngine with unknown family succeeded, want error")
+	}
+}
+
+// TestConcurrentEngineDeterministicAcrossWorkerCounts: for every fixed
+// worker count — including counts exceeding the cell count, where
+// trailing shards are empty — repeated evaluations are bit-identical,
+// and each agrees with the serial engine to rounding.
+func TestConcurrentEngineDeterministicAcrossWorkerCounts(t *testing.T) {
+	sys := silicaSystem(t, 3, 500, 26)
+	serial, err := NewCellEngine(sys.Model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPE, err := serial.Compute(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := append([]geom.Vec3(nil), sys.Force...)
+
+	// The triplet term bins 2.6 Å cells on a 21.5 Å box → 8³ cells, but
+	// the pair term has only 3³ = 27, so 32 workers exceeds it.
+	for _, workers := range []int{1, 2, 4, 27, 32} {
+		conc, err := NewConcurrentCellEngine(sys.Model, sys.Box, FamilySC, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe1, err := conc.Compute(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pe1-wantPE) > 1e-9*math.Abs(wantPE) {
+			t.Errorf("workers=%d: PE %.12g, serial %.12g", workers, pe1, wantPE)
+		}
+		for i := range wantF {
+			if d := sys.Force[i].Sub(wantF[i]).Norm(); d > 1e-9 {
+				t.Fatalf("workers=%d: atom %d force differs from serial by %g", workers, i, d)
+			}
+		}
+		f1 := append([]geom.Vec3(nil), sys.Force...)
+		for trial := 0; trial < 3; trial++ {
+			pe2, err := conc.Compute(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pe2 != pe1 {
+				t.Fatalf("workers=%d trial %d: PE %v != %v (nondeterministic)", workers, trial, pe2, pe1)
+			}
+			for i := range f1 {
+				if sys.Force[i] != f1[i] {
+					t.Fatalf("workers=%d trial %d: atom %d force differs bitwise", workers, trial, i)
+				}
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sctuple/internal/cell"
 	"sctuple/internal/core"
 	"sctuple/internal/geom"
+	"sctuple/internal/kernel"
 	"sctuple/internal/nlist"
 	"sctuple/internal/potential"
 	"sctuple/internal/tuple"
@@ -31,15 +32,17 @@ func (f Family) String() string {
 	return "?"
 }
 
-// Pattern returns the family's pattern for tuple length n.
-func (f Family) Pattern(n int) *core.Pattern {
+// Pattern returns the family's pattern for tuple length n, or an
+// error for an unknown family (matching the error handling of
+// NewCellEngineRadius).
+func (f Family) Pattern(n int) (*core.Pattern, error) {
 	switch f {
 	case FamilySC:
-		return core.SC(n)
+		return core.SC(n), nil
 	case FamilyFS:
-		return core.FS(n)
+		return core.FS(n), nil
 	}
-	panic("md: unknown pattern family")
+	return nil, fmt.Errorf("md: unknown pattern family %v", f)
 }
 
 // CellEngine evaluates all model terms by cell-based UCP enumeration
@@ -56,9 +59,8 @@ type CellEngine struct {
 	bins   []*cell.Binning
 	enums  []*tuple.Enumerator
 
-	species [tuple.MaxN]int32
-	fbuf    [tuple.MaxN]geom.Vec3
-	stats   ComputeStats
+	acc   *kernel.Direct
+	stats ComputeStats
 }
 
 // NewCellEngine builds the engine for a model over a box, with one
@@ -67,14 +69,18 @@ func NewCellEngine(model *potential.Model, box geom.Box, family Family) (*CellEn
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	e := &CellEngine{family: family, model: model}
+	e := &CellEngine{family: family, model: model, acc: kernel.NewDirect()}
 	for _, term := range model.Terms {
 		lat, err := cell.NewLattice(box, term.Cutoff())
 		if err != nil {
 			return nil, fmt.Errorf("md: term n=%d: %w", term.N(), err)
 		}
+		pattern, err := family.Pattern(term.N())
+		if err != nil {
+			return nil, err
+		}
 		bin := cell.NewBinning(lat, nil)
-		en, err := tuple.NewEnumerator(bin, family.Pattern(term.N()), term.Cutoff(), tuple.DedupAuto)
+		en, err := tuple.NewEnumerator(bin, pattern, term.Cutoff(), tuple.DedupAuto)
 		if err != nil {
 			return nil, fmt.Errorf("md: term n=%d: %w", term.N(), err)
 		}
@@ -97,7 +103,7 @@ func NewCellEngineRadius(model *potential.Model, box geom.Box, family Family, k 
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	e := &CellEngine{family: family, model: model}
+	e := &CellEngine{family: family, model: model, acc: kernel.NewDirect()}
 	for _, term := range model.Terms {
 		lat, err := cell.NewLattice(box, term.Cutoff()/float64(k))
 		if err != nil {
@@ -131,34 +137,22 @@ func (e *CellEngine) Name() string { return e.family.String() + "-MD" }
 func (e *CellEngine) Lattice(i int) cell.Lattice { return e.lats[i] }
 
 // Compute implements Engine: rebin per term, enumerate each term's
-// force set, evaluate, scatter forces.
+// force set, and evaluate through the shared kernel layer into the
+// direct (single-buffer) accumulator.
 func (e *CellEngine) Compute(sys *System) (float64, error) {
 	if sys.Model != e.model {
 		return 0, fmt.Errorf("md: engine model %q does not match system model %q",
 			e.model.Name, sys.Model.Name)
 	}
-	sys.ZeroForces()
-	e.stats = ComputeStats{TermTuples: make(map[int]int64)}
-	energy := 0.0
+	e.acc.Begin(sys.Force)
+	slot := e.acc.Slot(0)
 	for ti, term := range e.model.Terms {
-		n := term.N()
 		e.bins[ti].Rebin(sys.Pos)
-		st := e.enums[ti].Visit(sys.Pos, func(atoms []int32, pos []geom.Vec3) {
-			for k := 0; k < n; k++ {
-				e.species[k] = sys.Species[atoms[k]]
-				e.fbuf[k] = geom.Vec3{}
-			}
-			energy += term.Eval(e.species[:n], pos, e.fbuf[:n])
-			for k := 0; k < n; k++ {
-				sys.Force[atoms[k]] = sys.Force[atoms[k]].Add(e.fbuf[k])
-				e.stats.Virial += e.fbuf[k].Dot(pos[k])
-			}
-		})
-		e.stats.SearchCandidates += st.Candidates
-		e.stats.PathApplications += st.PathApplications
-		e.stats.TuplesEvaluated += st.Emitted
-		e.stats.TermTuples[n] += st.Emitted
+		k := kernel.TermKernel{Term: term, Species: sys.Species}
+		e.enums[ti].VisitInto(sys.Pos, k.Visitor(slot), &slot.Enum)
 	}
+	energy, stats := e.acc.End()
+	e.stats = stats
 	return energy, nil
 }
 
@@ -186,6 +180,7 @@ type HybridEngine struct {
 	buildPos []geom.Vec3
 	rebuilds int64
 
+	acc   *kernel.Direct
 	stats ComputeStats
 }
 
@@ -196,7 +191,7 @@ func NewHybridEngine(model *potential.Model, box geom.Box) (*HybridEngine, error
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	e := &HybridEngine{model: model}
+	e := &HybridEngine{model: model, acc: kernel.NewDirect()}
 	for _, t := range model.Terms {
 		switch t.N() {
 		case 2:
@@ -285,8 +280,8 @@ func (e *HybridEngine) Compute(sys *System) (float64, error) {
 		return 0, fmt.Errorf("md: engine model %q does not match system model %q",
 			e.model.Name, sys.Model.Name)
 	}
-	sys.ZeroForces()
-	e.stats = ComputeStats{TermTuples: make(map[int]int64)}
+	e.acc.Begin(sys.Force)
+	slot := e.acc.Slot(0)
 
 	var pl *nlist.PairList
 	if e.skin > 0 {
@@ -299,11 +294,11 @@ func (e *HybridEngine) Compute(sys *System) (float64, error) {
 			e.pl = fresh
 			e.buildPos = append(e.buildPos[:0], sys.Pos...)
 			e.rebuilds++
-			e.stats.SearchCandidates = fresh.BuildStats.Candidates
-			e.stats.PathApplications = fresh.BuildStats.PathApplications
+			slot.Enum.Candidates = fresh.BuildStats.Candidates
+			slot.Enum.PathApplications = fresh.BuildStats.PathApplications
 		} else {
 			e.pl.Refresh(sys.Box, sys.Pos)
-			e.stats.SearchCandidates = int64(e.pl.NumEntries())
+			slot.Enum.Candidates = int64(e.pl.NumEntries())
 		}
 		pl = e.pl
 	} else {
@@ -314,43 +309,23 @@ func (e *HybridEngine) Compute(sys *System) (float64, error) {
 		}
 		pl = fresh
 		e.rebuilds++
-		e.stats.SearchCandidates = fresh.BuildStats.Candidates
-		e.stats.PathApplications = fresh.BuildStats.PathApplications
+		slot.Enum.Candidates = fresh.BuildStats.Candidates
+		slot.Enum.PathApplications = fresh.BuildStats.PathApplications
 	}
-	e.stats.PairListEntries = int64(pl.NumEntries())
+	slot.PairEntries = int64(pl.NumEntries())
 
-	energy := 0.0
-	var sp [3]int32
-	var fb [3]geom.Vec3
-	var pp [2]geom.Vec3
-	pl.VisitPairs(func(i, j int32, disp geom.Vec3, _ float64) {
-		sp[0], sp[1] = sys.Species[i], sys.Species[j]
-		fb[0], fb[1] = geom.Vec3{}, geom.Vec3{}
-		pp[0], pp[1] = sys.Pos[i], sys.Pos[i].Add(disp)
-		energy += e.pair.Eval(sp[:2], pp[:2], fb[:2])
-		sys.Force[i] = sys.Force[i].Add(fb[0])
-		sys.Force[j] = sys.Force[j].Add(fb[1])
-		e.stats.Virial += fb[0].Dot(pp[0]) + fb[1].Dot(pp[1])
-	})
-	e.stats.TuplesEvaluated += int64(pl.NumEntries() / 2)
-	e.stats.TermTuples[2] = int64(pl.NumEntries() / 2)
+	pairK := kernel.TermKernel{Term: e.pair, Species: sys.Species}
+	pl.VisitPairs(pairK.PairVisitor(slot, sys.Pos))
 
 	if e.triplet != nil {
-		tst := pl.VisitTriplets(sys.Pos, e.triplet.Cutoff(), func(atoms [3]int32, pos [3]geom.Vec3) {
-			sp[0], sp[1], sp[2] = sys.Species[atoms[0]], sys.Species[atoms[1]], sys.Species[atoms[2]]
-			fb[0], fb[1], fb[2] = geom.Vec3{}, geom.Vec3{}, geom.Vec3{}
-			energy += e.triplet.Eval(sp[:3], pos[:3], fb[:3])
-			for k := 0; k < 3; k++ {
-				sys.Force[atoms[k]] = sys.Force[atoms[k]].Add(fb[k])
-				e.stats.Virial += fb[k].Dot(pos[k])
-			}
-		})
+		tripK := kernel.TermKernel{Term: e.triplet, Species: sys.Species}
+		tst := pl.VisitTriplets(sys.Pos, e.triplet.Cutoff(), tripK.TripletVisitor(slot))
 		// The pruning scan and the neighbor-pair expansion are the
 		// triplet search cost of Hybrid-MD.
-		e.stats.SearchCandidates += tst.ShortNeighbors + tst.PairsExamined
-		e.stats.TuplesEvaluated += tst.Emitted
-		e.stats.TermTuples[3] = tst.Emitted
+		slot.Enum.Candidates += tst.ShortNeighbors + tst.PairsExamined
 	}
+	energy, stats := e.acc.End()
+	e.stats = stats
 	return energy, nil
 }
 

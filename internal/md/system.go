@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"sctuple/internal/geom"
+	"sctuple/internal/kernel"
 	"sctuple/internal/potential"
 	"sctuple/internal/workload"
 )
@@ -114,36 +115,10 @@ func (s *System) ZeroForces() {
 }
 
 // ComputeStats aggregates the per-step operation counts of a force
-// engine — the quantities the paper's cost model (Eq. 12, 31) and the
-// performance model of package perfmodel are built on.
-type ComputeStats struct {
-	SearchCandidates int64 // partial chains examined (Eq. 12 search cost)
-	PathApplications int64 // (cell, path) combinations processed
-	TuplesEvaluated  int64 // tuples passed to potential terms
-	PairListEntries  int64 // Verlet-list entries (Hybrid engine only)
-	TermTuples       map[int]int64
-	// Virial is W = Σ_tuples Σ_k f_k·r_k (eV), accumulated with the
-	// image-resolved tuple positions so periodic wrapping never
-	// corrupts it. The instantaneous pressure is (2·KE + W)/(3V).
-	Virial float64
-}
-
-// Add accumulates other into s.
-func (cs *ComputeStats) Add(other ComputeStats) {
-	cs.SearchCandidates += other.SearchCandidates
-	cs.PathApplications += other.PathApplications
-	cs.TuplesEvaluated += other.TuplesEvaluated
-	cs.PairListEntries += other.PairListEntries
-	cs.Virial += other.Virial
-	if other.TermTuples != nil {
-		if cs.TermTuples == nil {
-			cs.TermTuples = make(map[int]int64)
-		}
-		for n, c := range other.TermTuples {
-			cs.TermTuples[n] += c
-		}
-	}
-}
+// engine. It lives in package kernel (the unified force-evaluation
+// layer, which owns all accumulation); the alias keeps the md API
+// unchanged.
+type ComputeStats = kernel.ComputeStats
 
 // Pressure returns the instantaneous pressure of the system given the
 // virial W from the last force evaluation: P = (2·KE + W)/(3V), in

@@ -2,59 +2,58 @@ package parmd
 
 import (
 	"sctuple/internal/geom"
-	"sctuple/internal/potential"
-	"sctuple/internal/tuple"
+	"sctuple/internal/kernel"
 )
 
 // computeForces runs one complete force evaluation: refresh the halo,
-// enumerate and evaluate all potential terms anchored at owned cells,
-// and write imported atoms' force contributions back to their owners.
-// It returns this rank's share of the potential energy.
+// enumerate and evaluate all potential terms anchored at owned cells
+// through the shared kernel layer, and write imported atoms' force
+// contributions back to their owners. It returns this rank's share of
+// the potential energy.
 func (r *rankState) computeForces() float64 {
 	r.dropHalo()
-	for i := 0; i < r.nOwned; i++ {
-		r.force[i] = geom.Vec3{}
-	}
 	r.deriveOwned()
 	r.importHalo()
 	r.rebin()
 
-	var pe float64
+	// The accumulator covers owned + halo atoms; Begin zeroes it, and
+	// End reduces the shards in fixed order so the forces are
+	// bit-identical for every Options.Workers setting.
+	r.acc.Begin(r.force)
 	switch r.scheme {
 	case SchemeSC, SchemeFS:
-		pe = r.evalCellTerms()
+		r.evalCellTerms()
 	case SchemeHybrid:
-		pe = r.evalHybrid()
+		r.evalHybrid()
 	}
+	pe, cs := r.acc.End()
+	r.stats.SearchCandidates += cs.SearchCandidates
+	r.stats.TuplesEvaluated += cs.TuplesEvaluated
+	r.stats.PairListEntries += cs.PairListEntries
+	r.stats.Virial += cs.Virial
+
 	r.writeBackForces()
 	r.stats.Steps++
 	return pe
 }
 
 // evalCellTerms is the SC-/FS-MD force kernel: one bounded UCP
-// enumeration per n-body term.
-func (r *rankState) evalCellTerms() float64 {
-	energy := 0.0
-	var sp [tuple.MaxN]int32
-	var fb [tuple.MaxN]geom.Vec3
+// enumeration per n-body term, the owned cells split across the
+// accumulator's shards and executed by up to r.workers goroutines.
+func (r *rankState) evalCellTerms() {
 	for ti, term := range r.model.Terms {
-		n := term.N()
-		en := r.enums[ti]
-		en.SetKeys(r.ids)
-		st := en.VisitCells(r.ownedCells, r.lpos, func(atoms []int32, pos []geom.Vec3) {
-			for k := 0; k < n; k++ {
-				sp[k] = r.species[atoms[k]]
-				fb[k] = geom.Vec3{}
+		k := kernel.TermKernel{Term: term, Species: r.species}
+		kernel.Run(r.acc.Slots(), r.workers, func(w, s int) {
+			lo, hi := kernel.Chunk(len(r.ownedCells), r.acc.Slots(), s)
+			if lo >= hi {
+				return
 			}
-			energy += term.Eval(sp[:n], pos, fb[:n])
-			for k := 0; k < n; k++ {
-				r.force[atoms[k]] = r.force[atoms[k]].Add(fb[k])
-			}
+			en := r.enums[w][ti]
+			en.SetKeys(r.ids)
+			slot := r.acc.Slot(s)
+			en.VisitCellsInto(r.ownedCells[lo:hi], r.lpos, k.Visitor(slot), &slot.Enum)
 		})
-		r.stats.SearchCandidates += st.Candidates
-		r.stats.TuplesEvaluated += st.Emitted
 	}
-	return energy
 }
 
 // hybridEntry is one directed Verlet-list entry i → j.
@@ -64,98 +63,107 @@ type hybridEntry struct {
 	dist float64
 }
 
+// rawPair is one raw emission of the FS(2) search, before bucketing
+// into the directed list.
+type rawPair struct {
+	i, j int32
+	disp geom.Vec3
+}
+
 // evalHybrid is the Hybrid-MD force kernel: a raw full-shell pair
 // search anchored at owned cells builds a directed Verlet list over
 // owned first atoms; pair forces come from the list (each pair
 // evaluated on exactly one rank, chosen by global ID), and triplets
-// are pruned from each owned center's complete neighbor list.
-func (r *rankState) evalHybrid() float64 {
-	var pairTerm, tripTerm potential.Term
-	for _, t := range r.model.Terms {
-		switch t.N() {
-		case 2:
-			pairTerm = t
-		case 3:
-			tripTerm = t
-		}
-	}
+// are pruned from each owned center's complete neighbor list. The
+// list build is serial (it is the sequential dependence §6 contrasts
+// SC against); the pair and triplet evaluation loops are sharded over
+// owned atoms.
+func (r *rankState) evalHybrid() {
+	slot0 := r.acc.Slot(0)
 
-	// Build the directed list: start offsets per owned atom.
-	counts := make([]int32, r.nOwned+1)
-	type rawPair struct {
-		i, j int32
-		disp geom.Vec3
+	// Build the directed list: start offsets per owned atom. The
+	// scratch buffers are hoisted on rankState and reused across steps.
+	if cap(r.hybCounts) < r.nOwned+1 {
+		r.hybCounts = make([]int32, r.nOwned+1)
+		r.hybFill = make([]int32, r.nOwned)
 	}
-	var raw []rawPair
-	st := r.pairEnum.VisitCells(r.ownedCells, r.lpos, func(atoms []int32, pos []geom.Vec3) {
-		raw = append(raw, rawPair{atoms[0], atoms[1], pos[1].Sub(pos[0])})
+	counts := r.hybCounts[:r.nOwned+1]
+	clear(counts)
+	r.hybRaw = r.hybRaw[:0]
+	r.pairEnum.VisitCellsInto(r.ownedCells, r.lpos, func(atoms []int32, pos []geom.Vec3) {
+		r.hybRaw = append(r.hybRaw, rawPair{atoms[0], atoms[1], pos[1].Sub(pos[0])})
 		counts[atoms[0]+1]++
-	})
-	r.stats.SearchCandidates += st.Candidates
+	}, &slot0.Enum)
 	for i := 0; i < r.nOwned; i++ {
 		counts[i+1] += counts[i]
 	}
-	entries := make([]hybridEntry, len(raw))
-	fill := make([]int32, r.nOwned)
-	for _, p := range raw {
+	if cap(r.hybEntries) < len(r.hybRaw) {
+		r.hybEntries = make([]hybridEntry, len(r.hybRaw))
+	}
+	entries := r.hybEntries[:len(r.hybRaw)]
+	fill := r.hybFill[:r.nOwned]
+	clear(fill)
+	for _, p := range r.hybRaw {
 		k := counts[p.i] + fill[p.i]
 		entries[k] = hybridEntry{j: p.j, disp: p.disp, dist: p.disp.Norm()}
 		fill[p.i]++
 	}
-	r.stats.PairListEntries += int64(len(entries))
-
-	energy := 0.0
-	var sp [3]int32
-	var fb [3]geom.Vec3
-	var pp [3]geom.Vec3
+	slot0.PairEntries += int64(len(entries))
 
 	// Pair forces: each undirected pair on exactly one rank, chosen by
 	// global ID order.
-	for i := 0; i < r.nOwned; i++ {
-		for k := counts[i]; k < counts[i+1]; k++ {
-			e := entries[k]
-			if r.ids[i] >= r.ids[e.j] {
-				continue
-			}
-			sp[0], sp[1] = r.species[i], r.species[e.j]
-			fb[0], fb[1] = geom.Vec3{}, geom.Vec3{}
-			pp[0], pp[1] = r.lpos[i], r.lpos[i].Add(e.disp)
-			energy += pairTerm.Eval(sp[:2], pp[:2], fb[:2])
-			r.force[i] = r.force[i].Add(fb[0])
-			r.force[e.j] = r.force[e.j].Add(fb[1])
-			r.stats.TuplesEvaluated++
+	pairK := kernel.TermKernel{Term: r.pairTerm, Species: r.species}
+	kernel.Run(r.acc.Slots(), r.workers, func(w, s int) {
+		lo, hi := kernel.Chunk(r.nOwned, r.acc.Slots(), s)
+		if lo >= hi {
+			return
 		}
-	}
+		slot := r.acc.Slot(s)
+		pv := pairK.PairVisitor(slot, r.lpos)
+		for i := lo; i < hi; i++ {
+			for k := counts[i]; k < counts[i+1]; k++ {
+				e := entries[k]
+				if r.ids[i] >= r.ids[e.j] {
+					continue
+				}
+				pv(int32(i), e.j, e.disp, e.dist)
+			}
+		}
+	})
 
 	// Triplets around owned centers, pruned from the list.
-	if tripTerm != nil {
-		rc3 := tripTerm.Cutoff()
-		short := make([]int32, 0, 64)
-		for j := 0; j < r.nOwned; j++ {
-			short = short[:0]
-			for k := counts[j]; k < counts[j+1]; k++ {
-				r.stats.SearchCandidates++
-				if entries[k].dist < rc3 {
-					short = append(short, k)
+	if r.tripTerm != nil {
+		rc3 := r.tripTerm.Cutoff()
+		tripK := kernel.TermKernel{Term: r.tripTerm, Species: r.species}
+		kernel.Run(r.acc.Slots(), r.workers, func(w, s int) {
+			lo, hi := kernel.Chunk(r.nOwned, r.acc.Slots(), s)
+			if lo >= hi {
+				return
+			}
+			slot := r.acc.Slot(s)
+			tv := tripK.TripletVisitor(slot)
+			short := r.tripShort[w][:0]
+			for j := lo; j < hi; j++ {
+				short = short[:0]
+				for k := counts[j]; k < counts[j+1]; k++ {
+					slot.Enum.Candidates++
+					if entries[k].dist < rc3 {
+						short = append(short, k)
+					}
+				}
+				for a := 0; a < len(short); a++ {
+					for b := a + 1; b < len(short); b++ {
+						slot.Enum.Candidates++
+						ea, eb := entries[short[a]], entries[short[b]]
+						tv([3]int32{ea.j, int32(j), eb.j}, [3]geom.Vec3{
+							r.lpos[j].Add(ea.disp),
+							r.lpos[j],
+							r.lpos[j].Add(eb.disp),
+						})
+					}
 				}
 			}
-			for a := 0; a < len(short); a++ {
-				for b := a + 1; b < len(short); b++ {
-					r.stats.SearchCandidates++
-					ea, eb := entries[short[a]], entries[short[b]]
-					sp[0], sp[1], sp[2] = r.species[ea.j], r.species[j], r.species[eb.j]
-					fb[0], fb[1], fb[2] = geom.Vec3{}, geom.Vec3{}, geom.Vec3{}
-					pp[0] = r.lpos[j].Add(ea.disp)
-					pp[1] = r.lpos[j]
-					pp[2] = r.lpos[j].Add(eb.disp)
-					energy += tripTerm.Eval(sp[:3], pp[:3], fb[:3])
-					r.force[ea.j] = r.force[ea.j].Add(fb[0])
-					r.force[j] = r.force[j].Add(fb[1])
-					r.force[eb.j] = r.force[eb.j].Add(fb[2])
-					r.stats.TuplesEvaluated++
-				}
-			}
-		}
+			r.tripShort[w] = short
+		})
 	}
-	return energy
 }

@@ -7,11 +7,20 @@ import (
 	"sctuple/internal/comm"
 	"sctuple/internal/core"
 	"sctuple/internal/geom"
+	"sctuple/internal/kernel"
 	"sctuple/internal/md"
 	"sctuple/internal/potential"
 	"sctuple/internal/tuple"
 	"sctuple/internal/workload"
 )
+
+// computeShards is the fixed number of accumulation shards each rank's
+// force evaluation is split into. The shard count — not the worker
+// count — fixes both the work partition and the reduction order, so a
+// rank's forces are bit-identical for every Options.Workers setting
+// (and workers beyond computeShards would sit idle, so the worker
+// count is capped here).
+const computeShards = 16
 
 // Message tags. Halo and force tags are offset per (axis, direction)
 // so a protocol slip is caught by the tag check in comm.Recv.
@@ -32,6 +41,11 @@ type RankStats struct {
 	AtomsImported    int64 // halo atoms received, summed over steps
 	AtomsMigrated    int64 // atoms received in migration
 	HaloMessages     int64 // halo + write-back messages received
+	// Virial is this rank's share of W = Σ f·r (eV), summed over force
+	// evaluations; summing it over ranks gives the global virial of
+	// the serial engines' ComputeStats (per-tuple virials are
+	// translation invariant, so the rank-local frames do not matter).
+	Virial float64
 }
 
 // Add accumulates other into s.
@@ -43,6 +57,7 @@ func (s *RankStats) Add(o RankStats) {
 	s.AtomsImported += o.AtomsImported
 	s.AtomsMigrated += o.AtomsMigrated
 	s.HaloMessages += o.HaloMessages
+	s.Virial += o.Virial
 }
 
 // haloPhase records one import transfer for the reverse force
@@ -83,16 +98,42 @@ type rankState struct {
 
 	bin        *cell.Binning
 	ownedCells []geom.IVec3 // extended-lattice coords of owned cells
-	enums      []*tuple.Enumerator
-	pairEnum   *tuple.Enumerator // Hybrid: FS(2) raw pair search
-	phases     []haloPhase
+	// enums holds one enumerator set per worker goroutine (enumerators
+	// are scratch and must not be shared between goroutines),
+	// enums[w][term].
+	enums    [][]*tuple.Enumerator
+	pairEnum *tuple.Enumerator // Hybrid: FS(2) raw pair search
+
+	// workers is the intra-rank force-evaluation parallelism (the
+	// thread half of the paper's hybrid rank×thread execution); acc is
+	// the sharded accumulator all force kernels write through.
+	workers int
+	acc     *kernel.Sharded
+
+	// Hybrid scheme only: the model's pair/triplet terms plus the
+	// hoisted directed-list and pruning scratch, reused across steps.
+	pairTerm   potential.Term
+	tripTerm   potential.Term
+	hybCounts  []int32
+	hybFill    []int32
+	hybRaw     []rawPair
+	hybEntries []hybridEntry
+	tripShort  [][]int32 // per-worker pruning scratch
+
+	phases []haloPhase
 
 	stats RankStats
 }
 
-// newRankState builds the static geometry and enumerators of a rank.
-func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Scheme) (*rankState, error) {
+// newRankState builds the static geometry, enumerators, and kernel
+// accumulator of a rank. workers ≤ 1 evaluates forces serially.
+func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Scheme, workers int) (*rankState, error) {
 	r := &rankState{p: p, dec: dec, scheme: scheme, model: model}
+	if workers < 1 {
+		workers = 1
+	}
+	r.workers = min(workers, computeShards)
+	r.acc = kernel.NewSharded(computeShards)
 	r.coord = dec.Cart.Coord(p.Rank())
 	r.lo = dec.BlockLo(r.coord)
 	r.hi = dec.BlockHi(r.coord)
@@ -136,35 +177,46 @@ func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Sche
 		if scheme == SchemeFS {
 			fam = md.FamilyFS
 		}
-		for _, term := range model.Terms {
-			en, err := tuple.NewBoundedEnumerator(r.bin, fam.Pattern(term.N()), term.Cutoff(), tuple.DedupAuto)
-			if err != nil {
-				return nil, fmt.Errorf("parmd: term n=%d: %w", term.N(), err)
+		for w := 0; w < r.workers; w++ {
+			var set []*tuple.Enumerator
+			for _, term := range model.Terms {
+				pattern, err := fam.Pattern(term.N())
+				if err != nil {
+					return nil, fmt.Errorf("parmd: %w", err)
+				}
+				en, err := tuple.NewBoundedEnumerator(r.bin, pattern, term.Cutoff(), tuple.DedupAuto)
+				if err != nil {
+					return nil, fmt.Errorf("parmd: term n=%d: %w", term.N(), err)
+				}
+				set = append(set, en)
 			}
-			r.enums = append(r.enums, en)
+			r.enums = append(r.enums, set)
 		}
 	case SchemeHybrid:
 		// One raw (both orientations) full-shell pair search; pair and
 		// triplet terms are both served from the resulting list.
-		maxCut := 0.0
 		for _, term := range model.Terms {
 			switch term.N() {
-			case 2, 3:
-				if term.Cutoff() > maxCut && term.N() == 2 {
-					maxCut = term.Cutoff()
-				}
+			case 2:
+				r.pairTerm = term
+			case 3:
+				r.tripTerm = term
 			default:
 				return nil, fmt.Errorf("parmd: Hybrid-MD cannot handle n=%d terms", term.N())
 			}
 		}
-		if maxCut == 0 {
+		if r.pairTerm == nil {
 			return nil, fmt.Errorf("parmd: Hybrid-MD needs a pair term")
 		}
-		en, err := tuple.NewBoundedEnumerator(r.bin, core.FS(2), maxCut, tuple.DedupNone)
+		en, err := tuple.NewBoundedEnumerator(r.bin, core.FS(2), r.pairTerm.Cutoff(), tuple.DedupNone)
 		if err != nil {
 			return nil, err
 		}
 		r.pairEnum = en
+		r.tripShort = make([][]int32, r.workers)
+		for w := range r.tripShort {
+			r.tripShort[w] = make([]int32, 0, 64)
+		}
 	}
 	return r, nil
 }

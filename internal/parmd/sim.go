@@ -17,6 +17,13 @@ type Options struct {
 	Cart   comm.Cart // process topology; comm.NewCart(p) picks one
 	Dt     float64   // fs
 	Steps  int
+	// Workers is the number of intra-rank force-evaluation goroutines
+	// (the thread half of the paper's hybrid rank×thread execution);
+	// ≤ 1 evaluates serially. Forces and energies are bit-identical for
+	// every Workers setting: the fixed shard count of the kernel
+	// accumulator, not the worker count, decides both the work
+	// partition and the reduction order.
+	Workers int
 	// TraceEnergies records global PE/KE each step (costs two
 	// reductions per step).
 	TraceEnergies bool
@@ -123,7 +130,7 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	finals := make([][]finalAtom, world.Size())
 
 	err = world.Run(func(p *comm.Proc) error {
-		r, err := newRankState(p, dec, model, opt.Scheme)
+		r, err := newRankState(p, dec, model, opt.Scheme, opt.Workers)
 		if err != nil {
 			return err
 		}

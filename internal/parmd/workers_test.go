@@ -1,0 +1,143 @@
+package parmd
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+	"sctuple/internal/md"
+)
+
+// TestParallelWorkersBitIdentical: because the fixed shard count of
+// the kernel accumulator — not the worker count — decides both the
+// work partition and the reduction order, every Workers setting must
+// produce bit-identical forces, energies, and trajectories.
+func TestParallelWorkersBitIdentical(t *testing.T) {
+	cfg, model := silicaConfig(t, 4, 400, 5)
+	cart, err := comm.NewCartDims(geom.IV(2, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range Schemes() {
+		ref, err := Run(cfg, model, Options{
+			Scheme: scheme, Cart: cart, Dt: 1, Steps: 3, Workers: 1,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		// Includes counts above computeShards, which get clamped.
+		for _, workers := range []int{2, 4, computeShards, computeShards + 7} {
+			res, err := Run(cfg, model, Options{
+				Scheme: scheme, Cart: cart, Dt: 1, Steps: 3, Workers: workers,
+			})
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", scheme, workers, err)
+			}
+			if res.InitialPotential != ref.InitialPotential {
+				t.Errorf("%v workers=%d: PE %v != %v (workers changed the result)",
+					scheme, workers, res.InitialPotential, ref.InitialPotential)
+			}
+			for i := range ref.Forces {
+				if res.Forces[i] != ref.Forces[i] {
+					t.Fatalf("%v workers=%d: atom %d force differs bitwise from workers=1",
+						scheme, workers, i)
+				}
+				if res.Final.Pos[i] != ref.Final.Pos[i] {
+					t.Fatalf("%v workers=%d: atom %d position differs bitwise from workers=1",
+						scheme, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelVirialMatchesSerial: the rank-local virial shares must
+// sum to the serial engine's global virial (per-tuple virials are
+// translation invariant, so the rank-local frames do not matter).
+func TestParallelVirialMatchesSerial(t *testing.T) {
+	cfg, model := silicaConfig(t, 4, 300, 6)
+	sys, err := md.NewSystem(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := md.NewCellEngine(model, sys.Box, md.FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serial.Compute(sys); err != nil {
+		t.Fatal(err)
+	}
+	want := serial.Stats().Virial
+
+	for _, scheme := range Schemes() {
+		for _, dims := range []geom.IVec3{{X: 1, Y: 1, Z: 1}, {X: 2, Y: 2, Z: 2}} {
+			cart, err := comm.NewCartDims(dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(cfg, model, Options{
+				Scheme: scheme, Cart: cart, Dt: 1, Steps: 0, Workers: 2,
+			})
+			if err != nil {
+				t.Fatalf("%v %v: %v", scheme, dims, err)
+			}
+			got := 0.0
+			for _, rs := range res.RankStats {
+				got += rs.Virial
+			}
+			if math.Abs(got-want) > 1e-7*(1+math.Abs(want)) {
+				t.Errorf("%v %v: virial %.10g, serial %.10g", scheme, dims, got, want)
+			}
+		}
+	}
+}
+
+// TestConcurrentEnginesRaceStress drives the shared-memory concurrent
+// engine and a multi-worker parallel sim at the same time for several
+// steps — the -race exercise of every goroutine boundary in the
+// kernel, halo, and write-back paths.
+func TestConcurrentEnginesRaceStress(t *testing.T) {
+	cfg, model := silicaConfig(t, 4, 600, 7)
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	go func() {
+		defer wg.Done()
+		sys, err := md.NewSystem(cfg, model)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conc, err := md.NewConcurrentCellEngine(model, sys.Box, md.FamilySC, 4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sim, err := md.NewSim(sys, conc, 1.0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sim.Run(5); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	go func() {
+		defer wg.Done()
+		cart, err := comm.NewCartDims(geom.IV(2, 2, 1))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := Run(cfg, model, Options{
+			Scheme: SchemeSC, Cart: cart, Dt: 1, Steps: 5, Workers: 4,
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	wg.Wait()
+}

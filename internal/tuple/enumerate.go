@@ -255,25 +255,38 @@ func (e *Enumerator) Dedup() Dedup { return e.dedup }
 // Visit streams every tuple anchored at any cell of the full lattice.
 func (e *Enumerator) Visit(positions []geom.Vec3, fn Visitor) Stats {
 	var st Stats
+	e.VisitInto(positions, fn, &st)
+	return st
+}
+
+// VisitInto is Visit accumulating into a caller-held Stats, so one
+// counter block can gather several enumerations (e.g. every term of a
+// model into one kernel accumulation slot) without intermediate
+// copies.
+func (e *Enumerator) VisitInto(positions []geom.Vec3, fn Visitor, st *Stats) {
 	dims := e.bin.Lat.Dims
 	for x := 0; x < dims.X; x++ {
 		for y := 0; y < dims.Y; y++ {
 			for z := 0; z < dims.Z; z++ {
-				e.VisitCell(geom.IV(x, y, z), positions, fn, &st)
+				e.VisitCell(geom.IV(x, y, z), positions, fn, st)
 			}
 		}
 	}
-	return st
 }
 
 // VisitCells streams tuples anchored at the given cells only (the Ω of
 // one processor in parallel runs).
 func (e *Enumerator) VisitCells(cells []geom.IVec3, positions []geom.Vec3, fn Visitor) Stats {
 	var st Stats
-	for _, q := range cells {
-		e.VisitCell(q, positions, fn, &st)
-	}
+	e.VisitCellsInto(cells, positions, fn, &st)
 	return st
+}
+
+// VisitCellsInto is VisitCells accumulating into a caller-held Stats.
+func (e *Enumerator) VisitCellsInto(cells []geom.IVec3, positions []geom.Vec3, fn Visitor, st *Stats) {
+	for _, q := range cells {
+		e.VisitCell(q, positions, fn, st)
+	}
 }
 
 // VisitCell streams the cell search-space S_cell(c(q), Ψ) of Eq. 10:
