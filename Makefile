@@ -4,7 +4,7 @@
 
 all: check
 
-check: build vet test race
+check: build vet test
 
 build:
 	go build ./...

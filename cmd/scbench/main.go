@@ -10,6 +10,8 @@
 //	scbench midpoint          §6 cell-refinement trade-off (midpoint generalization)
 //	scbench ablate            measured ablations of each design choice
 //	scbench validate          real parallel runs vs performance model
+//	                          (import atoms, search cost, and wire bytes
+//	                          from the comm runtime's per-tag counters)
 //	scbench workers           intra-node worker sweep of the force kernel (§6)
 //	scbench all               everything above
 package main

@@ -280,6 +280,15 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 	fmt.Printf("\n%.2f ms/step wall; comm %d messages, %.2f MB total\n",
 		elapsed.Seconds()*1e3/float64(max(1, steps)),
 		res.Comm.Messages, float64(res.Comm.Bytes)/1e6)
+	fmt.Println("comm by traffic class (from the runtime's per-tag counters):")
+	for _, class := range []string{"halo", "force", "migrate", "collective"} {
+		s := res.CommByClass[class]
+		if s.Messages == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %8d msgs  %10.3f MB  %8.1f ms recv wait\n",
+			class, s.Messages, float64(s.Bytes)/1e6, s.Wait.Seconds()*1e3)
+	}
 	fmt.Printf("max rank: %d owned atoms, %d halo atoms imported, %d search candidates\n",
 		maxRank.OwnedAtoms, maxRank.AtomsImported, maxRank.SearchCandidates)
 	return nil

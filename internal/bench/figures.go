@@ -88,6 +88,10 @@ type ValidateRow struct {
 	ModelImport    float64
 	MeasuredSearch float64 // candidates per owned atom per step
 	ModelSearch    float64
+	// Halo + write-back traffic per task per step, from the runtime's
+	// per-tag-class counters versus Eq. 31's byte model.
+	MeasuredCommKB float64
+	ModelCommKB    float64
 }
 
 // Validate runs real parallel silica MD on small in-process worlds and
@@ -113,6 +117,7 @@ func Validate(nAtoms int, ranks []int, steps int, seed int64) ([]ValidateRow, er
 			if err != nil {
 				return nil, err
 			}
+			haloBytes := res.CommByClass["halo"].Bytes + res.CommByClass["force"].Bytes
 			out = append(out, ValidateRow{
 				Scheme: scheme,
 				Tasks:  p,
@@ -123,6 +128,11 @@ func Validate(nAtoms int, ranks []int, steps int, seed int64) ([]ValidateRow, er
 				ModelImport:    perfmodel.ImportAtoms(scheme, grain),
 				MeasuredSearch: float64(maxRank.SearchCandidates) / float64(steps+1) / grain,
 				ModelSearch:    r.SearchPerAtom,
+				// World totals averaged over tasks (the model predicts a
+				// typical task, not the max rank).
+				MeasuredCommKB: float64(haloBytes) / float64(p) / float64(steps+1) / 1e3,
+				ModelCommKB: perfmodel.ImportAtoms(scheme, grain) *
+					(parmd.HaloAtomWireBytes + parmd.ForceWireBytes) / 1e3,
 			})
 		}
 	}
@@ -154,12 +164,13 @@ func ValidateReport(w io.Writer, nAtoms int, ranks []int, steps int, seed int64)
 	fmt.Fprintln(w, "(§3.1.1); see EXPERIMENTS.md for the analysis of this trade-off.")
 	fmt.Fprintln(w)
 	tw := newTable(w)
-	fmt.Fprintln(tw, "scheme\ttasks\tN/task\timport meas\timport model\tsearch/atom meas\tsearch/atom model")
+	fmt.Fprintln(tw, "scheme\ttasks\tN/task\timport meas\timport model\tsearch/atom meas\tsearch/atom model\tcomm KB meas\tcomm KB model")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%v\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+		fmt.Fprintf(tw, "%v\t%d\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.1f\t%.1f\n",
 			r.Scheme, r.Tasks, r.Grain,
 			r.MeasuredImport, r.ModelImport,
-			r.MeasuredSearch, r.ModelSearch)
+			r.MeasuredSearch, r.ModelSearch,
+			r.MeasuredCommKB, r.ModelCommKB)
 	}
 	return tw.Flush()
 }

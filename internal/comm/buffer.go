@@ -24,7 +24,9 @@ func (b *Buffer) Clone() []byte { return append([]byte(nil), b.b...) }
 // Len returns the current payload size.
 func (b *Buffer) Len() int { return len(b.b) }
 
-// Reset empties the buffer, retaining capacity.
+// Reset empties the buffer, retaining capacity — the grow-in-place
+// reuse the pooled exchange path depends on: a recycled buffer reaches
+// its steady-state capacity once and never allocates again.
 func (b *Buffer) Reset() { b.b = b.b[:0] }
 
 // Int64 appends a 64-bit integer.
@@ -57,6 +59,11 @@ type Reader struct {
 
 // NewReader wraps a payload.
 func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Reset re-points the reader at a new payload, rewinding the offset.
+// Hot paths keep a Reader value on the stack and Reset it per message
+// instead of calling NewReader.
+func (r *Reader) Reset(b []byte) { r.b, r.off = b, 0 }
 
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.b) - r.off }

@@ -1,62 +1,131 @@
 // Package comm implements the distributed-memory message-passing
 // runtime the parallel MD codes run on — the stand-in for MPI on the
 // paper's clusters. Ranks are goroutines; sends are byte messages over
-// per-link buffered channels with strict (source, tag) ordering, so a
-// mismatched receive is a protocol error caught immediately rather
-// than a silent reorder.
+// a pluggable Transport (the default moves them over per-link buffered
+// channels) with strict (source, tag) ordering, so a mismatched
+// receive is a protocol error caught immediately rather than a silent
+// reorder.
 //
-// The runtime counts every message and byte per rank. Those counters
-// are the communication-cost inputs (Eq. 31) of the performance model
-// in package perfmodel.
+// The runtime counts every message and byte per rank, broken down by
+// registered tag class (halo, migration, force write-back, …), plus
+// the time each rank spends blocked in receives. Those counters are
+// the communication-cost inputs (Eq. 31) of the performance model in
+// package perfmodel.
+//
+// Hot paths use pooled buffers: AcquireBuffer/SendBuffer on the
+// sender, RecvBuffer/ReleaseBuffer on the receiver. Buffers circulate
+// through per-rank freelists, so steady-state exchanges allocate
+// nothing.
 package comm
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// message is one point-to-point transfer.
-type message struct {
-	tag  int
-	data []byte
-}
+// Builtin tag-class slots. User classes registered with DefineTagClass
+// follow after these.
+const (
+	classOther      = 0 // tags not matching any registered class
+	classCollective = 1 // negative tags (reserved collective protocol)
+	classBuiltin    = 2
+)
 
-// linkBuffer is the per-(src,dst) channel capacity. Halo exchange,
-// migration, and collectives post at most a handful of in-flight
-// messages per link; the buffer only needs to decouple send/recv
-// ordering within a step.
-const linkBuffer = 128
+// tagClassDef is one registered half-open tag range [lo, hi).
+type tagClassDef struct {
+	name   string
+	lo, hi int
+}
 
 // World is a group of ranks that can communicate. Create one with
-// NewWorld and run an SPMD function on it with Run.
+// NewWorld (in-process channel transport) or NewWorldTransport, and
+// run an SPMD function on it with Run.
 type World struct {
-	size  int
-	links [][]chan message // links[src][dst]
+	size int
+	tr   Transport
 
-	bytesSent []atomic.Int64
-	msgsSent  []atomic.Int64
+	classes []tagClassDef // index = class slot (includes builtins)
+	// counters[rank][class]: sends counted at the sender, receive wait
+	// at the receiver.
+	bytesSent [][]atomic.Int64
+	msgsSent  [][]atomic.Int64
+	waitNs    [][]atomic.Int64
 }
 
-// NewWorld builds a world of p ranks. It panics for p < 1 (worlds come
-// from code, not input).
+// NewWorld builds a world of p ranks over the in-process channel
+// transport. It panics for p < 1 (worlds come from code, not input).
 func NewWorld(p int) *World {
+	return NewWorldTransport(p, NewChanTransport(p))
+}
+
+// NewWorldTransport builds a world of p ranks over an explicit
+// Transport — the seam for plugging a real network fabric under the
+// unchanged simulation stack.
+func NewWorldTransport(p int, tr Transport) *World {
 	if p < 1 {
 		panic(fmt.Sprintf("comm: world size %d < 1", p))
 	}
 	w := &World{
-		size:      p,
-		links:     make([][]chan message, p),
-		bytesSent: make([]atomic.Int64, p),
-		msgsSent:  make([]atomic.Int64, p),
+		size: p,
+		tr:   tr,
+		classes: []tagClassDef{
+			{name: "other"},
+			{name: "collective"},
+		},
 	}
-	for s := range w.links {
-		w.links[s] = make([]chan message, p)
-		for d := range w.links[s] {
-			w.links[s][d] = make(chan message, linkBuffer)
+	w.growCounters()
+	return w
+}
+
+// growCounters (re)allocates the per-rank per-class counter arrays.
+// Only called at construction and from DefineTagClass, both before Run.
+func (w *World) growCounters() {
+	n := len(w.classes)
+	w.bytesSent = make([][]atomic.Int64, w.size)
+	w.msgsSent = make([][]atomic.Int64, w.size)
+	w.waitNs = make([][]atomic.Int64, w.size)
+	for r := 0; r < w.size; r++ {
+		w.bytesSent[r] = make([]atomic.Int64, n)
+		w.msgsSent[r] = make([]atomic.Int64, n)
+		w.waitNs[r] = make([]atomic.Int64, n)
+	}
+}
+
+// DefineTagClass registers the half-open tag range [lo, hi) under a
+// name, so ClassStats can break communication volume down by traffic
+// type (e.g. "halo", "migrate", "force"). Must be called before Run;
+// ranges must not overlap previously registered ones. Negative tags
+// are always accounted to the builtin "collective" class and
+// unregistered non-negative tags to "other".
+func (w *World) DefineTagClass(name string, lo, hi int) {
+	if lo >= hi {
+		panic(fmt.Sprintf("comm: tag class %q has empty range [%d, %d)", name, lo, hi))
+	}
+	for _, c := range w.classes[classBuiltin:] {
+		if lo < c.hi && c.lo < hi {
+			panic(fmt.Sprintf("comm: tag class %q [%d, %d) overlaps %q [%d, %d)",
+				name, lo, hi, c.name, c.lo, c.hi))
 		}
 	}
-	return w
+	w.classes = append(w.classes, tagClassDef{name: name, lo: lo, hi: hi})
+	w.growCounters()
+}
+
+// classOf maps a tag to its counter slot. The registered class list is
+// short (a handful of traffic types), so a linear scan beats any map
+// on the hot path — and allocates nothing.
+func (w *World) classOf(tag int) int {
+	if tag < 0 {
+		return classCollective
+	}
+	for i := classBuiltin; i < len(w.classes); i++ {
+		if c := w.classes[i]; tag >= c.lo && tag < c.hi {
+			return i
+		}
+	}
+	return classOther
 }
 
 // Size returns the number of ranks.
@@ -83,27 +152,73 @@ func (w *World) Run(fn func(p *Proc) error) error {
 	return nil
 }
 
-// Stats summarizes communication volume.
+// Stats summarizes communication volume. Messages and Bytes count
+// sends; Wait is cumulative receiver-side blocking time.
 type Stats struct {
 	Messages int64
 	Bytes    int64
+	Wait     time.Duration
 }
 
-// RankStats returns the cumulative send counters of one rank.
-func (w *World) RankStats(rank int) Stats {
-	return Stats{
-		Messages: w.msgsSent[rank].Load(),
-		Bytes:    w.bytesSent[rank].Load(),
+func (s *Stats) add(o Stats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.Wait += o.Wait
+}
+
+// ClassNames lists every tag class of the world, builtins first, in
+// registration order.
+func (w *World) ClassNames() []string {
+	names := make([]string, len(w.classes))
+	for i, c := range w.classes {
+		names[i] = c.name
 	}
+	return names
 }
 
-// TotalStats sums the counters over all ranks.
+// RankClassStats returns one rank's counters for one tag class.
+// Unknown class names return zero Stats.
+func (w *World) RankClassStats(rank int, name string) Stats {
+	for i, c := range w.classes {
+		if c.name == name {
+			return Stats{
+				Messages: w.msgsSent[rank][i].Load(),
+				Bytes:    w.bytesSent[rank][i].Load(),
+				Wait:     time.Duration(w.waitNs[rank][i].Load()),
+			}
+		}
+	}
+	return Stats{}
+}
+
+// ClassStats sums one tag class's counters over all ranks.
+func (w *World) ClassStats(name string) Stats {
+	var s Stats
+	for r := 0; r < w.size; r++ {
+		s.add(w.RankClassStats(r, name))
+	}
+	return s
+}
+
+// RankStats returns the cumulative counters of one rank, summed over
+// all tag classes.
+func (w *World) RankStats(rank int) Stats {
+	var s Stats
+	for i := range w.classes {
+		s.add(Stats{
+			Messages: w.msgsSent[rank][i].Load(),
+			Bytes:    w.bytesSent[rank][i].Load(),
+			Wait:     time.Duration(w.waitNs[rank][i].Load()),
+		})
+	}
+	return s
+}
+
+// TotalStats sums the counters over all ranks and classes.
 func (w *World) TotalStats() Stats {
 	var s Stats
 	for r := 0; r < w.size; r++ {
-		rs := w.RankStats(r)
-		s.Messages += rs.Messages
-		s.Bytes += rs.Bytes
+		s.add(w.RankStats(r))
 	}
 	return s
 }
@@ -112,6 +227,11 @@ func (w *World) TotalStats() Stats {
 type Proc struct {
 	world *World
 	rank  int
+	// free is this rank's buffer freelist. Only the owning goroutine
+	// touches it: a rank acquires send buffers from its own list and
+	// releases the buffers it received into it, so pooled buffers
+	// circulate between ranks without any locking.
+	free []*Buffer
 }
 
 // Rank returns this process's rank in [0, Size).
@@ -120,36 +240,87 @@ func (p *Proc) Rank() int { return p.rank }
 // Size returns the world size.
 func (p *Proc) Size() int { return p.world.size }
 
-// Send transfers data to rank dst with the given tag. The data slice
-// is handed off; the caller must not reuse it afterwards. Send blocks
-// only if the link buffer is full.
-func (p *Proc) Send(dst, tag int, data []byte) {
+// AcquireBuffer returns an empty buffer from this rank's freelist
+// (allocating only when the list is dry). Pass it to SendBuffer — the
+// receiving rank returns it to circulation with ReleaseBuffer.
+func (p *Proc) AcquireBuffer() *Buffer {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		b.Reset()
+		return b
+	}
+	return new(Buffer)
+}
+
+// ReleaseBuffer returns a buffer (typically one obtained from
+// RecvBuffer) to this rank's freelist. The caller must not use it
+// afterwards. nil is ignored.
+func (p *Proc) ReleaseBuffer(b *Buffer) {
+	if b != nil {
+		p.free = append(p.free, b)
+	}
+}
+
+// SendBuffer transfers a pooled buffer's payload to rank dst with the
+// given tag. The buffer is handed off; the caller must not touch it
+// afterwards (the receiver recycles it via ReleaseBuffer).
+func (p *Proc) SendBuffer(dst, tag int, b *Buffer) {
 	if dst < 0 || dst >= p.world.size {
 		panic(fmt.Sprintf("comm: rank %d sending to invalid rank %d", p.rank, dst))
 	}
-	p.world.msgsSent[p.rank].Add(1)
-	p.world.bytesSent[p.rank].Add(int64(len(data)))
-	p.world.links[p.rank][dst] <- message{tag: tag, data: data}
+	cls := p.world.classOf(tag)
+	p.world.msgsSent[p.rank][cls].Add(1)
+	p.world.bytesSent[p.rank][cls].Add(int64(b.Len()))
+	p.world.tr.Send(p.rank, dst, Message{Tag: tag, Buf: b})
 }
 
-// Recv blocks until the next message from src arrives and returns its
-// payload. The message's tag must match; a mismatch means the SPMD
-// protocol is out of step and panics with a diagnostic.
-func (p *Proc) Recv(src, tag int) []byte {
+// RecvBuffer blocks until the next message from src arrives and
+// returns its buffer; release it with ReleaseBuffer once decoded. The
+// message's tag must match; a mismatch means the SPMD protocol is out
+// of step and panics with a diagnostic.
+func (p *Proc) RecvBuffer(src, tag int) *Buffer {
 	if src < 0 || src >= p.world.size {
 		panic(fmt.Sprintf("comm: rank %d receiving from invalid rank %d", p.rank, src))
 	}
-	m := <-p.world.links[src][p.rank]
-	if m.tag != tag {
+	start := time.Now()
+	m := p.world.tr.Recv(p.rank, src)
+	p.world.waitNs[p.rank][p.world.classOf(tag)].Add(time.Since(start).Nanoseconds())
+	if m.Tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from rank %d, got %d",
-			p.rank, tag, src, m.tag))
+			p.rank, tag, src, m.Tag))
 	}
-	return m.data
+	return m.Buf
+}
+
+// SendRecvBuffer exchanges pooled buffers with two (possibly equal)
+// partners: sends b to dst and receives from src, without deadlocking
+// on cyclic exchange patterns (the transport's buffering decouples the
+// two).
+func (p *Proc) SendRecvBuffer(dst, sendTag int, b *Buffer, src, recvTag int) *Buffer {
+	p.SendBuffer(dst, sendTag, b)
+	return p.RecvBuffer(src, recvTag)
+}
+
+// Send transfers data to rank dst with the given tag. The data slice
+// is handed off; the caller must not reuse it afterwards. Send blocks
+// only if the transport's buffering is exhausted.
+func (p *Proc) Send(dst, tag int, data []byte) {
+	p.SendBuffer(dst, tag, &Buffer{b: data})
+}
+
+// Recv blocks until the next message from src arrives and returns its
+// payload (which stays owned by the caller — unlike RecvBuffer, the
+// backing buffer is not recycled). The message's tag must match; a
+// mismatch panics with a diagnostic.
+func (p *Proc) Recv(src, tag int) []byte {
+	return p.RecvBuffer(src, tag).Bytes()
 }
 
 // SendRecv exchanges messages with two (possibly equal) partners:
 // sends to dst and receives from src, without deadlocking on
-// cyclic exchange patterns (the send buffers decouple the two).
+// cyclic exchange patterns.
 func (p *Proc) SendRecv(dst, sendTag int, data []byte, src, recvTag int) []byte {
 	p.Send(dst, sendTag, data)
 	return p.Recv(src, recvTag)
@@ -164,19 +335,20 @@ const (
 )
 
 // Barrier blocks until every rank has entered it. Implemented as a
-// gather-to-0 plus broadcast.
+// gather-to-0 plus broadcast over pooled buffers, so steady-state
+// barriers allocate nothing.
 func (p *Proc) Barrier() {
 	if p.rank == 0 {
 		for r := 1; r < p.world.size; r++ {
-			p.Recv(r, tagBarrier)
+			p.ReleaseBuffer(p.RecvBuffer(r, tagBarrier))
 		}
 		for r := 1; r < p.world.size; r++ {
-			p.Send(r, tagBarrier, nil)
+			p.SendBuffer(r, tagBarrier, p.AcquireBuffer())
 		}
 		return
 	}
-	p.Send(0, tagBarrier, nil)
-	p.Recv(0, tagBarrier)
+	p.SendBuffer(0, tagBarrier, p.AcquireBuffer())
+	p.ReleaseBuffer(p.RecvBuffer(0, tagBarrier))
 }
 
 // AllReduceFloat64 combines one float64 per rank with op and returns
@@ -185,20 +357,28 @@ func (p *Proc) AllReduceFloat64(x float64, op func(a, b float64) float64) float6
 	if p.rank == 0 {
 		acc := x
 		for r := 1; r < p.world.size; r++ {
-			b := NewReader(p.Recv(r, tagReduce))
-			acc = op(acc, b.Float64())
+			b := p.RecvBuffer(r, tagReduce)
+			var rd Reader
+			rd.Reset(b.Bytes())
+			acc = op(acc, rd.Float64())
+			p.ReleaseBuffer(b)
 		}
-		var buf Buffer
-		buf.Float64(acc)
 		for r := 1; r < p.world.size; r++ {
-			p.Send(r, tagReduce, buf.Clone())
+			b := p.AcquireBuffer()
+			b.Float64(acc)
+			p.SendBuffer(r, tagReduce, b)
 		}
 		return acc
 	}
-	var buf Buffer
-	buf.Float64(x)
-	p.Send(0, tagReduce, buf.Bytes())
-	return NewReader(p.Recv(0, tagReduce)).Float64()
+	b := p.AcquireBuffer()
+	b.Float64(x)
+	p.SendBuffer(0, tagReduce, b)
+	rb := p.RecvBuffer(0, tagReduce)
+	var rd Reader
+	rd.Reset(rb.Bytes())
+	v := rd.Float64()
+	p.ReleaseBuffer(rb)
+	return v
 }
 
 // AllReduceSum returns the sum of x over all ranks.
@@ -221,19 +401,28 @@ func (p *Proc) AllReduceSumInt64(x int64) int64 {
 	if p.rank == 0 {
 		acc := x
 		for r := 1; r < p.world.size; r++ {
-			acc += NewReader(p.Recv(r, tagReduce)).Int64()
+			b := p.RecvBuffer(r, tagReduce)
+			var rd Reader
+			rd.Reset(b.Bytes())
+			acc += rd.Int64()
+			p.ReleaseBuffer(b)
 		}
-		var buf Buffer
-		buf.Int64(acc)
 		for r := 1; r < p.world.size; r++ {
-			p.Send(r, tagReduce, buf.Clone())
+			b := p.AcquireBuffer()
+			b.Int64(acc)
+			p.SendBuffer(r, tagReduce, b)
 		}
 		return acc
 	}
-	var buf Buffer
-	buf.Int64(x)
-	p.Send(0, tagReduce, buf.Bytes())
-	return NewReader(p.Recv(0, tagReduce)).Int64()
+	b := p.AcquireBuffer()
+	b.Int64(x)
+	p.SendBuffer(0, tagReduce, b)
+	rb := p.RecvBuffer(0, tagReduce)
+	var rd Reader
+	rd.Reset(rb.Bytes())
+	v := rd.Int64()
+	p.ReleaseBuffer(rb)
+	return v
 }
 
 // Bcast distributes root's data to every rank and returns it.

@@ -1,0 +1,58 @@
+package comm
+
+// Message is one point-to-point transfer moving through a Transport.
+// The payload travels as a *Buffer so pooled buffers can be handed off
+// sender → transport → receiver and recycled without copying.
+type Message struct {
+	Tag int
+	Buf *Buffer
+}
+
+// Transport moves messages between ranks. It is the seam that lets the
+// simulation stack swap the in-process channel runtime for a real
+// network fabric (sockets, RDMA, MPI) without touching any caller: the
+// World layers tag matching, per-class accounting, and buffer pooling
+// on top, so a Transport only has to deliver messages per (src, dst)
+// link in FIFO order.
+//
+// Send hands the message off; the sender must not touch m.Buf again
+// until it comes back through a pool. Recv blocks until the next
+// message on the (src → dst) link is available.
+type Transport interface {
+	Send(src, dst int, m Message)
+	Recv(dst, src int) Message
+}
+
+// chanTransport is the default in-process Transport: ranks are
+// goroutines and every (src, dst) link is a buffered channel with
+// strict FIFO ordering, the stand-in for MPI on the paper's clusters.
+type chanTransport struct {
+	links [][]chan Message // links[src][dst]
+}
+
+// linkBuffer is the per-(src,dst) channel capacity. Halo exchange,
+// migration, and collectives post at most a handful of in-flight
+// messages per link; the buffer only needs to decouple send/recv
+// ordering within a step.
+const linkBuffer = 128
+
+// NewChanTransport builds the default in-process channel transport for
+// p ranks.
+func NewChanTransport(p int) Transport {
+	t := &chanTransport{links: make([][]chan Message, p)}
+	for s := range t.links {
+		t.links[s] = make([]chan Message, p)
+		for d := range t.links[s] {
+			t.links[s][d] = make(chan Message, linkBuffer)
+		}
+	}
+	return t
+}
+
+func (t *chanTransport) Send(src, dst int, m Message) {
+	t.links[src][dst] <- m
+}
+
+func (t *chanTransport) Recv(dst, src int) Message {
+	return <-t.links[src][dst]
+}

@@ -7,93 +7,65 @@ import (
 	"sctuple/internal/geom"
 )
 
-// importHalo runs the staged halo exchange. Per axis there is one
-// transfer for SC-MD (receive the upper-corner slab from the +axis
-// neighbor — 7 effective source ranks reached in 3 communication
-// steps via forwarded routing, §4.2) and two for FS-/Hybrid-MD
-// (both directions — 26 effective sources in 6 steps). Because each
-// phase's slab selection includes halo atoms received in earlier
-// phases, edge and corner data are forwarded automatically.
+// importHalo runs the staged halo exchange over the compiled plan. Per
+// axis there is one transfer for SC-MD (receive the upper-corner slab
+// from the +axis neighbor — 7 effective source ranks reached in 3
+// communication steps via forwarded routing, §4.2) and two for
+// FS-/Hybrid-MD (both directions — 26 effective sources in 6 steps).
+// Because each phase's slab selection includes halo atoms received in
+// earlier phases, edge and corner data are forwarded automatically.
 //
-// The wire format per atom is (id, species, extended-lattice cell in
-// the receiver's frame, local position in the receiver's frame); the
-// sender performs the frame shift, including the periodic image
-// correction when the transfer crosses the global boundary.
+// Every geometric decision — slab bounds, peers, tags, frame shifts —
+// was compiled once into r.plan; the per-step loop only selects atoms,
+// streams them through the shared wire codec into pooled buffers, and
+// appends the arrivals. In steady state (capacities warmed up) the
+// whole exchange allocates nothing.
 func (r *rankState) importHalo() {
-	for axis := 0; axis < 3; axis++ {
-		// d = -1: my bottom slab fills the -axis neighbor's upper
-		// margin (the SC direction). d = +1: my top slab fills the
-		// +axis neighbor's lower margin (full-shell only).
-		if r.mHi > 0 {
-			r.haloPhaseExchange(axis, -1)
-		}
-		if r.mLo > 0 {
-			r.haloPhaseExchange(axis, +1)
-		}
+	for pi := range r.plan.Halo {
+		r.haloPhaseExchange(pi)
 	}
 }
 
-// haloPhaseExchange sends this rank's slab toward direction d on one
-// axis and receives the symmetric slab from the opposite neighbor.
-func (r *rankState) haloPhaseExchange(axis, d int) {
-	cart := r.dec.Cart
-	sendPeer := cart.AxisNeighbor(r.p.Rank(), axis, d)
-	recvPeer := cart.AxisNeighbor(r.p.Rank(), axis, -d)
-	tag := tagHalo + axis*2 + (d+1)/2
+// haloPhaseState is the per-step scratch of one compiled halo phase:
+// which local atoms were exported (for the force write-back) and where
+// the received atoms landed. The slices are reused across steps.
+type haloPhaseState struct {
+	sendIdx   []int32 // local indices sent, reset each step
+	recvStart int     // first local index received
+	recvCount int
+}
 
-	// Slab selection in extended-cell coordinates along the axis:
-	// sending toward -axis means my low owned cells (thickness mHi,
-	// they become the receiver's upper margin); toward +axis my high
-	// owned cells (thickness mLo).
-	block := r.hi.Sub(r.lo)
-	var slabLo, slabHi int
-	if d < 0 {
-		slabLo, slabHi = r.mLo, r.mLo+r.mHi
-	} else {
-		slabLo, slabHi = r.mLo+block.Comp(axis)-r.mLo, r.mLo+block.Comp(axis)
-	}
+// haloPhaseExchange executes one compiled phase: export the slab,
+// exchange with the precompiled peers, and append the margin fill.
+func (r *rankState) haloPhaseExchange(pi int) {
+	ph := &r.plan.Halo[pi]
+	st := &r.phaseState[pi]
+	st.sendIdx = st.sendIdx[:0]
 
-	// Frame shift into the receiver's coordinates.
-	cellAdj, posAdj := r.hopAdjust(axis, d)
-
-	var buf comm.Buffer
-	var sendIdx []int32
-	count := 0
+	buf := r.p.AcquireBuffer()
 	for i := range r.ecell {
-		e := r.ecell[i].Comp(axis)
-		if e < slabLo || e >= slabHi {
+		e := r.ecell[i].Comp(ph.Axis)
+		if e < ph.SlabLo || e >= ph.SlabHi {
 			continue
 		}
+		// Shift into the receiver's frame (compiled cell/position
+		// adjustments, including the periodic image correction).
 		ec := r.ecell[i]
-		ec.SetComp(axis, e+cellAdj)
+		ec.SetComp(ph.Axis, e+ph.CellAdj)
 		lp := r.lpos[i]
-		lp.SetComp(axis, lp.Comp(axis)+posAdj)
-		buf.Int64(r.ids[i])
-		buf.Int32(r.species[i])
-		buf.Int32(int32(ec.X))
-		buf.Int32(int32(ec.Y))
-		buf.Int32(int32(ec.Z))
-		buf.Vec3(lp)
-		sendIdx = append(sendIdx, int32(i))
-		count++
+		lp.SetComp(ph.Axis, lp.Comp(ph.Axis)+ph.PosAdj)
+		putHaloAtom(buf, r.ids[i], r.species[i], ec, lp)
+		st.sendIdx = append(st.sendIdx, int32(i))
 	}
-	payload := buf.Bytes()
-	recv := r.p.SendRecv(sendPeer, tag, payload, recvPeer, tag)
+	recv := r.p.SendRecvBuffer(ph.SendPeer, ph.Tag, buf, ph.RecvPeer, ph.Tag)
 	r.stats.HaloMessages++
 
-	ph := haloPhase{
-		sendPeer:  sendPeer,
-		recvPeer:  recvPeer,
-		tag:       tag,
-		sendIdx:   sendIdx,
-		recvStart: len(r.ids),
-	}
-	rd := comm.NewReader(recv)
+	st.recvStart = len(r.ids)
+	st.recvCount = 0
+	var rd comm.Reader
+	rd.Reset(recv.Bytes())
 	for rd.Remaining() > 0 {
-		id := rd.Int64()
-		sp := rd.Int32()
-		ec := geom.IV(int(rd.Int32()), int(rd.Int32()), int(rd.Int32()))
-		lp := rd.Vec3()
+		id, sp, ec, lp := getHaloAtom(&rd)
 		if !ec.InBox(r.extLat.Dims) {
 			panic(fmt.Sprintf("parmd: rank %d received halo atom %d in cell %v outside %v",
 				r.p.Rank(), id, ec, r.extLat.Dims))
@@ -103,54 +75,34 @@ func (r *rankState) haloPhaseExchange(axis, d int) {
 		r.ecell = append(r.ecell, ec)
 		r.lpos = append(r.lpos, lp)
 		r.force = append(r.force, geom.Vec3{})
-		ph.recvCount++
+		st.recvCount++
 	}
-	r.stats.AtomsImported += int64(ph.recvCount)
-	r.phases = append(r.phases, ph)
-}
-
-// hopAdjust returns the extended-cell index shift and local-position
-// shift that map this rank's frame onto the frame of its axis-d
-// neighbor, including the periodic image correction at the global
-// boundary.
-func (r *rankState) hopAdjust(axis, d int) (cellAdj int, posAdj float64) {
-	cart := r.dec.Cart
-	nbCoordRaw := r.coord.Comp(axis) + d
-	crossed := 0
-	if nbCoordRaw < 0 || nbCoordRaw >= cart.Dims.Comp(axis) {
-		crossed = -d // image shift in box lengths
-	}
-	nbCoord := r.coord
-	nbCoord.SetComp(axis, nbCoordRaw)
-	nb := cart.Wrap(nbCoord)
-	nbBase := r.dec.BlockLo(nb).Comp(axis) - r.mLo
-
-	gdims := r.dec.Lat.Dims.Comp(axis)
-	cellAdj = r.base.Comp(axis) - nbBase + crossed*gdims
-	posAdj = float64(crossed)*r.dec.Lat.Box.L.Comp(axis) +
-		float64(r.base.Comp(axis)-nbBase)*r.dec.Lat.Side.Comp(axis)
-	return cellAdj, posAdj
+	r.p.ReleaseBuffer(recv)
+	r.stats.AtomsImported += int64(st.recvCount)
 }
 
 // writeBackForces returns the forces accumulated on imported halo
-// atoms to their senders, in reverse phase order so forwarded
-// contributions propagate back through the same routing.
+// atoms to their senders, replaying the compiled phases in reverse
+// order so forwarded contributions propagate back through the same
+// routing.
 func (r *rankState) writeBackForces() {
-	for i := len(r.phases) - 1; i >= 0; i-- {
-		ph := r.phases[i]
-		var buf comm.Buffer
-		for k := 0; k < ph.recvCount; k++ {
-			buf.Vec3(r.force[ph.recvStart+k])
+	for pi := len(r.plan.Halo) - 1; pi >= 0; pi-- {
+		ph := &r.plan.Halo[pi]
+		st := &r.phaseState[pi]
+		buf := r.p.AcquireBuffer()
+		for k := 0; k < st.recvCount; k++ {
+			putForce(buf, r.force[st.recvStart+k])
 		}
-		tag := tagForce + ph.tag - tagHalo
-		recv := r.p.SendRecv(ph.recvPeer, tag, buf.Bytes(), ph.sendPeer, tag)
+		recv := r.p.SendRecvBuffer(ph.RecvPeer, ph.ForceTag, buf, ph.SendPeer, ph.ForceTag)
 		r.stats.HaloMessages++
-		rd := comm.NewReader(recv)
-		for _, idx := range ph.sendIdx {
-			r.force[idx] = r.force[idx].Add(rd.Vec3())
+		var rd comm.Reader
+		rd.Reset(recv.Bytes())
+		for _, idx := range st.sendIdx {
+			r.force[idx] = r.force[idx].Add(getForce(&rd))
 		}
 		if rd.Remaining() != 0 {
 			panic(fmt.Sprintf("parmd: rank %d force write-back size mismatch", r.p.Rank()))
 		}
+		r.p.ReleaseBuffer(recv)
 	}
 }

@@ -8,61 +8,53 @@ import (
 )
 
 // migrate moves atoms that drifted out of this rank's block to their
-// new owners, with one staged exchange per axis (two directions each).
-// An atom may hop at most one rank per axis per step — guaranteed for
-// any sane time step, since blocks are at least one cutoff wide —
-// and diagonal moves complete over the successive axis phases.
-// Positions travel in wrapped global coordinates; the receiving owner
+// new owners, with one staged exchange per axis (two directions each),
+// following the compiled migration plan. An atom may hop at most one
+// rank per axis per step — guaranteed for any sane time step, since
+// blocks are at least one cutoff wide — and diagonal moves complete
+// over the successive axis phases. Positions travel in wrapped global
+// coordinates through the shared wire codec; the receiving owner
 // reassigns the global cell, so every downstream consumer sees
-// owner-authoritative integer cells.
+// owner-authoritative integer cells. When no atoms move, the exchange
+// sends empty pooled buffers and allocates nothing.
 func (r *rankState) migrate() {
 	for i := 0; i < r.nOwned; i++ {
 		r.gpos[i] = r.dec.Lat.Box.Wrap(r.gpos[i])
 		r.gcell[i] = r.dec.Lat.CellOf(r.gpos[i])
 	}
 	for axis := 0; axis < 3; axis++ {
-		if r.dec.Cart.Dims.Comp(axis) == 1 {
-			continue // sole owner along this axis
+		mp := &r.plan.Migrate[axis]
+		if !mp.Active {
+			continue
 		}
-		r.migrateAxis(axis)
+		r.migrateAxis(axis, mp)
 	}
 	r.stats.OwnedAtoms = r.nOwned
 }
 
-// migrateAxis exchanges leavers with both axis neighbors.
-func (r *rankState) migrateAxis(axis int) {
-	cart := r.dec.Cart
-	myIdx := r.coord.Comp(axis)
-	dim := cart.Dims.Comp(axis)
-
-	var out [2]comm.Buffer // 0: toward -1, 1: toward +1
+// migrateAxis exchanges leavers with both axis neighbors of the
+// compiled phase.
+func (r *rankState) migrateAxis(axis int, mp *MigratePhase) {
+	out := [2]*comm.Buffer{r.p.AcquireBuffer(), r.p.AcquireBuffer()} // 0: toward -1, 1: toward +1
 	keep := 0
 	for i := 0; i < r.nOwned; i++ {
 		target := r.dec.ownerIndex(axis, r.gcell[i].Comp(axis))
-		d := hopDir(myIdx, target, dim)
+		d := hopDir(mp.BlockIdx, target, mp.Dim)
 		if d == 0 {
 			r.copyAtom(keep, i)
 			keep++
 			continue
 		}
-		b := &out[(d+1)/2]
-		b.Int64(r.ids[i])
-		b.Int32(r.species[i])
-		b.Vec3(r.gpos[i])
-		b.Vec3(r.vel[i])
+		putMigrant(out[(d+1)/2], r.ids[i], r.species[i], r.gpos[i], r.vel[i])
 	}
 	r.truncateOwned(keep)
 
-	for _, d := range [2]int{-1, +1} {
-		peer := cart.AxisNeighbor(r.p.Rank(), axis, d)
-		tag := tagMigrate + axis*2 + (d+1)/2
-		recv := r.p.SendRecv(peer, tag, out[(d+1)/2].Bytes(), cart.AxisNeighbor(r.p.Rank(), axis, -d), tag)
-		rd := comm.NewReader(recv)
+	for di := range out {
+		recv := r.p.SendRecvBuffer(mp.SendPeer[di], mp.Tag[di], out[di], mp.RecvPeer[di], mp.Tag[di])
+		var rd comm.Reader
+		rd.Reset(recv.Bytes())
 		for rd.Remaining() > 0 {
-			id := rd.Int64()
-			sp := rd.Int32()
-			g := rd.Vec3()
-			v := rd.Vec3()
+			id, sp, g, v := getMigrant(&rd)
 			gc := r.dec.Lat.CellOf(g)
 			r.ids = append(r.ids, id)
 			r.species = append(r.species, sp)
@@ -73,6 +65,7 @@ func (r *rankState) migrateAxis(axis int) {
 			r.nOwned++
 			r.stats.AtomsMigrated++
 		}
+		r.p.ReleaseBuffer(recv)
 	}
 }
 

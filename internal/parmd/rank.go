@@ -60,17 +60,6 @@ func (s *RankStats) Add(o RankStats) {
 	s.Virial += o.Virial
 }
 
-// haloPhase records one import transfer for the reverse force
-// write-back.
-type haloPhase struct {
-	sendPeer  int     // rank the slab was sent to
-	recvPeer  int     // rank the margin fill came from
-	tag       int     // halo tag of this phase
-	sendIdx   []int32 // local indices sent
-	recvStart int     // first local index received
-	recvCount int
-}
-
 // rankState is the complete state of one rank of a parallel run.
 type rankState struct {
 	p      *comm.Proc
@@ -120,7 +109,11 @@ type rankState struct {
 	hybEntries []hybridEntry
 	tripShort  [][]int32 // per-worker pruning scratch
 
-	phases []haloPhase
+	// plan is the compiled communication schedule (peers, tags, slab
+	// bounds, frame shifts); phaseState is its per-step scratch, one
+	// entry per halo phase, reused across steps.
+	plan       *ExchangePlan
+	phaseState []haloPhaseState
 
 	stats RankStats
 }
@@ -150,6 +143,8 @@ func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Sche
 			dec.MinBlockDim(), t)
 	}
 	r.base = r.lo.Sub(geom.IV(mLo, mLo, mLo))
+	r.plan = compileExchangePlan(dec, p.Rank(), mLo, mHi)
+	r.phaseState = make([]haloPhaseState, len(r.plan.Halo))
 	ext := r.hi.Sub(r.lo).Add(geom.IV(mLo+mHi, mLo+mHi, mLo+mHi))
 	extBox := geom.NewBox(
 		float64(ext.X)*dec.Lat.Side.X,
@@ -267,7 +262,6 @@ func (r *rankState) dropHalo() {
 	r.force = r.force[:r.nOwned]
 	r.ecell = r.ecell[:0]
 	r.lpos = r.lpos[:0]
-	r.phases = r.phases[:0]
 }
 
 // deriveOwned recomputes the extended-lattice cell and local position

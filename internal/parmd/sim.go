@@ -53,6 +53,10 @@ type Result struct {
 	RankStats []RankStats
 	// Comm summarizes all communication of the run.
 	Comm comm.Stats
+	// CommByClass breaks Comm down by traffic class: "halo" (import),
+	// "force" (write-back), "migrate", "collective" (reductions and
+	// barriers), and "other". The classes sum to Comm.
+	CommByClass map[string]comm.Stats
 }
 
 // MaxRank returns the component-wise maximum over RankStats, the
@@ -116,6 +120,7 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	}
 
 	world := comm.NewWorld(opt.Cart.Size())
+	defineTagClasses(world)
 	res := &Result{RankStats: make([]RankStats, world.Size())}
 	if opt.TraceEnergies {
 		res.Energies = make([]StepEnergy, opt.Steps)
@@ -224,5 +229,18 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	}
 	res.Final = final
 	res.Comm = world.TotalStats()
+	res.CommByClass = make(map[string]comm.Stats)
+	for _, name := range world.ClassNames() {
+		res.CommByClass[name] = world.ClassStats(name)
+	}
 	return res, nil
+}
+
+// defineTagClasses registers the simulation's traffic classes on a
+// world so the runtime's counters split by exchange type — the richer
+// structure the performance model and bench reports read.
+func defineTagClasses(world *comm.World) {
+	world.DefineTagClass("migrate", tagMigrate, tagHalo)
+	world.DefineTagClass("halo", tagHalo, tagForce)
+	world.DefineTagClass("force", tagForce, tagForce+100)
 }

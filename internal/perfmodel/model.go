@@ -15,11 +15,12 @@ const (
 	// AtomsPerCell is ⟨ρ_cell⟩ for amorphous-silica density and
 	// pair-sized cells.
 	AtomsPerCell = workload.SilicaDensity * CellSide * CellSide * CellSide
-	// haloAtomBytes is the wire size of one imported atom
-	// (id + species + cell + position).
-	haloAtomBytes = 48
-	// forceBytes is the wire size of one written-back force.
-	forceBytes = 24
+	// haloAtomBytes and forceBytes are the implemented wire sizes of
+	// one imported atom and one written-back force — taken from the
+	// shared wire codec so Eq. 31's byte accounting can never drift
+	// from what the exchange actually sends.
+	haloAtomBytes = parmd.HaloAtomWireBytes
+	forceBytes    = parmd.ForceWireBytes
 )
 
 // StepTime is the modeled per-step wall time of one task, decomposed.
