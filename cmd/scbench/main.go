@@ -165,16 +165,18 @@ func runValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	atoms := fs.Int("atoms", 3000, "approximate atom count of the validation system")
 	steps := fs.Int("steps", 3, "MD steps per run")
+	trace := fs.String("trace", "", "write the runs' span timelines to this Chrome trace-event file")
 	fs.Parse(args)
-	return bench.ValidateReport(os.Stdout, *atoms, []int{1, 8}, *steps, 1)
+	return bench.ValidateReportTrace(os.Stdout, *atoms, []int{1, 8}, *steps, 1, *trace)
 }
 
 func runWorkers(args []string) error {
 	fs := flag.NewFlagSet("workers", flag.ExitOnError)
 	atoms := fs.Int("atoms", 3000, "atom count of the sweep system")
 	ranks := fs.Int("ranks", 8, "ranks of the rank-parallel sweep")
+	trace := fs.String("trace", "", "write the rank-parallel runs' span timelines to this Chrome trace-event file")
 	fs.Parse(args)
-	return bench.WorkersReport(os.Stdout, *atoms, *ranks, []int{1, 2, 4, runtime.GOMAXPROCS(0)}, 1)
+	return bench.WorkersReportTrace(os.Stdout, *atoms, *ranks, []int{1, 2, 4, runtime.GOMAXPROCS(0)}, 1, *trace)
 }
 
 func runAll() error {

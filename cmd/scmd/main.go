@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"time"
@@ -23,6 +25,7 @@ import (
 	"sctuple/internal/analysis"
 	"sctuple/internal/comm"
 	"sctuple/internal/md"
+	"sctuple/internal/obs"
 	"sctuple/internal/parmd"
 	"sctuple/internal/potential"
 	"sctuple/internal/trajio"
@@ -46,14 +49,33 @@ func main() {
 		analyze    = flag.Bool("analyze", false, "print structure analysis (RDF peaks, angles) after the run")
 		skin       = flag.Float64("skin", 0, "Verlet-list skin (Å) for the hybrid engine; 0 rebuilds every step")
 		workers    = flag.Int("workers", 1, "worker goroutines per force evaluation, serial engines and per rank in parallel runs (0 = GOMAXPROCS)")
+		tracePath  = flag.String("trace", "", "write a Chrome trace-event span timeline (one track per rank) to this file; parallel runs only")
+		metricsOut = flag.String("metrics", "", "write per-step JSONL telemetry records and a final metrics snapshot to this file; parallel runs only")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "scmd: pprof server:", err)
+			}
+		}()
+		fmt.Printf("pprof listening on %s (profiles at /debug/pprof/)\n", *pprofAddr)
+	}
+
 	opts := serialOpts{traj: *trajPath, analyze: *analyze, skin: *skin, workers: *workers}
-	if err := run(*modelName, *engineName, *atoms, *cells, *steps, *dt, *temp, *thermostat, *ranks, *every, *seed, opts); err != nil {
+	tel := telemetryOpts{trace: *tracePath, metrics: *metricsOut}
+	if err := run(*modelName, *engineName, *atoms, *cells, *steps, *dt, *temp, *thermostat, *ranks, *every, *seed, opts, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "scmd:", err)
 		os.Exit(1)
 	}
+}
+
+// telemetryOpts carries the parallel-run observability outputs.
+type telemetryOpts struct {
+	trace   string
+	metrics string
 }
 
 // serialOpts carries the optional serial-run features.
@@ -64,7 +86,7 @@ type serialOpts struct {
 	workers int
 }
 
-func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermostat float64, ranks, every int, seed int64, opts serialOpts) error {
+func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermostat float64, ranks, every int, seed int64, opts serialOpts, tel telemetryOpts) error {
 	rng := rand.New(rand.NewSource(seed))
 	var (
 		model *potential.Model
@@ -104,7 +126,10 @@ func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermo
 		if opts.traj != "" {
 			return fmt.Errorf("-traj is supported for serial runs only")
 		}
-		return runParallel(cfg, model, engineName, steps, dt, ranks, every, opts.workers)
+		return runParallel(cfg, model, engineName, steps, dt, ranks, every, opts.workers, tel)
+	}
+	if tel.trace != "" || tel.metrics != "" {
+		return fmt.Errorf("-trace and -metrics record the parallel stack; use -ranks > 1")
 	}
 	return runSerial(cfg, model, engineName, steps, dt, thermostat, every, opts)
 }
@@ -245,7 +270,7 @@ func printStructure(sys *md.System, model *potential.Model) error {
 	return nil
 }
 
-func runParallel(cfg *workload.Config, model *potential.Model, engineName string, steps int, dt float64, ranks, every, workers int) error {
+func runParallel(cfg *workload.Config, model *potential.Model, engineName string, steps int, dt float64, ranks, every, workers int, tel telemetryOpts) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -263,10 +288,33 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 	cart := comm.NewCart(ranks)
 	fmt.Printf("engine %v on %d ranks (%v topology) × %d workers, dt %g fs, %d steps\n",
 		scheme, ranks, cart.Dims, workers, dt, steps)
-	start := time.Now()
-	res, err := parmd.Run(cfg, model, parmd.Options{
+
+	popt := parmd.Options{
 		Scheme: scheme, Cart: cart, Dt: dt, Steps: steps, Workers: workers, TraceEnergies: true,
-	})
+	}
+	if tel.trace != "" {
+		// ~16 spans per step per rank; keep the whole run in the rings.
+		popt.Recorder = obs.NewRecorder(ranks, 16*(steps+2))
+	}
+	var metricsFile *os.File
+	if tel.metrics != "" {
+		f, err := os.Create(tel.metrics)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		metricsFile = f
+		popt.StepLog = obs.NewStepWriter(f)
+		popt.Metrics = obs.NewRegistry()
+		if popt.Recorder == nil {
+			// Phase decomposition in the step records and registry even
+			// without a trace file; a small ring is enough for totals.
+			popt.Recorder = obs.NewRecorder(ranks, 16)
+		}
+	}
+
+	start := time.Now()
+	res, err := parmd.Run(cfg, model, popt)
 	if err != nil {
 		return err
 	}
@@ -291,5 +339,38 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 	}
 	fmt.Printf("max rank: %d owned atoms, %d halo atoms imported, %d search candidates\n",
 		maxRank.OwnedAtoms, maxRank.AtomsImported, maxRank.SearchCandidates)
+
+	if len(res.Phases) > 0 {
+		fmt.Println("\nper-phase time across ranks (whole run):")
+		fmt.Printf("  %-12s %10s %10s %10s\n", "phase", "max ms", "mean ms", "imbalance")
+		for _, ps := range res.Phases {
+			fmt.Printf("  %-12s %10.2f %10.2f %10.2f\n",
+				ps.Phase, float64(ps.MaxNs)/1e6, ps.MeanNs/1e6, ps.Imbalance())
+		}
+		fmt.Printf("  critical path %.1f%% of %.0f ms wall\n",
+			100*float64(obs.CriticalPathNs(res.Phases))/float64(res.Wall.Nanoseconds()),
+			res.Wall.Seconds()*1e3)
+	}
+	if tel.trace != "" {
+		f, err := os.Create(tel.trace)
+		if err != nil {
+			return err
+		}
+		if err := popt.Recorder.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("span timeline written to %s (load in ui.perfetto.dev)\n", tel.trace)
+	}
+	if metricsFile != nil {
+		popt.StepLog.WriteValue(map[string]any{"snapshot": popt.Metrics.Snapshot()})
+		if err := popt.StepLog.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry records written to %s\n", tel.metrics)
+	}
 	return nil
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 
 	"sctuple/internal/comm"
+	"sctuple/internal/obs"
 	"sctuple/internal/parmd"
 	"sctuple/internal/perfmodel"
 	"sctuple/internal/potential"
@@ -92,6 +94,29 @@ type ValidateRow struct {
 	// per-tag-class counters versus Eq. 31's byte model.
 	MeasuredCommKB float64
 	ModelCommKB    float64
+	// Wall-time comparison per force evaluation on the critical-path
+	// rank: the span recorder's phase timings split into compute
+	// (binning, tuple search, force kernels) and communication (halo,
+	// write-back, migration, reductions), against the analytic model
+	// evaluated on the calibrated local machine profile
+	// (perfmodel.LocalMachine).
+	MeasuredComputeMs float64
+	ModelComputeMs    float64
+	MeasuredCommMs    float64
+	ModelCommMs       float64
+	// WaitMs is the per-task receive-blocked time per evaluation — the
+	// comm runtime's waitNs counters averaged over tasks, i.e. the part
+	// of MeasuredCommMs spent idle rather than packing and copying.
+	WaitMs float64
+	// Phases is the run's full per-phase time decomposition across
+	// ranks (max/mean/imbalance), for the report's breakdown table.
+	Phases []obs.PhaseStat
+}
+
+// commPhases marks the span phases that count as communication; every
+// other phase (bin, search, force:*, integrate) counts as compute.
+var commPhases = map[string]bool{
+	"halo": true, "writeback": true, "migrate": true, "reduce": true,
 }
 
 // Validate runs real parallel silica MD on small in-process worlds and
@@ -99,18 +124,43 @@ type ValidateRow struct {
 // the performance model's predictions — the evidence that Fig. 8/9 are
 // driven by the implemented algorithms rather than assumptions.
 func Validate(nAtoms int, ranks []int, steps int, seed int64) ([]ValidateRow, error) {
+	return validateInto(nil, nAtoms, ranks, steps, seed)
+}
+
+// validateInto is Validate with an optional trace collector: each
+// (scheme, rank-count) run's recorder is added as one named process,
+// so the whole validation sweep exports as a single timeline file.
+func validateInto(mt *obs.MultiTrace, nAtoms int, ranks []int, steps int, seed int64) ([]ValidateRow, error) {
 	model := potential.NewSilicaModel()
 	cfg := workload.BetaCristobalite(cube(nAtoms / 24))
+	local, err := perfmodel.LocalMachine()
+	if err != nil {
+		return nil, err
+	}
+	lm, err := perfmodel.NewModel(local)
+	if err != nil {
+		return nil, err
+	}
 	var out []ValidateRow
 	for _, p := range ranks {
 		cart := comm.NewCart(p)
 		for _, scheme := range parmd.Schemes() {
+			// 16 ring slots per rank suffice for PhaseStats (which reads
+			// the cumulative per-phase totals, not the ring); with a trace
+			// collector attached, keep every span of the short run.
+			spans := 16
+			if mt != nil {
+				spans = 16 * (steps + 2)
+			}
+			rec := obs.NewRecorder(p, spans)
 			res, err := parmd.Run(cfg, model, parmd.Options{
 				Scheme: scheme, Cart: cart, Dt: 1.0, Steps: steps,
+				Recorder: rec,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: %v on %d ranks: %w", scheme, p, err)
 			}
+			mt.Add(fmt.Sprintf("%v ranks=%d", scheme, p), rec)
 			maxRank := res.MaxRank()
 			grain := float64(cfg.N()) / float64(p)
 			r, err := perfmodel.MeasureRates(scheme)
@@ -118,25 +168,61 @@ func Validate(nAtoms int, ranks []int, steps int, seed int64) ([]ValidateRow, er
 				return nil, err
 			}
 			haloBytes := res.CommByClass["halo"].Bytes + res.CommByClass["force"].Bytes
+			// Phase times accumulate over steps+1 force evaluations
+			// (one initial); split them into compute vs communication
+			// on the critical-path (max) rank.
+			evals := float64(steps + 1)
+			var compNs, commNs int64
+			for _, ps := range res.Phases {
+				if commPhases[ps.Phase] {
+					commNs += ps.MaxNs
+				} else {
+					compNs += ps.MaxNs
+				}
+			}
+			var waitNs int64
+			for _, s := range res.CommByClass {
+				waitNs += s.Wait.Nanoseconds()
+			}
+			st := lm.StepTime(scheme, grain)
 			out = append(out, ValidateRow{
 				Scheme: scheme,
 				Tasks:  p,
 				Grain:  grain,
 				// Import stats accumulate over steps+1 force
 				// evaluations (one initial).
-				MeasuredImport: float64(maxRank.AtomsImported) / float64(steps+1),
+				MeasuredImport: float64(maxRank.AtomsImported) / evals,
 				ModelImport:    perfmodel.ImportAtoms(scheme, grain),
-				MeasuredSearch: float64(maxRank.SearchCandidates) / float64(steps+1) / grain,
+				MeasuredSearch: float64(maxRank.SearchCandidates) / evals / grain,
 				ModelSearch:    r.SearchPerAtom,
 				// World totals averaged over tasks (the model predicts a
 				// typical task, not the max rank).
-				MeasuredCommKB: float64(haloBytes) / float64(p) / float64(steps+1) / 1e3,
+				MeasuredCommKB: float64(haloBytes) / float64(p) / evals / 1e3,
 				ModelCommKB: perfmodel.ImportAtoms(scheme, grain) *
 					(parmd.HaloAtomWireBytes + parmd.ForceWireBytes) / 1e3,
+				MeasuredComputeMs: float64(compNs) / evals / 1e6,
+				ModelComputeMs:    (st.Search + st.Eval) * 1e3,
+				MeasuredCommMs:    float64(commNs) / evals / 1e6,
+				ModelCommMs:       st.Comm() * 1e3,
+				WaitMs:            float64(waitNs) / float64(p) / evals / 1e6,
+				Phases:            res.Phases,
 			})
 		}
 	}
 	return out, nil
+}
+
+// writeTraceFile writes a collected multi-run trace to path.
+func writeTraceFile(path string, mt *obs.MultiTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mt.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // cube returns near-cubic supercell counts for a unit-cell total.
@@ -150,9 +236,27 @@ func cube(cells int) (int, int, int) {
 
 // ValidateReport runs Validate and prints the comparison.
 func ValidateReport(w io.Writer, nAtoms int, ranks []int, steps int, seed int64) error {
-	rows, err := Validate(nAtoms, ranks, steps, seed)
+	return ValidateReportTrace(w, nAtoms, ranks, steps, seed, "")
+}
+
+// ValidateReportTrace is ValidateReport plus span-timeline export:
+// with tracePath non-empty, every validation run's per-rank spans are
+// written there as one Chrome trace-event file (one named process per
+// scheme × rank count), loadable in Perfetto.
+func ValidateReportTrace(w io.Writer, nAtoms int, ranks []int, steps int, seed int64, tracePath string) error {
+	var mt *obs.MultiTrace
+	if tracePath != "" {
+		mt = &obs.MultiTrace{}
+	}
+	rows, err := validateInto(mt, nAtoms, ranks, steps, seed)
 	if err != nil {
 		return err
+	}
+	if mt != nil {
+		if err := writeTraceFile(tracePath, mt); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "span timeline written to %s\n\n", tracePath)
 	}
 	fmt.Fprintln(w, "Model validation: real in-process parallel runs vs performance model")
 	fmt.Fprintln(w, "(measured = max-rank averages per step; model = analytic geometry + measured rates)")
@@ -171,6 +275,37 @@ func ValidateReport(w io.Writer, nAtoms int, ranks []int, steps int, seed int64)
 			r.MeasuredImport, r.ModelImport,
 			r.MeasuredSearch, r.ModelSearch,
 			r.MeasuredCommKB, r.ModelCommKB)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\nWall time per force evaluation: span-recorder phase timings (max rank)")
+	fmt.Fprintln(w, "vs the analytic model on the calibrated local machine profile; wait is")
+	fmt.Fprintln(w, "the per-task receive-blocked share of the measured comm time")
+	fmt.Fprintln(w)
+	tw = newTable(w)
+	fmt.Fprintln(tw, "scheme\ttasks\tcompute ms meas\tcompute ms model\tcomm ms meas\tcomm ms model\twait ms")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%v\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			r.Scheme, r.Tasks,
+			r.MeasuredComputeMs, r.ModelComputeMs,
+			r.MeasuredCommMs, r.ModelCommMs, r.WaitMs)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\nPer-phase decomposition (whole run, max/mean over ranks):")
+	fmt.Fprintln(w)
+	tw = newTable(w)
+	fmt.Fprintln(tw, "scheme\ttasks\tphase\tmax ms\tmean ms\timbalance")
+	for _, r := range rows {
+		for _, ps := range r.Phases {
+			fmt.Fprintf(tw, "%v\t%d\t%s\t%.3f\t%.3f\t%.2f\n",
+				r.Scheme, r.Tasks, ps.Phase,
+				float64(ps.MaxNs)/1e6, ps.MeanNs/1e6, ps.Imbalance())
+		}
 	}
 	return tw.Flush()
 }

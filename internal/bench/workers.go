@@ -9,6 +9,7 @@ import (
 	"sctuple/internal/comm"
 	"sctuple/internal/geom"
 	"sctuple/internal/md"
+	"sctuple/internal/obs"
 	"sctuple/internal/parmd"
 	"sctuple/internal/potential"
 	"sctuple/internal/workload"
@@ -20,6 +21,14 @@ import (
 // rank-parallel run with intra-rank workers (the paper's hybrid
 // rank×thread execution), with force agreement checked each time.
 func WorkersReport(w io.Writer, atoms, ranks int, workers []int, seed int64) error {
+	return WorkersReportTrace(w, atoms, ranks, workers, seed, "")
+}
+
+// WorkersReportTrace is WorkersReport plus span-timeline export: with
+// tracePath non-empty, each rank-parallel run's per-rank spans are
+// written there as one Chrome trace-event file (one named process per
+// worker count), loadable in Perfetto.
+func WorkersReportTrace(w io.Writer, atoms, ranks int, workers []int, seed int64, tracePath string) error {
 	rng := rand.New(rand.NewSource(seed))
 	cfg := workload.UniformSilica(rng, atoms)
 	model := potential.NewSilicaModel()
@@ -61,18 +70,28 @@ func WorkersReport(w io.Writer, atoms, ranks int, workers []int, seed int64) err
 
 	fmt.Fprintf(w, "\n2. Rank-parallel SC run, %d ranks × workers (forces bit-identical across worker counts):\n", ranks)
 	cart := comm.NewCart(ranks)
+	var mt *obs.MultiTrace
+	if tracePath != "" {
+		mt = &obs.MultiTrace{}
+	}
 	var refPar []geom.Vec3
 	tw = newTable(w)
 	fmt.Fprintln(tw, "workers\tms/eval\tmax |ΔF| vs 1 worker (eV/Å)")
 	for _, nw := range dedupInts(append([]int{1}, workers...)) {
+		var rec *obs.Recorder
+		if mt != nil {
+			rec = obs.NewRecorder(ranks, 64)
+		}
 		start := time.Now()
 		res, err := parmd.Run(cfg, model, parmd.Options{
 			Scheme: parmd.SchemeSC, Cart: cart, Dt: 1, Steps: 0, Workers: nw,
+			Recorder: rec,
 		})
 		if err != nil {
 			return err
 		}
 		ms := time.Since(start).Seconds() * 1e3
+		mt.Add(fmt.Sprintf("workers=%d", nw), rec)
 		if refPar == nil {
 			refPar = res.Forces
 			fmt.Fprintf(tw, "%d\t%.2f\t—\n", nw, ms)
@@ -80,7 +99,16 @@ func WorkersReport(w io.Writer, atoms, ranks int, workers []int, seed int64) err
 		}
 		fmt.Fprintf(tw, "%d\t%.2f\t%.2e\n", nw, ms, maxForceDev(refPar, res.Forces))
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if mt != nil {
+		if err := writeTraceFile(tracePath, mt); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nspan timeline written to %s\n", tracePath)
+	}
+	return nil
 }
 
 // dedupInts drops repeated worker counts, keeping first-seen order.

@@ -240,6 +240,19 @@ func (p *Proc) Rank() int { return p.rank }
 // Size returns the world size.
 func (p *Proc) Size() int { return p.world.size }
 
+// Stats returns this rank's own cumulative counters (all tag classes),
+// including the receive-wait time the runtime accumulates — the
+// per-rank view telemetry emitters read between steps.
+func (p *Proc) Stats() Stats { return p.world.RankStats(p.rank) }
+
+// ClassStats returns this rank's counters for one tag class.
+func (p *Proc) ClassStats(name string) Stats {
+	return p.world.RankClassStats(p.rank, name)
+}
+
+// ClassNames lists the world's tag classes, builtins first.
+func (p *Proc) ClassNames() []string { return p.world.ClassNames() }
+
 // AcquireBuffer returns an empty buffer from this rank's freelist
 // (allocating only when the list is dry). Pass it to SendBuffer — the
 // receiving rank returns it to circulation with ReleaseBuffer.

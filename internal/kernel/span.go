@@ -1,0 +1,42 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"sctuple/internal/obs"
+	"sctuple/internal/tuple"
+)
+
+// Per-term timing seam: engines that record phase timelines wrap each
+// term's sharded evaluation in an obs span here, at the kernel
+// boundary, so every engine decomposes force time the same way and a
+// disabled recorder costs a single branch.
+
+var (
+	termPhaseOnce sync.Once
+	termPhases    [tuple.MaxN + 1]obs.PhaseID
+)
+
+// TermPhase returns the interned phase of an n-body force term
+// ("force:n2", "force:n3", …) — the names the per-term spans and the
+// trace timeline share.
+func TermPhase(n int) obs.PhaseID {
+	termPhaseOnce.Do(func() {
+		for k := 2; k <= tuple.MaxN; k++ {
+			termPhases[k] = obs.Phase(fmt.Sprintf("force:n%d", k))
+		}
+	})
+	if n < 2 || n > tuple.MaxN {
+		return obs.Phase("force:other")
+	}
+	return termPhases[n]
+}
+
+// RunTimed is Run wrapped in one span of the given phase on rec — the
+// per-term timing seam. A nil rec records nothing and adds one branch.
+func RunTimed(rec *obs.RankRecorder, phase obs.PhaseID, shards, workers int, fn func(worker, shard int)) {
+	sp := rec.StartSpan(phase)
+	Run(shards, workers, fn)
+	sp.End()
+}

@@ -1,0 +1,300 @@
+// Package obs is the telemetry layer of the parallel stack: per-rank
+// phase span timelines, a metrics registry (counters, gauges,
+// fixed-bucket histograms), per-step JSONL emission, and Chrome
+// trace-event export — the instrumentation behind the paper's
+// per-phase runtime decomposition (§5) and the load-imbalance evidence
+// scalability claims rest on.
+//
+// The design constraint is that telemetry must never perturb what it
+// measures. All hot-path entry points are nil-safe and branch-cheap: a
+// nil *RankRecorder (or a disabled Recorder, one atomic load) makes
+// StartSpan/End complete no-ops with zero allocations, so the
+// simulation loops carry their instrumentation unconditionally and the
+// bit-identical determinism and 0 allocs/op guarantees of the halo
+// exchange are preserved whether telemetry is on or off (asserted by
+// tests in package parmd). Enabled spans write into preallocated
+// per-rank ring buffers — recording cost is two monotonic clock reads
+// and one ring store, still allocation-free.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxPhases bounds the process-wide phase table. Phases are a small
+// fixed vocabulary (step phases of the MD loop plus one per force
+// term), so a tight bound lets per-rank accumulators be flat arrays.
+const MaxPhases = 64
+
+var (
+	phaseMu    sync.Mutex
+	phaseNames []string
+)
+
+// Phase interns a phase name and returns its dense ID. Interning is
+// idempotent (same name, same ID) and meant for initialization paths —
+// hot loops hold the returned PhaseID, never the string. It panics
+// when the table overflows MaxPhases, which would mean phase names are
+// being generated per step instead of per program.
+func Phase(name string) PhaseID {
+	phaseMu.Lock()
+	defer phaseMu.Unlock()
+	for i, n := range phaseNames {
+		if n == name {
+			return PhaseID(i)
+		}
+	}
+	if len(phaseNames) >= MaxPhases {
+		panic(fmt.Sprintf("obs: more than %d phases registered (interning per-step names?)", MaxPhases))
+	}
+	phaseNames = append(phaseNames, name)
+	return PhaseID(len(phaseNames) - 1)
+}
+
+// PhaseID identifies an interned phase name.
+type PhaseID uint8
+
+// Name returns the interned name of the phase.
+func (p PhaseID) Name() string {
+	phaseMu.Lock()
+	defer phaseMu.Unlock()
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase#%d", int(p))
+}
+
+// numPhases returns the current size of the phase table.
+func numPhases() int {
+	phaseMu.Lock()
+	defer phaseMu.Unlock()
+	return len(phaseNames)
+}
+
+// span is one recorded interval. Start is nanoseconds since the
+// recorder's epoch.
+type span struct {
+	start int64
+	dur   int64
+	step  int32
+	phase PhaseID
+}
+
+// Recorder records phase spans for a fixed set of ranks, each into its
+// own preallocated ring buffer. A nil *Recorder is a valid disabled
+// recorder: Rank returns nil and every downstream call is a no-op.
+type Recorder struct {
+	epoch   time.Time
+	enabled atomic.Bool
+	ranks   []RankRecorder
+}
+
+// NewRecorder builds an enabled recorder for the given number of
+// ranks, each with a ring of spansPerRank spans (minimum 16). When a
+// ring fills, the oldest spans are overwritten and counted as dropped,
+// so long runs degrade to a trailing window instead of growing.
+func NewRecorder(ranks, spansPerRank int) *Recorder {
+	if ranks < 1 {
+		ranks = 1
+	}
+	if spansPerRank < 16 {
+		spansPerRank = 16
+	}
+	r := &Recorder{epoch: time.Now(), ranks: make([]RankRecorder, ranks)}
+	for i := range r.ranks {
+		rr := &r.ranks[i]
+		rr.rec = r
+		rr.rank = i
+		rr.spans = make([]span, spansPerRank)
+	}
+	r.enabled.Store(true)
+	return r
+}
+
+// Enable switches recording on or off. Spans started while disabled
+// are dropped entirely (their End is a no-op).
+func (r *Recorder) Enable(on bool) { r.enabled.Store(on) }
+
+// Ranks returns the number of rank tracks (0 for a nil recorder).
+func (r *Recorder) Ranks() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ranks)
+}
+
+// Rank returns rank i's recorder, or nil when r is nil — the handle
+// each rank threads through its step loop. Distinct ranks may record
+// concurrently; a single rank's recorder is not safe for concurrent
+// use (ranks are single goroutines).
+func (r *Recorder) Rank(i int) *RankRecorder {
+	if r == nil {
+		return nil
+	}
+	return &r.ranks[i]
+}
+
+// RankRecorder is one rank's span sink.
+type RankRecorder struct {
+	rec     *Recorder
+	rank    int
+	spans   []span
+	n       int64 // total spans recorded; ring index is n % len(spans)
+	step    int32
+	phaseNs [MaxPhases]int64
+	_       [64]byte // pad: rank recorders sit in one slice, ranks write concurrently
+}
+
+// SetStep tags subsequently recorded spans with an MD step number
+// (use -1 for pre-loop work such as the initial force evaluation).
+func (r *RankRecorder) SetStep(step int) {
+	if r == nil {
+		return
+	}
+	r.step = int32(step)
+}
+
+// Span is an in-flight interval returned by StartSpan. It is a plain
+// value (no allocation); call End exactly once. The zero Span (from a
+// nil or disabled recorder) is valid and End on it is a no-op.
+type Span struct {
+	r     *RankRecorder
+	start int64
+	phase PhaseID
+}
+
+// StartSpan opens a span of the given phase. On a nil or disabled
+// recorder it returns the no-op zero Span after a single nil test plus
+// one atomic load.
+func (r *RankRecorder) StartSpan(phase PhaseID) Span {
+	if r == nil || !r.rec.enabled.Load() {
+		return Span{}
+	}
+	return Span{r: r, start: int64(time.Since(r.rec.epoch)), phase: phase}
+}
+
+// End closes the span, accumulating its duration into the rank's
+// per-phase total and storing it in the ring.
+func (s Span) End() {
+	r := s.r
+	if r == nil {
+		return
+	}
+	d := int64(time.Since(r.rec.epoch)) - s.start
+	r.phaseNs[s.phase] += d
+	r.spans[r.n%int64(len(r.spans))] = span{start: s.start, dur: d, step: r.step, phase: s.phase}
+	r.n++
+}
+
+// PhaseNs returns the rank's accumulated nanoseconds in a phase.
+func (r *RankRecorder) PhaseNs(phase PhaseID) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.phaseNs[phase]
+}
+
+// CopyPhaseNs copies the rank's cumulative per-phase totals into dst —
+// the delta primitive per-step emitters subtract against.
+func (r *RankRecorder) CopyPhaseNs(dst *[MaxPhases]int64) {
+	if r == nil {
+		*dst = [MaxPhases]int64{}
+		return
+	}
+	*dst = r.phaseNs
+}
+
+// Dropped returns how many spans were overwritten by ring wrap-around.
+func (r *RankRecorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	if d := r.n - int64(len(r.spans)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// PhaseStat is one phase's per-rank time decomposition: the
+// load-imbalance view (max vs mean across ranks) the paper's critical-
+// path analysis is built on.
+type PhaseStat struct {
+	Phase     string
+	PerRankNs []int64
+	MaxNs     int64
+	MeanNs    float64
+}
+
+// Imbalance returns max/mean — 1.0 is a perfectly balanced phase.
+func (s PhaseStat) Imbalance() float64 {
+	if s.MeanNs == 0 {
+		return 0
+	}
+	return float64(s.MaxNs) / s.MeanNs
+}
+
+// PhaseStats aggregates every rank's accumulated per-phase time into
+// one row per phase with nonzero total, in phase-registration order.
+// Call it after the recorded run completes (it reads the rank
+// accumulators unsynchronized).
+func (r *Recorder) PhaseStats() []PhaseStat {
+	if r == nil {
+		return nil
+	}
+	var out []PhaseStat
+	for p := 0; p < numPhases(); p++ {
+		per := make([]int64, len(r.ranks))
+		total := int64(0)
+		for i := range r.ranks {
+			per[i] = r.ranks[i].phaseNs[p]
+			total += per[i]
+		}
+		if total == 0 {
+			continue
+		}
+		xs := make([]float64, len(per))
+		for i, v := range per {
+			xs[i] = float64(v)
+		}
+		mx, mean := MaxMean(xs)
+		out = append(out, PhaseStat{
+			Phase:     PhaseID(p).Name(),
+			PerRankNs: per,
+			MaxNs:     int64(mx),
+			MeanNs:    mean,
+		})
+	}
+	return out
+}
+
+// CriticalPathNs sums the per-phase max-rank times — the lower bound
+// on wall time if every phase ended at a global synchronization point.
+// Its ratio to measured wall time is the critical-path fraction.
+func CriticalPathNs(stats []PhaseStat) int64 {
+	var sum int64
+	for _, s := range stats {
+		sum += s.MaxNs
+	}
+	return sum
+}
+
+// MaxMean returns the maximum and arithmetic mean of xs (0, 0 for an
+// empty slice) — the shared reduction behind phase imbalance and the
+// per-field RankStats reductions in package parmd.
+func MaxMean(xs []float64) (max, mean float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	max = xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+		sum += x
+	}
+	return max, sum / float64(len(xs))
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersGaugesConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test.ops")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				reg.Counter("test.ops").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Errorf("counter %d, want 8000", got)
+	}
+	reg.Gauge("test.level").Set(2.5)
+	if got := reg.Gauge("test.level").Load(); got != 2.5 {
+		t.Errorf("gauge %g, want 2.5", got)
+	}
+	s := reg.Snapshot()
+	if s.Counters["test.ops"] != 8000 || s.Gauges["test.level"] != 2.5 {
+		t.Errorf("snapshot %+v", s)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test.ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1.0, 3, 50, 1000} {
+		h.Observe(v)
+	}
+	s := reg.Snapshot().Histograms["test.ms"]
+	// v ≤ 1 → bucket 0 (both 0.5 and the boundary value 1.0),
+	// 3 → bucket 1, 50 → bucket 2, 1000 → overflow.
+	if want := []int64{2, 1, 1, 1}; len(s.Counts) != 4 ||
+		s.Counts[0] != want[0] || s.Counts[1] != want[1] ||
+		s.Counts[2] != want[2] || s.Counts[3] != want[3] {
+		t.Errorf("bucket counts %v, want %v", s.Counts, want)
+	}
+	if s.Count != 5 {
+		t.Errorf("count %d, want 5", s.Count)
+	}
+	if want := (0.5 + 1 + 3 + 50 + 1000) / 5; s.Mean() != want {
+		t.Errorf("mean %g, want %g", s.Mean(), want)
+	}
+	// Second lookup with different bounds keeps the original buckets.
+	if h2 := reg.Histogram("test.ms", []float64{7}); h2 != h {
+		t.Error("histogram identity not stable across lookups")
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.5, 2, 4)
+	want := []float64{0.5, 1, 2, 4}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets %v, want %v", b, want)
+		}
+	}
+}
+
+func TestStepWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStepWriter(&buf)
+	var wg sync.WaitGroup
+	for rank := 0; rank < 4; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for step := 0; step < 5; step++ {
+				w.WriteStep(StepRecord{
+					Step: step, Rank: rank, WallNs: 100,
+					PhaseNs:  map[string]int64{"halo": 40, "force": 50},
+					Counters: map[string]int64{"atoms_imported": 7},
+				})
+			}
+		}(rank)
+	}
+	wg.Wait()
+	w.WriteValue(map[string]any{"snapshot": NewRegistry().Snapshot()})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var v map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines+1, err)
+		}
+		lines++
+	}
+	if lines != 4*5+1 {
+		t.Errorf("%d JSONL lines, want %d", lines, 4*5+1)
+	}
+
+	// A nil writer is inert.
+	var nilW *StepWriter
+	nilW.WriteStep(StepRecord{})
+	if nilW.Err() != nil {
+		t.Error("nil StepWriter produced an error")
+	}
+}

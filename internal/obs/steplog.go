@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// StepRecord is one rank's telemetry for one MD step: wall time, the
+// per-phase time decomposition, and the step's counter deltas. One
+// JSONL line per (step, rank) pair keeps emission synchronization-free
+// — ranks proceed at their own pace, and per-rank imbalance over time
+// falls out of the records instead of being averaged away.
+type StepRecord struct {
+	Step     int              `json:"step"`
+	Rank     int              `json:"rank"`
+	WallNs   int64            `json:"wall_ns"`
+	PhaseNs  map[string]int64 `json:"phase_ns,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// StepWriter serializes telemetry records as JSON Lines. Writes from
+// concurrent ranks are ordered by an internal mutex; errors are
+// sticky and reported once by Err, so per-step call sites stay
+// unconditional.
+type StepWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewStepWriter wraps w (typically a file) as a JSONL sink.
+func NewStepWriter(w io.Writer) *StepWriter {
+	return &StepWriter{enc: json.NewEncoder(w)}
+}
+
+// WriteStep appends one step record line.
+func (s *StepWriter) WriteStep(rec StepRecord) { s.WriteValue(rec) }
+
+// WriteValue appends an arbitrary record line — used for the final
+// registry-snapshot line ({"snapshot": …}) after the per-step stream.
+func (s *StepWriter) WriteValue(v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(v)
+}
+
+// Err returns the first write error, if any.
+func (s *StepWriter) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// TraceEvent is one Chrome trace-event record. The exporter emits
+// complete events (Ph == "X", one self-contained record per span, no
+// begin/end pairing to break) plus one thread-name metadata event
+// (Ph == "M") per rank, so the file loads directly in Perfetto or
+// chrome://tracing with one named track per rank.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since recorder epoch
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the on-disk trace shape (the JSON Object Format of the
+// trace-event specification).
+type TraceFile struct {
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// Events flattens the recorder's rings into trace events: per rank,
+// one thread-name metadata event and the recorded spans in ring order
+// (oldest surviving span first).
+func (r *Recorder) Events() []TraceEvent { return r.eventsAt(0, nil) }
+
+// eventsAt appends the recorder's events under process ID pid — the
+// seam MultiTrace uses to lay several runs side by side in one file.
+func (r *Recorder) eventsAt(pid int, events []TraceEvent) []TraceEvent {
+	if r == nil {
+		return events
+	}
+	for i := range r.ranks {
+		rr := &r.ranks[i]
+		events = append(events, TraceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  pid,
+			Tid:  rr.rank,
+			Args: map[string]any{"name": "rank " + strconv.Itoa(rr.rank)},
+		})
+		lo := int64(0)
+		if d := rr.n - int64(len(rr.spans)); d > 0 {
+			lo = d
+		}
+		for k := lo; k < rr.n; k++ {
+			sp := rr.spans[k%int64(len(rr.spans))]
+			events = append(events, TraceEvent{
+				Name: sp.phase.Name(),
+				Cat:  "phase",
+				Ph:   "X",
+				Ts:   float64(sp.start) / 1e3,
+				Dur:  float64(sp.dur) / 1e3,
+				Pid:  pid,
+				Tid:  rr.rank,
+				Args: map[string]any{"step": int(sp.step)},
+			})
+		}
+	}
+	return events
+}
+
+// WriteTrace exports the recorded spans as Chrome trace-event JSON:
+// one track (tid) per rank, phase names as event names, the MD step in
+// each event's args. Load the file in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	var dropped int64
+	if r != nil {
+		for i := range r.ranks {
+			dropped += r.ranks[i].Dropped()
+		}
+	}
+	tf := TraceFile{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     r.Events(),
+	}
+	if tf.TraceEvents == nil {
+		tf.TraceEvents = []TraceEvent{}
+	}
+	if dropped > 0 {
+		tf.OtherData = map[string]any{"dropped_spans": dropped}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// MultiTrace lays several runs' recorders side by side in one Chrome
+// trace, one named process (pid) per run — how a benchmark sweep
+// (e.g. one run per scheme × rank count) exports a single comparable
+// timeline file.
+type MultiTrace struct {
+	runs []multiRun
+}
+
+type multiRun struct {
+	name string
+	rec  *Recorder
+}
+
+// Add registers one run under a process name. A nil recorder adds an
+// empty process. Nil MultiTrace receivers ignore the call, so callers
+// can thread an optional collector without branching.
+func (m *MultiTrace) Add(name string, rec *Recorder) {
+	if m == nil {
+		return
+	}
+	m.runs = append(m.runs, multiRun{name: name, rec: rec})
+}
+
+// WriteTrace exports all registered runs into one trace-event file.
+func (m *MultiTrace) WriteTrace(w io.Writer) error {
+	tf := TraceFile{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     []TraceEvent{},
+	}
+	var dropped int64
+	if m != nil {
+		for pid, run := range m.runs {
+			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+				Name: "process_name",
+				Ph:   "M",
+				Pid:  pid,
+				Args: map[string]any{"name": run.name},
+			})
+			tf.TraceEvents = run.rec.eventsAt(pid, tf.TraceEvents)
+			if run.rec != nil {
+				for i := range run.rec.ranks {
+					dropped += run.rec.ranks[i].Dropped()
+				}
+			}
+		}
+	}
+	if dropped > 0 {
+		tf.OtherData = map[string]any{"dropped_spans": dropped}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}

@@ -11,10 +11,14 @@ import (
 // contributions back to their owners. It returns this rank's share of
 // the potential energy.
 func (r *rankState) computeForces() float64 {
+	sp := r.rec.StartSpan(phaseBin)
 	r.dropHalo()
 	r.deriveOwned()
+	sp.End()
 	r.importHalo()
+	sp = r.rec.StartSpan(phaseBin)
 	r.rebin()
+	sp.End()
 
 	// The accumulator covers owned + halo atoms; Begin zeroes it, and
 	// End reduces the shards in fixed order so the forces are
@@ -40,10 +44,12 @@ func (r *rankState) computeForces() float64 {
 // evalCellTerms is the SC-/FS-MD force kernel: one bounded UCP
 // enumeration per n-body term, the owned cells split across the
 // accumulator's shards and executed by up to r.workers goroutines.
+// Each term runs under its own span (kernel.RunTimed), so the trace
+// timeline decomposes force time per term length.
 func (r *rankState) evalCellTerms() {
 	for ti, term := range r.model.Terms {
 		k := kernel.TermKernel{Term: term, Species: r.species}
-		kernel.Run(r.acc.Slots(), r.workers, func(w, s int) {
+		kernel.RunTimed(r.rec, kernel.TermPhase(term.N()), r.acc.Slots(), r.workers, func(w, s int) {
 			lo, hi := kernel.Chunk(len(r.ownedCells), r.acc.Slots(), s)
 			if lo >= hi {
 				return
@@ -83,6 +89,7 @@ func (r *rankState) evalHybrid() {
 
 	// Build the directed list: start offsets per owned atom. The
 	// scratch buffers are hoisted on rankState and reused across steps.
+	sp := r.rec.StartSpan(phaseSearch)
 	if cap(r.hybCounts) < r.nOwned+1 {
 		r.hybCounts = make([]int32, r.nOwned+1)
 		r.hybFill = make([]int32, r.nOwned)
@@ -109,11 +116,12 @@ func (r *rankState) evalHybrid() {
 		fill[p.i]++
 	}
 	slot0.PairEntries += int64(len(entries))
+	sp.End()
 
 	// Pair forces: each undirected pair on exactly one rank, chosen by
 	// global ID order.
 	pairK := kernel.TermKernel{Term: r.pairTerm, Species: r.species}
-	kernel.Run(r.acc.Slots(), r.workers, func(w, s int) {
+	kernel.RunTimed(r.rec, kernel.TermPhase(2), r.acc.Slots(), r.workers, func(w, s int) {
 		lo, hi := kernel.Chunk(r.nOwned, r.acc.Slots(), s)
 		if lo >= hi {
 			return
@@ -135,7 +143,7 @@ func (r *rankState) evalHybrid() {
 	if r.tripTerm != nil {
 		rc3 := r.tripTerm.Cutoff()
 		tripK := kernel.TermKernel{Term: r.tripTerm, Species: r.species}
-		kernel.Run(r.acc.Slots(), r.workers, func(w, s int) {
+		kernel.RunTimed(r.rec, kernel.TermPhase(3), r.acc.Slots(), r.workers, func(w, s int) {
 			lo, hi := kernel.Chunk(r.nOwned, r.acc.Slots(), s)
 			if lo >= hi {
 				return

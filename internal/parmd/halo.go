@@ -21,9 +21,11 @@ import (
 // appends the arrivals. In steady state (capacities warmed up) the
 // whole exchange allocates nothing.
 func (r *rankState) importHalo() {
+	sp := r.rec.StartSpan(phaseHalo)
 	for pi := range r.plan.Halo {
 		r.haloPhaseExchange(pi)
 	}
+	sp.End()
 }
 
 // haloPhaseState is the per-step scratch of one compiled halo phase:
@@ -86,6 +88,8 @@ func (r *rankState) haloPhaseExchange(pi int) {
 // order so forwarded contributions propagate back through the same
 // routing.
 func (r *rankState) writeBackForces() {
+	sp := r.rec.StartSpan(phaseWriteback)
+	defer sp.End()
 	for pi := len(r.plan.Halo) - 1; pi >= 0; pi-- {
 		ph := &r.plan.Halo[pi]
 		st := &r.phaseState[pi]

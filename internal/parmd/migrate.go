@@ -18,6 +18,8 @@ import (
 // owner-authoritative integer cells. When no atoms move, the exchange
 // sends empty pooled buffers and allocates nothing.
 func (r *rankState) migrate() {
+	sp := r.rec.StartSpan(phaseMigrate)
+	defer sp.End()
 	for i := 0; i < r.nOwned; i++ {
 		r.gpos[i] = r.dec.Lat.Box.Wrap(r.gpos[i])
 		r.gcell[i] = r.dec.Lat.CellOf(r.gpos[i])

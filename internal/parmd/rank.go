@@ -9,6 +9,7 @@ import (
 	"sctuple/internal/geom"
 	"sctuple/internal/kernel"
 	"sctuple/internal/md"
+	"sctuple/internal/obs"
 	"sctuple/internal/potential"
 	"sctuple/internal/tuple"
 	"sctuple/internal/workload"
@@ -114,6 +115,10 @@ type rankState struct {
 	// entry per halo phase, reused across steps.
 	plan       *ExchangePlan
 	phaseState []haloPhaseState
+
+	// rec records this rank's phase spans; nil (the default) keeps
+	// every span site a single-branch no-op.
+	rec *obs.RankRecorder
 
 	stats RankStats
 }

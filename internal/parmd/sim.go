@@ -3,10 +3,12 @@ package parmd
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"sctuple/internal/comm"
 	"sctuple/internal/geom"
 	"sctuple/internal/md"
+	"sctuple/internal/obs"
 	"sctuple/internal/potential"
 	"sctuple/internal/workload"
 )
@@ -27,6 +29,21 @@ type Options struct {
 	// TraceEnergies records global PE/KE each step (costs two
 	// reductions per step).
 	TraceEnergies bool
+	// Recorder, when non-nil, records per-rank phase spans (halo, bin,
+	// per-term force, write-back, integrate, migrate, reduce) into its
+	// ring buffers for trace export and imbalance analysis. nil keeps
+	// the hot path span-free (one branch per span site, no allocation,
+	// forces bit-identical either way).
+	Recorder *obs.Recorder
+	// StepLog, when non-nil, receives one JSONL record per rank per
+	// step: wall time, the per-phase time decomposition (with Recorder
+	// set), and the step's counter deltas.
+	StepLog *obs.StepWriter
+	// Metrics, when non-nil, absorbs the run's counters at completion —
+	// summed RankStats, per-class comm traffic and receive-wait time,
+	// per-phase imbalance gauges — and accumulates a per-step wall-time
+	// histogram (parmd.step_ms) during the run.
+	Metrics *obs.Registry
 }
 
 // StepEnergy is one global energy sample.
@@ -55,32 +72,14 @@ type Result struct {
 	Comm comm.Stats
 	// CommByClass breaks Comm down by traffic class: "halo" (import),
 	// "force" (write-back), "migrate", "collective" (reductions and
-	// barriers), and "other". The classes sum to Comm.
+	// barriers), and "other". The classes sum to Comm. Each class's
+	// Wait is the receive-blocked time the runtime accumulated for it.
 	CommByClass map[string]comm.Stats
-}
-
-// MaxRank returns the component-wise maximum over RankStats, the
-// critical-path load used by the performance model.
-func (r *Result) MaxRank() RankStats {
-	var m RankStats
-	for _, s := range r.RankStats {
-		if s.SearchCandidates > m.SearchCandidates {
-			m.SearchCandidates = s.SearchCandidates
-		}
-		if s.TuplesEvaluated > m.TuplesEvaluated {
-			m.TuplesEvaluated = s.TuplesEvaluated
-		}
-		if s.AtomsImported > m.AtomsImported {
-			m.AtomsImported = s.AtomsImported
-		}
-		if s.OwnedAtoms > m.OwnedAtoms {
-			m.OwnedAtoms = s.OwnedAtoms
-		}
-		if s.HaloMessages > m.HaloMessages {
-			m.HaloMessages = s.HaloMessages
-		}
-	}
-	return m
+	// Phases holds the per-phase time decomposition across ranks
+	// (max/mean/imbalance) when Options.Recorder was set.
+	Phases []obs.PhaseStat
+	// Wall is the wall-clock time of the SPMD section of the run.
+	Wall time.Duration
 }
 
 // Run executes a complete parallel MD run of the given configuration
@@ -125,6 +124,10 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	if opt.TraceEnergies {
 		res.Energies = make([]StepEnergy, opt.Steps)
 	}
+	var stepHist *obs.Histogram
+	if opt.Metrics != nil {
+		stepHist = opt.Metrics.Histogram("parmd.step_ms", obs.ExpBuckets(0.01, 2, 18))
+	}
 	type finalAtom struct {
 		id      int64
 		pos     geom.Vec3
@@ -134,11 +137,13 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	}
 	finals := make([][]finalAtom, world.Size())
 
+	wallStart := time.Now()
 	err = world.Run(func(p *comm.Proc) error {
 		r, err := newRankState(p, dec, model, opt.Scheme, opt.Workers)
 		if err != nil {
 			return err
 		}
+		r.rec = opt.Recorder.Rank(p.Rank())
 		r.adopt(cfg)
 
 		masses := make([]float64, len(model.Species))
@@ -146,15 +151,35 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 			masses[i] = s.Mass
 		}
 
+		r.rec.SetStep(-1) // spans before the loop tag the initial evaluation
 		pe := r.computeForces()
+		sp := r.rec.StartSpan(phaseReduce)
 		totalPE := p.AllReduceSum(pe)
+		sp.End()
 		if p.Rank() == 0 {
 			res.InitialPotential = totalPE
 		}
 
+		// Per-step emission scratch: previous cumulative phase times and
+		// counters, subtracted each step to get the step's own share.
+		logging := opt.StepLog != nil || stepHist != nil
+		var prevPhase [obs.MaxPhases]int64
+		prevStats := r.stats
+		var prevWait time.Duration
+		if logging {
+			r.rec.CopyPhaseNs(&prevPhase)
+			prevWait = p.Stats().Wait
+		}
+
 		for step := 0; step < opt.Steps; step++ {
+			var stepStart time.Time
+			if logging {
+				stepStart = time.Now()
+			}
+			r.rec.SetStep(step)
 			// Velocity Verlet: half kick, drift, migrate, forces,
 			// half kick.
+			sp := r.rec.StartSpan(phaseIntegrate)
 			half := 0.5 * opt.Dt * md.ForceToAccel
 			for i := 0; i < r.nOwned; i++ {
 				r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
@@ -162,21 +187,35 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 			for i := 0; i < r.nOwned; i++ {
 				r.gpos[i] = r.gpos[i].Add(r.vel[i].Scale(opt.Dt))
 			}
+			sp.End()
 			r.migrate()
 			pe := r.computeForces()
+			sp = r.rec.StartSpan(phaseIntegrate)
 			for i := 0; i < r.nOwned; i++ {
 				r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
 			}
+			sp.End()
 			if opt.TraceEnergies {
 				ke := 0.0
 				for i := 0; i < r.nOwned; i++ {
 					ke += 0.5 * masses[r.species[i]] * r.vel[i].Norm2()
 				}
 				ke /= md.ForceToAccel
+				sp = r.rec.StartSpan(phaseReduce)
 				gpe := p.AllReduceSum(pe)
 				gke := p.AllReduceSum(ke)
+				sp.End()
 				if p.Rank() == 0 {
 					res.Energies[step] = StepEnergy{Potential: gpe, Kinetic: gke}
+				}
+			}
+			if logging {
+				wall := time.Since(stepStart)
+				if stepHist != nil {
+					stepHist.Observe(wall.Seconds() * 1e3)
+				}
+				if opt.StepLog != nil {
+					emitStepRecord(opt.StepLog, r, p, step, wall, &prevPhase, &prevStats, &prevWait)
 				}
 			}
 		}
@@ -197,6 +236,7 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 		res.RankStats[p.Rank()] = r.stats
 		return nil
 	})
+	res.Wall = time.Since(wallStart)
 	if err != nil {
 		return nil, err
 	}
@@ -233,8 +273,26 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	for _, name := range world.ClassNames() {
 		res.CommByClass[name] = world.ClassStats(name)
 	}
+	res.Phases = opt.Recorder.PhaseStats()
+	publishMetrics(opt.Metrics, res)
+	if err := opt.StepLog.Err(); err != nil {
+		return nil, fmt.Errorf("parmd: telemetry step log: %w", err)
+	}
 	return res, nil
 }
+
+// Step-phase IDs of the parallel loop (per-term force phases come from
+// kernel.TermPhase). The names are shared by the trace timeline, the
+// per-step records, and the registry gauges.
+var (
+	phaseIntegrate = obs.Phase("integrate")
+	phaseMigrate   = obs.Phase("migrate")
+	phaseBin       = obs.Phase("bin")
+	phaseHalo      = obs.Phase("halo")
+	phaseSearch    = obs.Phase("search")
+	phaseWriteback = obs.Phase("writeback")
+	phaseReduce    = obs.Phase("reduce")
+)
 
 // defineTagClasses registers the simulation's traffic classes on a
 // world so the runtime's counters split by exchange type — the richer

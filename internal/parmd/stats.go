@@ -1,0 +1,178 @@
+package parmd
+
+import (
+	"math"
+	"time"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/obs"
+)
+
+// rankStatField is one entry of the reflection-free field table below:
+// a stable snake_case name (the key metrics and step records are
+// emitted under) plus get/set accessors through float64, wide enough
+// for every counter in RankStats (int64 counts stay exact to 2⁵³).
+type rankStatField struct {
+	Name string
+	Get  func(*RankStats) float64
+	Set  func(*RankStats, float64)
+}
+
+// rankStatFields enumerates every field of RankStats exactly once —
+// the single source the component-wise reductions (MaxRank, MeanRank),
+// the registry export, and the per-step counter records all share, so
+// a new RankStats field added here shows up everywhere at once.
+var rankStatFields = []rankStatField{
+	{"steps",
+		func(s *RankStats) float64 { return float64(s.Steps) },
+		func(s *RankStats, v float64) { s.Steps = int(v) }},
+	{"owned_atoms",
+		func(s *RankStats) float64 { return float64(s.OwnedAtoms) },
+		func(s *RankStats, v float64) { s.OwnedAtoms = int(v) }},
+	{"search_candidates",
+		func(s *RankStats) float64 { return float64(s.SearchCandidates) },
+		func(s *RankStats, v float64) { s.SearchCandidates = int64(v) }},
+	{"tuples_evaluated",
+		func(s *RankStats) float64 { return float64(s.TuplesEvaluated) },
+		func(s *RankStats, v float64) { s.TuplesEvaluated = int64(v) }},
+	{"pair_list_entries",
+		func(s *RankStats) float64 { return float64(s.PairListEntries) },
+		func(s *RankStats, v float64) { s.PairListEntries = int64(v) }},
+	{"atoms_imported",
+		func(s *RankStats) float64 { return float64(s.AtomsImported) },
+		func(s *RankStats, v float64) { s.AtomsImported = int64(v) }},
+	{"atoms_migrated",
+		func(s *RankStats) float64 { return float64(s.AtomsMigrated) },
+		func(s *RankStats, v float64) { s.AtomsMigrated = int64(v) }},
+	{"halo_messages",
+		func(s *RankStats) float64 { return float64(s.HaloMessages) },
+		func(s *RankStats, v float64) { s.HaloMessages = int64(v) }},
+	{"virial",
+		func(s *RankStats) float64 { return s.Virial },
+		func(s *RankStats, v float64) { s.Virial = v }},
+}
+
+// reduceRankStats folds all ranks' stats field by field through the
+// shared obs.MaxMean reduction and assembles the requested component
+// (pick receives each field's (max, mean) and chooses one).
+func reduceRankStats(all []RankStats, pick func(max, mean float64) float64) RankStats {
+	var out RankStats
+	xs := make([]float64, len(all))
+	for _, f := range rankStatFields {
+		for i := range all {
+			xs[i] = f.Get(&all[i])
+		}
+		mx, mean := obs.MaxMean(xs)
+		f.Set(&out, pick(mx, mean))
+	}
+	return out
+}
+
+// MaxRank returns the component-wise maximum over RankStats — the
+// critical-path load the performance model compares against.
+func (r *Result) MaxRank() RankStats {
+	if len(r.RankStats) == 0 {
+		return RankStats{}
+	}
+	return reduceRankStats(r.RankStats, func(max, _ float64) float64 { return max })
+}
+
+// MeanRank returns the component-wise mean over RankStats; together
+// with MaxRank it gives the per-counter load imbalance (max/mean).
+func (r *Result) MeanRank() RankStats {
+	if len(r.RankStats) == 0 {
+		return RankStats{}
+	}
+	return reduceRankStats(r.RankStats, func(_, mean float64) float64 { return mean })
+}
+
+// rankStatDeltas fills counters with the per-field difference cur−prev
+// under the table's names — one step's worth of counting for the
+// per-step telemetry records.
+func rankStatDeltas(cur, prev *RankStats, counters map[string]int64) {
+	for _, f := range rankStatFields {
+		counters[f.Name] = int64(f.Get(cur) - f.Get(prev))
+	}
+}
+
+// emitStepRecord writes one rank's telemetry line for one step: the
+// wall time, phase-time deltas (when a recorder runs), and counter
+// deltas against the previous step's cumulative state, which it then
+// advances. owned_atoms is reported as the current absolute value and
+// the runtime's receive-wait delta rides along as comm_wait_ns —
+// the per-rank surfacing of the waitNs the comm layer accumulates.
+func emitStepRecord(w *obs.StepWriter, r *rankState, p *comm.Proc, step int,
+	wall time.Duration, prevPhase *[obs.MaxPhases]int64, prevStats *RankStats, prevWait *time.Duration) {
+	rec := obs.StepRecord{
+		Step:     step,
+		Rank:     p.Rank(),
+		WallNs:   wall.Nanoseconds(),
+		Counters: make(map[string]int64, len(rankStatFields)+1),
+	}
+	rankStatDeltas(&r.stats, prevStats, rec.Counters)
+	rec.Counters["owned_atoms"] = int64(r.stats.OwnedAtoms)
+	*prevStats = r.stats
+	wait := p.Stats().Wait
+	rec.Counters["comm_wait_ns"] = (wait - *prevWait).Nanoseconds()
+	*prevWait = wait
+	if r.rec != nil {
+		var cur [obs.MaxPhases]int64
+		r.rec.CopyPhaseNs(&cur)
+		rec.PhaseNs = make(map[string]int64)
+		for i := range cur {
+			if d := cur[i] - prevPhase[i]; d != 0 {
+				rec.PhaseNs[obs.PhaseID(i).Name()] = d
+			}
+		}
+		*prevPhase = cur
+	}
+	w.WriteStep(rec)
+}
+
+// publishMetrics exports the run's accumulated counters into the
+// registry: summed RankStats under parmd.*, per-class communication
+// volume and receive-wait time under comm.<class>.*, and — when a span
+// recorder ran — per-phase max-rank milliseconds and imbalance gauges
+// under phase.*.
+func publishMetrics(reg *obs.Registry, res *Result) {
+	if reg == nil {
+		return
+	}
+	var sum RankStats
+	for _, s := range res.RankStats {
+		sum.Add(s)
+	}
+	sum.Steps = 0
+	for _, s := range res.RankStats {
+		if s.Steps > sum.Steps {
+			sum.Steps = s.Steps
+		}
+	}
+	sum.OwnedAtoms = 0
+	for _, s := range res.RankStats {
+		sum.OwnedAtoms += s.OwnedAtoms
+	}
+	for _, f := range rankStatFields {
+		if f.Name == "virial" {
+			reg.Gauge("parmd.virial").Set(sum.Virial)
+			continue
+		}
+		reg.Counter("parmd."+f.Name).Add(int64(f.Get(&sum)))
+	}
+	reg.Gauge("parmd.ranks").Set(float64(len(res.RankStats)))
+
+	for class, s := range res.CommByClass {
+		reg.Counter("comm."+class+".messages").Add(s.Messages)
+		reg.Counter("comm."+class+".bytes").Add(s.Bytes)
+		reg.Counter("comm."+class+".wait_ns").Add(s.Wait.Nanoseconds())
+	}
+
+	for _, ps := range res.Phases {
+		reg.Gauge("phase."+ps.Phase+".max_ms").Set(float64(ps.MaxNs) / 1e6)
+		reg.Gauge("phase."+ps.Phase+".imbalance").Set(ps.Imbalance())
+	}
+	if len(res.Phases) > 0 && res.Wall > 0 {
+		frac := float64(obs.CriticalPathNs(res.Phases)) / float64(res.Wall.Nanoseconds())
+		reg.Gauge("phase.critical_path_fraction").Set(math.Min(frac, 1))
+	}
+}

@@ -1,0 +1,38 @@
+package perfmodel
+
+import "testing"
+
+// TestLocalMachine checks the calibrated local profile: every constant
+// positive, and the process-wide cache returns the identical profile.
+func TestLocalMachine(t *testing.T) {
+	m, err := LocalMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "local" {
+		t.Errorf("name = %q, want local", m.Name)
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"CandidateTime", m.CandidateTime},
+		{"PathTime", m.PathTime},
+		{"PairEvalTime", m.PairEvalTime},
+		{"TripletEvalTime", m.TripletEvalTime},
+		{"Latency", m.Latency},
+		{"Bandwidth", m.Bandwidth},
+		{"TasksPerNode", float64(m.TasksPerNode)},
+	} {
+		if !(c.v > 0) {
+			t.Errorf("%s = %g, want > 0", c.name, c.v)
+		}
+	}
+	again, err := LocalMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != m {
+		t.Errorf("second call returned a different profile: %+v vs %+v", again, m)
+	}
+}
