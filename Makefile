@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all check build test test-short race bench figures examples vet fmt
+.PHONY: all check build test test-short race bench bench-record bench-compare figures examples vet fmt
 
 all: check
 
@@ -26,6 +26,16 @@ race:
 
 bench:
 	go test -bench=. -benchmem -run XXX ./...
+
+# Record a benchmark baseline (BENCH_<gitsha>.json) and diff two
+# recordings; see EXPERIMENTS.md "Recording and comparing benchmarks".
+bench-record:
+	go run ./cmd/scbench record
+
+BASE ?= BENCH_baseline.json
+NEW ?=
+bench-compare:
+	go run ./cmd/scbench compare $(BASE) $(NEW)
 
 # Regenerate every table and figure of the paper (DESIGN.md maps them).
 figures:

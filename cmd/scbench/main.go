@@ -13,14 +13,18 @@
 //	                          (import atoms, search cost, and wire bytes
 //	                          from the comm runtime's per-tag counters)
 //	scbench workers           intra-node worker sweep of the force kernel (§6)
-//	scbench all               everything above
+//	scbench record            record a machine-readable benchmark (BENCH_<sha>.json)
+//	scbench compare old new   diff two recorded benchmarks; non-zero exit on regression
+//	scbench all               everything above (except record/compare)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 
 	"sctuple/internal/bench"
 	"sctuple/internal/perfmodel"
@@ -53,6 +57,10 @@ func main() {
 		err = runValidate(args)
 	case "workers":
 		err = runWorkers(args)
+	case "record":
+		err = runRecord(args)
+	case "compare":
+		err = runCompare(args)
 	case "all":
 		err = runAll()
 	default:
@@ -66,8 +74,10 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scbench {patterns|imports|midpoint|fig7|fig8|fig9|ablate|validate|workers|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: scbench {patterns|imports|midpoint|fig7|fig8|fig9|ablate|validate|workers|record|compare|all} [flags]")
 	fmt.Fprintln(os.Stderr, "  fig8/fig9 flags: -machine {xeon|bgq}; fig9 also -extreme")
+	fmt.Fprintln(os.Stderr, "  record flags: -out file -atoms n -steps n -ranks n -seed n -sha s")
+	fmt.Fprintln(os.Stderr, "  compare: scbench compare old.json new.json [-threshold pct]")
 }
 
 func machineFlag(fs *flag.FlagSet) *string {
@@ -157,26 +167,111 @@ func runAblate(args []string) error {
 	fs := flag.NewFlagSet("ablate", flag.ExitOnError)
 	atoms := fs.Int("atoms", 2000, "atom count of the ablation system")
 	steps := fs.Int("steps", 20, "trajectory steps for the skin ablation")
+	seed := fs.Int64("seed", 1, "workload seed")
 	fs.Parse(args)
-	return bench.AblateReport(os.Stdout, *atoms, *steps, 1)
+	return bench.AblateReport(os.Stdout, *atoms, *steps, *seed)
 }
 
 func runValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ExitOnError)
 	atoms := fs.Int("atoms", 3000, "approximate atom count of the validation system")
 	steps := fs.Int("steps", 3, "MD steps per run")
+	seed := fs.Int64("seed", 1, "workload seed")
 	trace := fs.String("trace", "", "write the runs' span timelines to this Chrome trace-event file")
 	fs.Parse(args)
-	return bench.ValidateReportTrace(os.Stdout, *atoms, []int{1, 8}, *steps, 1, *trace)
+	return bench.ValidateReportTrace(os.Stdout, *atoms, []int{1, 8}, *steps, *seed, *trace)
 }
 
 func runWorkers(args []string) error {
 	fs := flag.NewFlagSet("workers", flag.ExitOnError)
 	atoms := fs.Int("atoms", 3000, "atom count of the sweep system")
 	ranks := fs.Int("ranks", 8, "ranks of the rank-parallel sweep")
+	seed := fs.Int64("seed", 1, "workload seed")
 	trace := fs.String("trace", "", "write the rank-parallel runs' span timelines to this Chrome trace-event file")
 	fs.Parse(args)
-	return bench.WorkersReportTrace(os.Stdout, *atoms, *ranks, []int{1, 2, 4, runtime.GOMAXPROCS(0)}, 1, *trace)
+	return bench.WorkersReportTrace(os.Stdout, *atoms, *ranks, []int{1, 2, 4, runtime.GOMAXPROCS(0)}, *seed, *trace)
+}
+
+func runRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "", "output path (default BENCH_<sha>.json)")
+	atoms := fs.Int("atoms", 1500, "approximate atom count per workload")
+	steps := fs.Int("steps", 10, "NVE steps per workload")
+	ranks := fs.Int("ranks", 2, "ranks of the in-process world")
+	workers := fs.Int("workers", 1, "intra-rank force workers")
+	seed := fs.Int64("seed", 1, "thermalization seed (recorded in the file)")
+	sha := fs.String("sha", "", "git SHA to stamp (default: git rev-parse HEAD)")
+	fs.Parse(args)
+	if *sha == "" {
+		*sha = gitSHA()
+	}
+	bf, err := bench.Record(bench.RecordOptions{
+		Atoms: *atoms, Steps: *steps, Ranks: *ranks, Workers: *workers,
+		Seed: *seed, GitSHA: *sha,
+	})
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + shortRef(*sha) + ".json"
+	}
+	if err := bench.WriteBenchFile(path, bf); err != nil {
+		return err
+	}
+	healthy := true
+	for _, w := range bf.Workloads {
+		healthy = healthy && w.Health.Healthy()
+	}
+	fmt.Printf("recorded %d workloads to %s (seed %d, healthy %v)\n",
+		len(bf.Workloads), path, bf.Seed, healthy)
+	return nil
+}
+
+// runCompare accepts flags before or after the two positional paths
+// (`scbench compare old.json new.json -threshold 10`), so the
+// documented invocation order works even though package flag stops at
+// the first non-flag argument.
+func runCompare(args []string) error {
+	var pos, flags []string
+	for i := 0; i < len(args); i++ {
+		if strings.HasPrefix(args[i], "-") {
+			flags = append(flags, args[i])
+			if !strings.Contains(args[i], "=") && i+1 < len(args) {
+				i++
+				flags = append(flags, args[i])
+			}
+			continue
+		}
+		pos = append(pos, args[i])
+	}
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 10, "regression threshold in percent")
+	fs.Parse(flags)
+	if len(pos) != 2 {
+		return fmt.Errorf("compare needs exactly two files: scbench compare old.json new.json [-threshold pct]")
+	}
+	return bench.CompareReport(os.Stdout, pos[0], pos[1], *threshold)
+}
+
+// gitSHA best-effort resolves HEAD; record still works outside a git
+// checkout (the SHA is then empty and the default filename generic).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func shortRef(sha string) string {
+	if sha == "" {
+		return "local"
+	}
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
 }
 
 func runAll() error {

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	_ "net/http/pprof"
@@ -26,6 +27,7 @@ import (
 	"sctuple/internal/comm"
 	"sctuple/internal/md"
 	"sctuple/internal/obs"
+	"sctuple/internal/obs/health"
 	"sctuple/internal/parmd"
 	"sctuple/internal/potential"
 	"sctuple/internal/trajio"
@@ -52,6 +54,10 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event span timeline (one track per rank) to this file; parallel runs only")
 		metricsOut = flag.String("metrics", "", "write per-step JSONL telemetry records and a final metrics snapshot to this file; parallel runs only")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		healthEv   = flag.Int("health", 0, "run invariant health probes every N steps (0 = off); parallel runs only")
+		parityEv   = flag.Int("parity", 0, "SC-vs-FS tuple-parity probe every N steps (0 = off; expensive, implies -health); parallel runs only")
+		abortFail  = flag.Bool("abort-on-fail", false, "abort the run when a health probe fails")
+		logFormat  = flag.String("log", "", "structured run log to stderr: text or json")
 	)
 	flag.Parse()
 
@@ -64,8 +70,23 @@ func main() {
 		fmt.Printf("pprof listening on %s (profiles at /debug/pprof/)\n", *pprofAddr)
 	}
 
+	var logger *obs.Logger
+	switch *logFormat {
+	case "":
+	case "text":
+		logger = obs.TextLogger(os.Stderr, slog.LevelInfo)
+	case "json":
+		logger = obs.JSONLogger(os.Stderr, slog.LevelInfo)
+	default:
+		fmt.Fprintf(os.Stderr, "scmd: unknown -log format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+
 	opts := serialOpts{traj: *trajPath, analyze: *analyze, skin: *skin, workers: *workers}
-	tel := telemetryOpts{trace: *tracePath, metrics: *metricsOut}
+	tel := telemetryOpts{
+		trace: *tracePath, metrics: *metricsOut, log: logger,
+		healthEvery: *healthEv, parityEvery: *parityEv, abortOnFail: *abortFail,
+	}
 	if err := run(*modelName, *engineName, *atoms, *cells, *steps, *dt, *temp, *thermostat, *ranks, *every, *seed, opts, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "scmd:", err)
 		os.Exit(1)
@@ -74,8 +95,12 @@ func main() {
 
 // telemetryOpts carries the parallel-run observability outputs.
 type telemetryOpts struct {
-	trace   string
-	metrics string
+	trace       string
+	metrics     string
+	log         *obs.Logger
+	healthEvery int
+	parityEvery int
+	abortOnFail bool
 }
 
 // serialOpts carries the optional serial-run features.
@@ -131,10 +156,13 @@ func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermo
 	if tel.trace != "" || tel.metrics != "" {
 		return fmt.Errorf("-trace and -metrics record the parallel stack; use -ranks > 1")
 	}
-	return runSerial(cfg, model, engineName, steps, dt, thermostat, every, opts)
+	if tel.healthEvery > 0 || tel.parityEvery > 0 {
+		return fmt.Errorf("-health and -parity probe the parallel stack; use -ranks > 1")
+	}
+	return runSerial(cfg, model, engineName, steps, dt, thermostat, every, opts, tel.log)
 }
 
-func runSerial(cfg *workload.Config, model *potential.Model, engineName string, steps int, dt, thermostat float64, every int, opts serialOpts) error {
+func runSerial(cfg *workload.Config, model *potential.Model, engineName string, steps int, dt, thermostat float64, every int, opts serialOpts, logger *obs.Logger) error {
 	sys, err := md.NewSystem(cfg, model)
 	if err != nil {
 		return err
@@ -167,6 +195,7 @@ func runSerial(cfg *workload.Config, model *potential.Model, engineName string, 
 	if err != nil {
 		return err
 	}
+	sim.Log = logger
 	if thermostat > 0 {
 		sim.Therm = &md.Berendsen{Target: thermostat, Tau: 100}
 	}
@@ -291,6 +320,18 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 
 	popt := parmd.Options{
 		Scheme: scheme, Cart: cart, Dt: dt, Steps: steps, Workers: workers, TraceEnergies: true,
+		Log: tel.log,
+	}
+	if tel.healthEvery > 0 || tel.parityEvery > 0 {
+		every := tel.healthEvery
+		if every <= 0 {
+			every = tel.parityEvery
+		}
+		hcfg := health.Config{Every: every, ParityEvery: tel.parityEvery, Logger: tel.log}
+		if tel.abortOnFail {
+			hcfg.OnFail = health.ActionRecord | health.ActionLog | health.ActionAbort
+		}
+		popt.Health = health.New(hcfg)
 	}
 	if tel.trace != "" {
 		// ~16 spans per step per rank; keep the whole run in the rings.
@@ -350,6 +391,16 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 		fmt.Printf("  critical path %.1f%% of %.0f ms wall\n",
 			100*float64(obs.CriticalPathNs(res.Phases))/float64(res.Wall.Nanoseconds()),
 			res.Wall.Seconds()*1e3)
+	}
+	if popt.Health != nil {
+		fmt.Println("\nhealth probes (severity counts over sampled steps):")
+		fmt.Printf("  %-14s %6s %6s %6s %14s\n", "probe", "ok", "warn", "fail", "last value")
+		for _, p := range res.Health.Probes {
+			fmt.Printf("  %-14s %6d %6d %6d %14.3g\n", p.Probe, p.OK, p.Warn, p.Fail, p.Last)
+		}
+		if res.Health.Healthy() {
+			fmt.Println("  all probes ok")
+		}
 	}
 	if tel.trace != "" {
 		f, err := os.Create(tel.trace)

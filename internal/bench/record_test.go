@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sctuple/internal/obs/health"
+)
+
+// recordTiny runs the smallest real recording once and shares it
+// across the tests in this file — each Record call is three short
+// parallel MD runs.
+var tinyBench *BenchFile
+
+func recordTiny(t *testing.T) *BenchFile {
+	t.Helper()
+	if tinyBench != nil {
+		return tinyBench
+	}
+	bf, err := Record(RecordOptions{
+		Atoms: 1500, Steps: 2, Ranks: 2, Seed: 7, GitSHA: "deadbeefcafe0123",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tinyBench = bf
+	return bf
+}
+
+// TestBenchFileGoldenSchema pins the serialized shape of a benchmark
+// record: the exact top-level key set, the exact per-workload key set,
+// and the identification fields a regression pipeline keys on. A field
+// rename or removal must fail here and force a schema-version bump.
+func TestBenchFileGoldenSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a real benchmark")
+	}
+	bf := recordTiny(t)
+
+	data, err := json.Marshal(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatal(err)
+	}
+	wantTop := []string{"schema_version", "git_sha", "seed", "host", "workloads"}
+	if len(top) != len(wantTop) {
+		t.Errorf("top-level keys %v, want exactly %v", keys(top), wantTop)
+	}
+	for _, k := range wantTop {
+		if _, ok := top[k]; !ok {
+			t.Errorf("top-level key %q missing", k)
+		}
+	}
+
+	var workloads []map[string]json.RawMessage
+	if err := json.Unmarshal(top["workloads"], &workloads); err != nil {
+		t.Fatal(err)
+	}
+	if len(workloads) != 3 {
+		t.Fatalf("%d workloads, want one per scheme (3)", len(workloads))
+	}
+	wantWL := []string{"name", "scheme", "atoms", "steps", "ranks", "workers",
+		"wall_ms_per_step", "allocs_per_step", "phase_ns", "comm", "health"}
+	for _, wl := range workloads {
+		if len(wl) != len(wantWL) {
+			t.Errorf("workload keys %v, want exactly %v", keys(wl), wantWL)
+		}
+		for _, k := range wantWL {
+			if _, ok := wl[k]; !ok {
+				t.Errorf("workload key %q missing", k)
+			}
+		}
+	}
+
+	if bf.SchemaVersion != BenchSchemaVersion {
+		t.Errorf("schema_version %d, want %d", bf.SchemaVersion, BenchSchemaVersion)
+	}
+	if bf.Seed != 7 || bf.GitSHA != "deadbeefcafe0123" {
+		t.Errorf("identification seed=%d sha=%q not recorded verbatim", bf.Seed, bf.GitSHA)
+	}
+	if bf.Host.NumCPU <= 0 || bf.Host.GoArch == "" {
+		t.Errorf("host profile incomplete: %+v", bf.Host)
+	}
+	for _, w := range bf.Workloads {
+		if !w.Health.Healthy() {
+			t.Errorf("workload %s recorded unhealthy: %+v", w.Name, w.Health)
+		}
+		if w.WallMsPerStep <= 0 || w.PhaseNs["force:n2"] <= 0 {
+			t.Errorf("workload %s has empty timings: wall=%g phases=%v",
+				w.Name, w.WallMsPerStep, w.PhaseNs)
+		}
+		if w.Comm["halo"].Bytes <= 0 {
+			t.Errorf("workload %s recorded no halo traffic: %v", w.Name, w.Comm)
+		}
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestBenchFileRoundTripAndSchemaGate: a written record loads back
+// identically, and a file with a foreign schema version is refused.
+func TestBenchFileRoundTripAndSchemaGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("records a real benchmark")
+	}
+	bf := recordTiny(t)
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteBenchFile(path, bf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GitSHA != bf.GitSHA || len(got.Workloads) != len(bf.Workloads) {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+
+	got.SchemaVersion = BenchSchemaVersion + 1
+	bad := filepath.Join(t.TempDir(), "BENCH_future.json")
+	if err := WriteBenchFile(bad, got); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchFile(bad); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("foreign schema version loaded without error (err=%v)", err)
+	}
+}
+
+// compareFixture builds a small synthetic baseline, bypassing Record —
+// Compare's logic is pure data.
+func compareFixture() *BenchFile {
+	return &BenchFile{
+		SchemaVersion: BenchSchemaVersion,
+		Workloads: []BenchWorkload{{
+			Name:          "silica-SC-MD-r2",
+			WallMsPerStep: 10,
+			AllocsPerStep: 5000,
+			PhaseNs:       map[string]int64{"force:n2": 8e6, "halo": 4e6, "tiny": 1e5},
+			Comm: map[string]CommStats{
+				"halo":  {Messages: 120, Bytes: 1 << 20},
+				"force": {Messages: 120, Bytes: 1 << 19},
+			},
+			Health: health.Summary{Probes: []health.ProbeSummary{
+				{Probe: health.ProbeEnergyDrift, OK: 4},
+			}},
+		}},
+	}
+}
+
+func TestCompareCleanOnIdentical(t *testing.T) {
+	old, cur := compareFixture(), compareFixture()
+	if regs := Compare(old, cur, 10); len(regs) != 0 {
+		t.Errorf("identical files produced regressions: %+v", regs)
+	}
+}
+
+// TestCompareFlagsDegradations degrades one copy by hand — slower
+// wall clock, fatter halo exchange, a failing probe — and checks each
+// shows up as a regression while improvements and sub-floor noise do
+// not.
+func TestCompareFlagsDegradations(t *testing.T) {
+	old, cur := compareFixture(), compareFixture()
+	w := &cur.Workloads[0]
+	w.WallMsPerStep = 25                                      // +150%
+	w.Comm["halo"] = CommStats{Messages: 120, Bytes: 3 << 20} // bytes ×3
+	w.PhaseNs["force:n2"] = 4e6                               // improvement: not a regression
+	w.PhaseNs["tiny"] = 3e5                                   // ×3, but under the 2 ms floor
+	w.AllocsPerStep = 5100                                    // +2%, under threshold
+	w.Health.Probes[0].Fail = 2                               // unhealthy run
+
+	regs := Compare(old, cur, 10)
+	got := map[string]float64{}
+	for _, r := range regs {
+		if r.Workload != "silica-SC-MD-r2" {
+			t.Errorf("regression on unknown workload %q", r.Workload)
+		}
+		got[r.Metric] = r.Pct
+	}
+	if pct := got["wall_ms_per_step"]; math.Abs(pct-150) > 1e-9 {
+		t.Errorf("wall regression pct = %g, want 150", pct)
+	}
+	if pct := got["comm.halo.bytes"]; math.Abs(pct-200) > 1e-9 {
+		t.Errorf("halo bytes regression pct = %g, want 200", pct)
+	}
+	if pct, ok := got["health."+health.ProbeEnergyDrift]; !ok || !math.IsInf(pct, 1) {
+		t.Errorf("unhealthy probe not flagged (got %v)", got)
+	}
+	if len(regs) != 3 {
+		t.Errorf("%d regressions %v, want exactly wall + halo bytes + health", len(regs), got)
+	}
+}
+
+// TestCompareSkipsUnmatchedWorkloads: a workload present in only one
+// file is not comparable and must not fail the pipeline.
+func TestCompareSkipsUnmatchedWorkloads(t *testing.T) {
+	old, cur := compareFixture(), compareFixture()
+	cur.Workloads[0].Name = "silica-SC-MD-r4"
+	cur.Workloads[0].WallMsPerStep = 1000
+	if regs := Compare(old, cur, 10); len(regs) != 0 {
+		t.Errorf("unmatched workload compared anyway: %+v", regs)
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sctuple/internal/obs"
 )
 
 // Builtin tag-class slots. User classes registered with DefineTagClass
@@ -52,7 +54,14 @@ type World struct {
 	bytesSent [][]atomic.Int64
 	msgsSent  [][]atomic.Int64
 	waitNs    [][]atomic.Int64
+
+	log *obs.Logger
 }
+
+// SetLogger attaches a structured logger to the world. Run reports
+// per-rank failures through it; a nil logger (the default) disables
+// that reporting.
+func (w *World) SetLogger(l *obs.Logger) { w.log = l }
 
 // NewWorld builds a world of p ranks over the in-process channel
 // transport. It panics for p < 1 (worlds come from code, not input).
@@ -144,12 +153,16 @@ func (w *World) Run(fn func(p *Proc) error) error {
 		}(r)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var first error
+	for rank, err := range errs {
 		if err != nil {
-			return err
+			w.log.Error("rank failed", "rank", rank, "err", err)
+			if first == nil {
+				first = err
+			}
 		}
 	}
-	return nil
+	return first
 }
 
 // Stats summarizes communication volume. Messages and Bytes count
@@ -252,6 +265,36 @@ func (p *Proc) ClassStats(name string) Stats {
 
 // ClassNames lists the world's tag classes, builtins first.
 func (p *Proc) ClassNames() []string { return p.world.ClassNames() }
+
+// ClassCount returns the number of tag classes (builtins included) —
+// the length callers size ClassStatsInto destinations with.
+func (w *World) ClassCount() int { return len(w.classes) }
+
+// RankClassStatsInto copies one rank's counters for every tag class
+// into dst, indexed by class slot (ClassNames order). It allocates
+// nothing, so per-step emitters can snapshot class traffic each step
+// without breaking the steady-state zero-allocation guarantee. dst
+// must have length ClassCount.
+func (w *World) RankClassStatsInto(rank int, dst []Stats) {
+	if len(dst) != len(w.classes) {
+		panic(fmt.Sprintf("comm: ClassStatsInto dst length %d != class count %d",
+			len(dst), len(w.classes)))
+	}
+	for i := range w.classes {
+		dst[i] = Stats{
+			Messages: w.msgsSent[rank][i].Load(),
+			Bytes:    w.bytesSent[rank][i].Load(),
+			Wait:     time.Duration(w.waitNs[rank][i].Load()),
+		}
+	}
+}
+
+// ClassStatsInto copies this rank's per-class counters into dst
+// (see World.RankClassStatsInto).
+func (p *Proc) ClassStatsInto(dst []Stats) { p.world.RankClassStatsInto(p.rank, dst) }
+
+// ClassCount returns the number of tag classes of this rank's world.
+func (p *Proc) ClassCount() int { return p.world.ClassCount() }
 
 // AcquireBuffer returns an empty buffer from this rank's freelist
 // (allocating only when the list is dry). Pass it to SendBuffer — the

@@ -3,6 +3,8 @@ package md
 import (
 	"fmt"
 	"math"
+
+	"sctuple/internal/obs"
 )
 
 // Thermostat rescales velocities after each step. Implementations must
@@ -46,6 +48,10 @@ type Sim struct {
 	Engine Engine
 	Dt     float64 // fs
 	Therm  Thermostat
+	// Log receives structured integrator events (currently a warning
+	// when a force evaluation returns a non-finite potential — the
+	// first visible sign of a blown-up integration). nil disables it.
+	Log *obs.Logger
 
 	potential float64
 	steps     int
@@ -82,6 +88,9 @@ func (s *Sim) Step() error {
 	pe, err := s.Engine.Compute(sys)
 	if err != nil {
 		return err
+	}
+	if math.IsNaN(pe) || math.IsInf(pe, 0) {
+		s.Log.Warn("non-finite potential energy", "step", s.steps+1, "pe", pe)
 	}
 	s.potential = pe
 	s.stats.Add(s.Engine.Stats())

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Logger is the structured logging seam of the simulation stack: a
+// nil-safe wrapper over log/slog threaded through parmd, md, and comm
+// in place of ad-hoc prints, so run-lifecycle events, health-probe
+// reports, and rank failures all emit machine-parseable records with
+// consistent attributes (rank, step, probe, …).
+//
+// A nil *Logger is a valid disabled logger: every method is a cheap
+// no-op, so call sites stay unconditional and the hot paths carry no
+// logging branches beyond one nil test.
+type Logger struct {
+	s *slog.Logger
+}
+
+// NewLogger wraps a slog handler as a Logger.
+func NewLogger(h slog.Handler) *Logger {
+	return &Logger{s: slog.New(h)}
+}
+
+// TextLogger builds a Logger emitting human-readable key=value lines
+// to w at the given minimum level.
+func TextLogger(w io.Writer, level slog.Level) *Logger {
+	return NewLogger(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// JSONLogger builds a Logger emitting one JSON object per line to w at
+// the given minimum level.
+func JSONLogger(w io.Writer, level slog.Level) *Logger {
+	return NewLogger(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// With returns a Logger with the given attributes attached to every
+// subsequent record (e.g. rank=3). Nil receivers stay nil.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(args...)}
+}
+
+// Enabled reports whether records at the given level would be emitted
+// (false on a nil logger), so callers can skip expensive attribute
+// construction.
+func (l *Logger) Enabled(level slog.Level) bool {
+	if l == nil {
+		return false
+	}
+	return l.s.Enabled(nil, level)
+}
+
+// Debug emits a debug-level record.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l != nil {
+		l.s.Debug(msg, args...)
+	}
+}
+
+// Info emits an info-level record.
+func (l *Logger) Info(msg string, args ...any) {
+	if l != nil {
+		l.s.Info(msg, args...)
+	}
+}
+
+// Warn emits a warning-level record.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l != nil {
+		l.s.Warn(msg, args...)
+	}
+}
+
+// Error emits an error-level record.
+func (l *Logger) Error(msg string, args ...any) {
+	if l != nil {
+		l.s.Error(msg, args...)
+	}
+}

@@ -109,6 +109,7 @@ func NewRecorder(ranks, spansPerRank int) *Recorder {
 		rr.rec = r
 		rr.rank = i
 		rr.spans = make([]span, spansPerRank)
+		rr.flows = make([]flowPoint, spansPerRank)
 	}
 	r.enabled.Store(true)
 	return r
@@ -137,12 +138,27 @@ func (r *Recorder) Rank(i int) *RankRecorder {
 	return &r.ranks[i]
 }
 
+// flowPoint is one endpoint of a sender→receiver message flow: the
+// outgoing point recorded at send time on the sender's track, or the
+// incoming point recorded at receive time on the receiver's track.
+// Matching endpoints share an ID, so the trace exporter can emit
+// Chrome flow events ("s"/"f") that draw message-causality arrows
+// between rank tracks in Perfetto.
+type flowPoint struct {
+	id   uint64
+	ts   int64 // nanoseconds since the recorder's epoch
+	step int32
+	out  bool // true at the sender, false at the receiver
+}
+
 // RankRecorder is one rank's span sink.
 type RankRecorder struct {
 	rec     *Recorder
 	rank    int
 	spans   []span
 	n       int64 // total spans recorded; ring index is n % len(spans)
+	flows   []flowPoint
+	fn      int64 // total flow points recorded; ring index is fn % len(flows)
 	step    int32
 	phaseNs [MaxPhases]int64
 	_       [64]byte // pad: rank recorders sit in one slice, ranks write concurrently
@@ -187,6 +203,45 @@ func (s Span) End() {
 	r.phaseNs[s.phase] += d
 	r.spans[r.n%int64(len(r.spans))] = span{start: s.start, dur: d, step: r.step, phase: s.phase}
 	r.n++
+}
+
+// flowID builds the shared flow identifier of one message: the step,
+// tag, and sending rank pin it uniquely within a run, and both
+// endpoints can compute it independently (the receiver knows who sent
+// to it from the compiled exchange plan).
+func flowID(step int32, tag, sender int) uint64 {
+	return uint64(uint32(step+1))<<32 | uint64(uint32(tag))<<8 | uint64(uint8(sender))
+}
+
+// FlowSend records the outgoing endpoint of a message this rank sends
+// with the given tag — call it at send time. Nil or disabled recorders
+// make it a no-op; enabled ones store into the preallocated flow ring,
+// so the call never allocates.
+func (r *RankRecorder) FlowSend(tag int) {
+	if r == nil || !r.rec.enabled.Load() {
+		return
+	}
+	r.putFlow(flowID(r.step, tag, r.rank), true)
+}
+
+// FlowRecv records the incoming endpoint of a message received from
+// rank `from` with the given tag — call it at receive time. Both
+// endpoints of one message resolve to the same flow ID.
+func (r *RankRecorder) FlowRecv(tag, from int) {
+	if r == nil || !r.rec.enabled.Load() {
+		return
+	}
+	r.putFlow(flowID(r.step, tag, from), false)
+}
+
+func (r *RankRecorder) putFlow(id uint64, out bool) {
+	r.flows[r.fn%int64(len(r.flows))] = flowPoint{
+		id:   id,
+		ts:   int64(time.Since(r.rec.epoch)),
+		step: r.step,
+		out:  out,
+	}
+	r.fn++
 }
 
 // PhaseNs returns the rank's accumulated nanoseconds in a phase.

@@ -114,3 +114,54 @@ func TestStepWriterJSONL(t *testing.T) {
 		t.Error("nil StepWriter produced an error")
 	}
 }
+
+// TestStepRecordGoldenSchema pins the serialized shape of one JSONL
+// step record — the exact key set downstream log pipelines parse. A
+// field rename or addition must fail here deliberately.
+func TestStepRecordGoldenSchema(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewStepWriter(&buf)
+	w.WriteStep(StepRecord{
+		Step: 3, Rank: 1, WallNs: 100,
+		PhaseNs:  map[string]int64{"halo": 40},
+		Counters: map[string]int64{"comm_halo_bytes": 512},
+	})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"step", "rank", "wall_ns", "phase_ns", "counters"}
+	if len(rec) != len(want) {
+		t.Errorf("record has %d keys %v, want exactly %v", len(rec), recKeys(rec), want)
+	}
+	for _, k := range want {
+		if _, ok := rec[k]; !ok {
+			t.Errorf("record key %q missing", k)
+		}
+	}
+	// Empty maps are elided, not emitted as null/{}.
+	buf.Reset()
+	w = NewStepWriter(&buf)
+	w.WriteStep(StepRecord{Step: 0, Rank: 0, WallNs: 1})
+	var bare map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &bare); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bare["phase_ns"]; ok {
+		t.Error("empty phase_ns serialized instead of omitted")
+	}
+	if _, ok := bare["counters"]; ok {
+		t.Error("empty counters serialized instead of omitted")
+	}
+}
+
+func recKeys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -12,13 +12,19 @@ import (
 // (Ph == "M") per rank, so the file loads directly in Perfetto or
 // chrome://tracing with one named track per rank.
 type TraceEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"` // microseconds since recorder epoch
-	Dur  float64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"` // microseconds since recorder epoch
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	// ID pairs flow events ("s"/"f"): both endpoints of one message
+	// carry the same identifier (matched together with Cat and Name).
+	ID string `json:"id,omitempty"`
+	// Bp is the flow binding point; "e" makes a terminating flow event
+	// bind to the enclosing slice rather than the next one.
+	Bp   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -66,6 +72,32 @@ func (r *Recorder) eventsAt(pid int, events []TraceEvent) []TraceEvent {
 				Tid:  rr.rank,
 				Args: map[string]any{"step": int(sp.step)},
 			})
+		}
+		// Flow events: one "s" (start) at the sender's send time and one
+		// "f" (finish, bound to the enclosing slice) at the receiver's
+		// receive time per message, matched by ID — Perfetto draws them
+		// as arrows between the rank tracks.
+		flo := int64(0)
+		if d := rr.fn - int64(len(rr.flows)); d > 0 {
+			flo = d
+		}
+		for k := flo; k < rr.fn; k++ {
+			fp := rr.flows[k%int64(len(rr.flows))]
+			ev := TraceEvent{
+				Name: "msg",
+				Cat:  "flow",
+				Ph:   "s",
+				Ts:   float64(fp.ts) / 1e3,
+				Pid:  pid,
+				Tid:  rr.rank,
+				ID:   strconv.FormatUint(fp.id, 16),
+				Args: map[string]any{"step": int(fp.step)},
+			}
+			if !fp.out {
+				ev.Ph = "f"
+				ev.Bp = "e"
+			}
+			events = append(events, ev)
 		}
 	}
 	return events

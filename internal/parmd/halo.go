@@ -5,6 +5,7 @@ import (
 
 	"sctuple/internal/comm"
 	"sctuple/internal/geom"
+	"sctuple/internal/obs/health"
 )
 
 // importHalo runs the staged halo exchange over the compiled plan. Per
@@ -59,8 +60,19 @@ func (r *rankState) haloPhaseExchange(pi int) {
 		putHaloAtom(buf, r.ids[i], r.species[i], ec, lp)
 		st.sendIdx = append(st.sendIdx, int32(i))
 	}
+	// The health probe's sent-side checksum must be taken before the
+	// exchange: SendRecvBuffer hands the buffer off to the receiver.
+	var sentSum uint64
+	if r.healthStep {
+		sentSum = health.Checksum64(buf.Bytes())
+	}
+	r.rec.FlowSend(ph.Tag)
 	recv := r.p.SendRecvBuffer(ph.SendPeer, ph.Tag, buf, ph.RecvPeer, ph.Tag)
+	r.rec.FlowRecv(ph.Tag, ph.RecvPeer)
 	r.stats.HaloMessages++
+	if r.healthStep {
+		r.mirrorCheck(ph, sentSum, health.Checksum64(recv.Bytes()))
+	}
 
 	st.recvStart = len(r.ids)
 	st.recvCount = 0
@@ -97,7 +109,9 @@ func (r *rankState) writeBackForces() {
 		for k := 0; k < st.recvCount; k++ {
 			putForce(buf, r.force[st.recvStart+k])
 		}
+		r.rec.FlowSend(ph.ForceTag)
 		recv := r.p.SendRecvBuffer(ph.RecvPeer, ph.ForceTag, buf, ph.SendPeer, ph.ForceTag)
+		r.rec.FlowRecv(ph.ForceTag, ph.SendPeer)
 		r.stats.HaloMessages++
 		var rd comm.Reader
 		rd.Reset(recv.Bytes())

@@ -1,0 +1,147 @@
+package parmd
+
+import (
+	"sctuple/internal/cell"
+	"sctuple/internal/comm"
+	"sctuple/internal/core"
+	"sctuple/internal/geom"
+	"sctuple/internal/md"
+	"sctuple/internal/tuple"
+)
+
+// mirrorCheck runs the halo-mirror probe for one exchange phase on a
+// health-sampled step: each rank sends the checksum of the slab it just
+// exported to the rank that imported it (on the health tag parallel to
+// the phase's halo tag), and compares the checksum of what it imported
+// against what its own upstream peer claims to have sent. Per-link
+// FIFO ordering guarantees the checksum message follows the halo
+// payload it audits, so the extra exchange can never be confused with
+// simulation traffic.
+func (r *rankState) mirrorCheck(ph *HaloPhase, sentSum, recvSum uint64) {
+	buf := r.p.AcquireBuffer()
+	buf.Int64(int64(sentSum))
+	tag := tagHealth + (ph.Tag - tagHalo)
+	recv := r.p.SendRecvBuffer(ph.SendPeer, tag, buf, ph.RecvPeer, tag)
+	var rd comm.Reader
+	rd.Reset(recv.Bytes())
+	remoteSent := uint64(rd.Int64())
+	r.p.ReleaseBuffer(recv)
+	r.monitor.ObserveHaloMirror(r.curStep, r.p.Rank(), recvSum, remoteSent)
+}
+
+// runHealthProbes executes the end-of-step invariant probes on a
+// sampled step: global energy drift, total linear momentum, and atom
+// count (observed on rank 0, which holds the reduced values), plus the
+// SC-vs-FS tuple-count parity re-enumeration when due. It finishes
+// with the collective abort check — an all-reduce of the monitor's
+// armed flag — so a failing probe aborts every rank together at a
+// synchronization point instead of deadlocking peers blocked in the
+// exchange protocol.
+func (r *rankState) runHealthProbes(step int, pe float64, masses []float64, totalAtoms int64) error {
+	mon := r.monitor
+	p := r.p
+	sp := r.rec.StartSpan(phaseHealth)
+	defer sp.End()
+
+	ke := 0.0
+	var px, py, pz, pScale float64
+	for i := 0; i < r.nOwned; i++ {
+		m := masses[r.species[i]]
+		v := r.vel[i]
+		ke += 0.5 * m * v.Norm2()
+		px += m * v.X
+		py += m * v.Y
+		pz += m * v.Z
+		pScale += m * v.Norm()
+	}
+	ke /= md.ForceToAccel
+
+	gpe := p.AllReduceSum(pe)
+	gke := p.AllReduceSum(ke)
+	gpx := p.AllReduceSum(px)
+	gpy := p.AllReduceSum(py)
+	gpz := p.AllReduceSum(pz)
+	gScale := p.AllReduceSum(pScale)
+	gn := p.AllReduceSumInt64(int64(r.nOwned))
+	if p.Rank() == 0 {
+		mon.ObserveEnergy(step, gpe, gke)
+		mon.ObserveMomentum(step, gpx, gpy, gpz, gScale)
+		mon.ObserveAtomCount(step, gn, totalAtoms)
+	}
+
+	if mon.ParityDue(step) {
+		r.probeTupleParity(step)
+	}
+
+	armed := int64(0)
+	if mon.AbortPending() {
+		armed = 1
+	}
+	if p.AllReduceSumInt64(armed) > 0 {
+		return mon.AbortError()
+	}
+	return nil
+}
+
+// probeTupleParity gathers the wrapped global configuration on rank 0
+// and re-enumerates every potential term's tuple set with both search
+// patterns — shift-collapse and deduplicated full-shell — over the
+// global periodic lattice. Equal counts are the invariant the SC
+// scheme's correctness rests on (Theorem 1: the collapsed path set
+// covers exactly the unique n-tuples); any disagreement is a Fail.
+// This is the expensive probe (a full serial enumeration), which is
+// why it has its own cadence.
+func (r *rankState) probeTupleParity(step int) {
+	buf := r.p.AcquireBuffer()
+	for i := 0; i < r.nOwned; i++ {
+		g := r.dec.Lat.Box.Wrap(r.gpos[i])
+		buf.Float64(g.X)
+		buf.Float64(g.Y)
+		buf.Float64(g.Z)
+	}
+	parts := r.p.GatherTo0(buf.Clone())
+	r.p.ReleaseBuffer(buf)
+	if r.p.Rank() != 0 {
+		return
+	}
+
+	var pos []geom.Vec3
+	var rd comm.Reader
+	for _, part := range parts {
+		rd.Reset(part)
+		for rd.Remaining() > 0 {
+			pos = append(pos, geom.V(rd.Float64(), rd.Float64(), rd.Float64()))
+		}
+	}
+
+	bin := cell.NewBinning(r.dec.Lat, pos)
+	var scCount, fsCount int64
+	for _, term := range r.model.Terms {
+		scPat, err := md.FamilySC.Pattern(term.N())
+		if err == nil {
+			var fsPat *core.Pattern
+			fsPat, err = md.FamilyFS.Pattern(term.N())
+			if err == nil {
+				var scEn, fsEn *tuple.Enumerator
+				scEn, err = tuple.NewEnumerator(bin, scPat, term.Cutoff(), tuple.DedupAuto)
+				if err == nil {
+					fsEn, err = tuple.NewEnumerator(bin, fsPat, term.Cutoff(), tuple.DedupAuto)
+					if err == nil {
+						scCount += scEn.Count(pos).Emitted
+						fsCount += fsEn.Count(pos).Emitted
+					}
+				}
+			}
+		}
+		if err != nil {
+			// Typically the global lattice is too small for the full-shell
+			// pattern's span (FS(n) needs ≥ 2(n−1)+1 cells per axis); the
+			// probe cannot run, which is a configuration limit, not a
+			// parity violation.
+			r.monitor.Logger().Warn("tuple parity probe skipped",
+				"step", step, "n", term.N(), "err", err.Error())
+			return
+		}
+	}
+	r.monitor.ObserveTupleParity(step, scCount, fsCount)
+}

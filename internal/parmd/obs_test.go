@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"testing"
 
 	"sctuple/internal/comm"
@@ -313,5 +314,114 @@ func TestMaxRankPin(t *testing.T) {
 	}
 	if (&Result{}).MaxRank() != (RankStats{}) {
 		t.Error("MaxRank of an empty result should be zero")
+	}
+}
+
+// TestTraceFlowEvents: every point-to-point exchange on a recorded
+// step emits a Chrome-trace flow pair — a "s" (start) event on the
+// sender's track and a matching "f" (finish, bp "e") event on the
+// receiver's — sharing one ID, so the viewer draws arrows from each
+// send into the receive that consumed it.
+func TestTraceFlowEvents(t *testing.T) {
+	cfg, model := silicaConfig(t, 4, 300, 32)
+	// Fully split topology: an unsplit axis would wrap its halo phase
+	// back to the sender itself, putting both flow endpoints on one
+	// track and weakening the cross-track assertion below.
+	cart, _ := comm.NewCartDims(geom.IV(2, 2, 2))
+	rec := obs.NewRecorder(cart.Size(), 1024)
+	_, err := Run(cfg, model, Options{
+		Scheme: SchemeSC, Cart: cart, Dt: 1, Steps: 3, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type endpoints struct {
+		starts, finishes int
+		startTid, finTid int
+	}
+	flows := map[string]*endpoints{}
+	for _, ev := range rec.Events() {
+		if ev.Cat != "flow" {
+			continue
+		}
+		if ev.Name != "msg" {
+			t.Fatalf("flow event named %q, want \"msg\"", ev.Name)
+		}
+		ep := flows[ev.ID]
+		if ep == nil {
+			ep = &endpoints{}
+			flows[ev.ID] = ep
+		}
+		switch ev.Ph {
+		case "s":
+			ep.starts++
+			ep.startTid = ev.Tid
+		case "f":
+			if ev.Bp != "e" {
+				t.Errorf("flow finish %s has bp %q, want \"e\"", ev.ID, ev.Bp)
+			}
+			ep.finishes++
+			ep.finTid = ev.Tid
+		default:
+			t.Errorf("flow event %s has phase %q, want \"s\" or \"f\"", ev.ID, ev.Ph)
+		}
+	}
+	if len(flows) == 0 {
+		t.Fatal("trace contains no flow events")
+	}
+	for id, ep := range flows {
+		if ep.starts != 1 || ep.finishes != 1 {
+			t.Errorf("flow %s: %d starts, %d finishes, want exactly one of each", id, ep.starts, ep.finishes)
+		}
+		if ep.startTid == ep.finTid {
+			t.Errorf("flow %s starts and finishes on the same track %d", id, ep.startTid)
+		}
+	}
+}
+
+// TestStepRecordClassBytes: the JSONL step records carry per-tag-class
+// byte deltas (comm_halo_bytes, comm_force_bytes, ...) whose per-rank
+// sums — plus the initial force evaluation the loop's records never
+// cover — reproduce the run's cumulative per-class totals.
+func TestStepRecordClassBytes(t *testing.T) {
+	cfg, model := silicaConfig(t, 4, 300, 33)
+	cart, _ := comm.NewCartDims(geom.IV(2, 1, 1))
+	const steps = 3
+
+	var buf bytes.Buffer
+	res, err := Run(cfg, model, Options{
+		Scheme: SchemeSC, Cart: cart, Dt: 1, Steps: steps,
+		StepLog: obs.NewStepWriter(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sums := map[string]int64{}
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var rec stepRecordJSON
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		stepHalo := rec.Counters["comm_halo_bytes"]
+		if stepHalo <= 0 {
+			t.Errorf("rank %d step %d: comm_halo_bytes = %d, want > 0 (halo refresh every step)",
+				rec.Rank, rec.Step, stepHalo)
+		}
+		for k, v := range rec.Counters {
+			if strings.HasPrefix(k, "comm_") && strings.HasSuffix(k, "_bytes") {
+				sums[strings.TrimSuffix(strings.TrimPrefix(k, "comm_"), "_bytes")] += v
+			}
+		}
+	}
+	for _, class := range []string{"halo", "force", "migrate"} {
+		total := res.CommByClass[class].Bytes
+		if sums[class] <= 0 || sums[class] > total {
+			t.Errorf("class %s: step deltas sum to %d, cumulative total %d", class, sums[class], total)
+		}
+	}
+	if sums["health"] != 0 {
+		t.Errorf("monitor-less run recorded %d health bytes", sums["health"])
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sctuple/internal/kernel"
 	"sctuple/internal/md"
 	"sctuple/internal/obs"
+	"sctuple/internal/obs/health"
 	"sctuple/internal/potential"
 	"sctuple/internal/tuple"
 	"sctuple/internal/workload"
@@ -25,10 +26,13 @@ const computeShards = 16
 
 // Message tags. Halo and force tags are offset per (axis, direction)
 // so a protocol slip is caught by the tag check in comm.Recv.
+// tagHealth carries the halo-mirror checksum exchange of the health
+// probes, offset identically to the halo tag it audits.
 const (
 	tagMigrate = 100
 	tagHalo    = 200
 	tagForce   = 300
+	tagHealth  = 400
 )
 
 // RankStats accumulates one rank's per-run operation counts — the
@@ -119,6 +123,15 @@ type rankState struct {
 	// rec records this rank's phase spans; nil (the default) keeps
 	// every span site a single-branch no-op.
 	rec *obs.RankRecorder
+
+	// monitor receives this rank's invariant-probe observations (nil
+	// disables them); healthStep marks the steps the halo-mirror probe
+	// samples — the exchange path checks this one bool, so disabled
+	// probing costs a single branch and the steady-state zero-allocation
+	// guarantee of the exchange is untouched.
+	monitor    *health.Monitor
+	healthStep bool
+	curStep    int
 
 	stats RankStats
 }

@@ -9,6 +9,7 @@ import (
 	"sctuple/internal/geom"
 	"sctuple/internal/md"
 	"sctuple/internal/obs"
+	"sctuple/internal/obs/health"
 	"sctuple/internal/potential"
 	"sctuple/internal/workload"
 )
@@ -44,6 +45,15 @@ type Options struct {
 	// per-phase imbalance gauges — and accumulates a per-step wall-time
 	// histogram (parmd.step_ms) during the run.
 	Metrics *obs.Registry
+	// Health, when non-nil, runs the sampled invariant probes inside
+	// the step loop (energy drift, momentum, atom-count conservation,
+	// halo mirror checksums, SC-vs-FS tuple parity) at the monitor's
+	// cadence. nil keeps every probe site a single-branch no-op, so the
+	// hot path is unchanged — including its zero-allocation guarantee.
+	Health *health.Monitor
+	// Log receives structured run-lifecycle events (run start/end, rank
+	// failures); nil disables them.
+	Log *obs.Logger
 }
 
 // StepEnergy is one global energy sample.
@@ -78,6 +88,9 @@ type Result struct {
 	// Phases holds the per-phase time decomposition across ranks
 	// (max/mean/imbalance) when Options.Recorder was set.
 	Phases []obs.PhaseStat
+	// Health summarizes the invariant-probe outcomes when
+	// Options.Health was set (empty otherwise).
+	Health health.Summary
 	// Wall is the wall-clock time of the SPMD section of the run.
 	Wall time.Duration
 }
@@ -120,6 +133,10 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 
 	world := comm.NewWorld(opt.Cart.Size())
 	defineTagClasses(world)
+	world.SetLogger(opt.Log)
+	opt.Log.Info("parmd run start",
+		"scheme", opt.Scheme.String(), "ranks", world.Size(), "workers", opt.Workers,
+		"steps", opt.Steps, "dt_fs", opt.Dt, "atoms", cfg.N())
 	res := &Result{RankStats: make([]RankStats, world.Size())}
 	if opt.TraceEnergies {
 		res.Energies = make([]StepEnergy, opt.Steps)
@@ -144,6 +161,7 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 			return err
 		}
 		r.rec = opt.Recorder.Rank(p.Rank())
+		r.monitor = opt.Health
 		r.adopt(cfg)
 
 		masses := make([]float64, len(model.Species))
@@ -166,9 +184,15 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 		var prevPhase [obs.MaxPhases]int64
 		prevStats := r.stats
 		var prevWait time.Duration
+		var classNames []string
+		var prevClass, curClass []comm.Stats
 		if logging {
 			r.rec.CopyPhaseNs(&prevPhase)
 			prevWait = p.Stats().Wait
+			classNames = p.ClassNames()
+			prevClass = make([]comm.Stats, p.ClassCount())
+			curClass = make([]comm.Stats, p.ClassCount())
+			p.ClassStatsInto(prevClass)
 		}
 
 		for step := 0; step < opt.Steps; step++ {
@@ -177,6 +201,8 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 				stepStart = time.Now()
 			}
 			r.rec.SetStep(step)
+			r.curStep = step
+			r.healthStep = opt.Health.Due(step)
 			// Velocity Verlet: half kick, drift, migrate, forces,
 			// half kick.
 			sp := r.rec.StartSpan(phaseIntegrate)
@@ -209,13 +235,19 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 					res.Energies[step] = StepEnergy{Potential: gpe, Kinetic: gke}
 				}
 			}
+			if r.healthStep {
+				if err := r.runHealthProbes(step, pe, masses, int64(cfg.N())); err != nil {
+					return err
+				}
+			}
 			if logging {
 				wall := time.Since(stepStart)
 				if stepHist != nil {
 					stepHist.Observe(wall.Seconds() * 1e3)
 				}
 				if opt.StepLog != nil {
-					emitStepRecord(opt.StepLog, r, p, step, wall, &prevPhase, &prevStats, &prevWait)
+					emitStepRecord(opt.StepLog, r, p, step, wall, &prevPhase, &prevStats, &prevWait,
+						classNames, prevClass, curClass)
 				}
 			}
 		}
@@ -237,9 +269,13 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 		return nil
 	})
 	res.Wall = time.Since(wallStart)
+	res.Health = opt.Health.Summary()
 	if err != nil {
 		return nil, err
 	}
+	opt.Log.Info("parmd run complete",
+		"steps", opt.Steps, "wall_ms", float64(res.Wall.Nanoseconds())/1e6,
+		"healthy", res.Health.Healthy())
 
 	// Assemble the global final state ordered by atom ID.
 	var all []finalAtom
@@ -292,6 +328,7 @@ var (
 	phaseSearch    = obs.Phase("search")
 	phaseWriteback = obs.Phase("writeback")
 	phaseReduce    = obs.Phase("reduce")
+	phaseHealth    = obs.Phase("health")
 )
 
 // defineTagClasses registers the simulation's traffic classes on a
@@ -300,5 +337,6 @@ var (
 func defineTagClasses(world *comm.World) {
 	world.DefineTagClass("migrate", tagMigrate, tagHalo)
 	world.DefineTagClass("halo", tagHalo, tagForce)
-	world.DefineTagClass("force", tagForce, tagForce+100)
+	world.DefineTagClass("force", tagForce, tagHealth)
+	world.DefineTagClass("health", tagHealth, tagHealth+100)
 }

@@ -98,16 +98,21 @@ func rankStatDeltas(cur, prev *RankStats, counters map[string]int64) {
 // emitStepRecord writes one rank's telemetry line for one step: the
 // wall time, phase-time deltas (when a recorder runs), and counter
 // deltas against the previous step's cumulative state, which it then
-// advances. owned_atoms is reported as the current absolute value and
-// the runtime's receive-wait delta rides along as comm_wait_ns —
-// the per-rank surfacing of the waitNs the comm layer accumulates.
+// advances. owned_atoms is reported as the current absolute value, the
+// runtime's receive-wait delta rides along as comm_wait_ns, and each
+// tag class's sent-byte delta as comm_<class>_bytes — so a step log
+// can attribute a traffic spike to halo vs migrate vs write-back
+// directly. classNames/prevClass/curClass are the caller's hoisted
+// per-class scratch (prevClass carries the previous cumulative state
+// and is advanced here).
 func emitStepRecord(w *obs.StepWriter, r *rankState, p *comm.Proc, step int,
-	wall time.Duration, prevPhase *[obs.MaxPhases]int64, prevStats *RankStats, prevWait *time.Duration) {
+	wall time.Duration, prevPhase *[obs.MaxPhases]int64, prevStats *RankStats, prevWait *time.Duration,
+	classNames []string, prevClass, curClass []comm.Stats) {
 	rec := obs.StepRecord{
 		Step:     step,
 		Rank:     p.Rank(),
 		WallNs:   wall.Nanoseconds(),
-		Counters: make(map[string]int64, len(rankStatFields)+1),
+		Counters: make(map[string]int64, len(rankStatFields)+1+len(classNames)),
 	}
 	rankStatDeltas(&r.stats, prevStats, rec.Counters)
 	rec.Counters["owned_atoms"] = int64(r.stats.OwnedAtoms)
@@ -115,6 +120,13 @@ func emitStepRecord(w *obs.StepWriter, r *rankState, p *comm.Proc, step int,
 	wait := p.Stats().Wait
 	rec.Counters["comm_wait_ns"] = (wait - *prevWait).Nanoseconds()
 	*prevWait = wait
+	p.ClassStatsInto(curClass)
+	for i, name := range classNames {
+		if d := curClass[i].Bytes - prevClass[i].Bytes; d != 0 {
+			rec.Counters["comm_"+name+"_bytes"] = d
+		}
+		prevClass[i] = curClass[i]
+	}
 	if r.rec != nil {
 		var cur [obs.MaxPhases]int64
 		r.rec.CopyPhaseNs(&cur)
@@ -157,19 +169,19 @@ func publishMetrics(reg *obs.Registry, res *Result) {
 			reg.Gauge("parmd.virial").Set(sum.Virial)
 			continue
 		}
-		reg.Counter("parmd."+f.Name).Add(int64(f.Get(&sum)))
+		reg.Counter("parmd." + f.Name).Add(int64(f.Get(&sum)))
 	}
 	reg.Gauge("parmd.ranks").Set(float64(len(res.RankStats)))
 
 	for class, s := range res.CommByClass {
-		reg.Counter("comm."+class+".messages").Add(s.Messages)
-		reg.Counter("comm."+class+".bytes").Add(s.Bytes)
-		reg.Counter("comm."+class+".wait_ns").Add(s.Wait.Nanoseconds())
+		reg.Counter("comm." + class + ".messages").Add(s.Messages)
+		reg.Counter("comm." + class + ".bytes").Add(s.Bytes)
+		reg.Counter("comm." + class + ".wait_ns").Add(s.Wait.Nanoseconds())
 	}
 
 	for _, ps := range res.Phases {
-		reg.Gauge("phase."+ps.Phase+".max_ms").Set(float64(ps.MaxNs) / 1e6)
-		reg.Gauge("phase."+ps.Phase+".imbalance").Set(ps.Imbalance())
+		reg.Gauge("phase." + ps.Phase + ".max_ms").Set(float64(ps.MaxNs) / 1e6)
+		reg.Gauge("phase." + ps.Phase + ".imbalance").Set(ps.Imbalance())
 	}
 	if len(res.Phases) > 0 && res.Wall > 0 {
 		frac := float64(obs.CriticalPathNs(res.Phases)) / float64(res.Wall.Nanoseconds())
