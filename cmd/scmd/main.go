@@ -51,6 +51,7 @@ func main() {
 		analyze    = flag.Bool("analyze", false, "print structure analysis (RDF peaks, angles) after the run")
 		skin       = flag.Float64("skin", 0, "Verlet-list skin (Å) for the hybrid engine; 0 rebuilds every step")
 		workers    = flag.Int("workers", 1, "worker goroutines per force evaluation, serial engines and per rank in parallel runs (0 = GOMAXPROCS)")
+		noOverlap  = flag.Bool("no-overlap", false, "disable overlapping halo communication with interior force computation; parallel runs only")
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event span timeline (one track per rank) to this file; parallel runs only")
 		metricsOut = flag.String("metrics", "", "write per-step JSONL telemetry records and a final metrics snapshot to this file; parallel runs only")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -86,6 +87,7 @@ func main() {
 	tel := telemetryOpts{
 		trace: *tracePath, metrics: *metricsOut, log: logger,
 		healthEvery: *healthEv, parityEvery: *parityEv, abortOnFail: *abortFail,
+		noOverlap: *noOverlap,
 	}
 	if err := run(*modelName, *engineName, *atoms, *cells, *steps, *dt, *temp, *thermostat, *ranks, *every, *seed, opts, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "scmd:", err)
@@ -93,7 +95,8 @@ func main() {
 	}
 }
 
-// telemetryOpts carries the parallel-run observability outputs.
+// telemetryOpts carries the parallel-run observability outputs and
+// exchange-mode selection.
 type telemetryOpts struct {
 	trace       string
 	metrics     string
@@ -101,6 +104,7 @@ type telemetryOpts struct {
 	healthEvery int
 	parityEvery int
 	abortOnFail bool
+	noOverlap   bool
 }
 
 // serialOpts carries the optional serial-run features.
@@ -320,7 +324,7 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 
 	popt := parmd.Options{
 		Scheme: scheme, Cart: cart, Dt: dt, Steps: steps, Workers: workers, TraceEnergies: true,
-		Log: tel.log,
+		Log: tel.log, NoOverlap: tel.noOverlap,
 	}
 	if tel.healthEvery > 0 || tel.parityEvery > 0 {
 		every := tel.healthEvery
@@ -391,6 +395,10 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 		fmt.Printf("  critical path %.1f%% of %.0f ms wall\n",
 			100*float64(obs.CriticalPathNs(res.Phases))/float64(res.Wall.Nanoseconds()),
 			res.Wall.Seconds()*1e3)
+		if !tel.noOverlap {
+			fmt.Printf("  overlap: %.0f%% of the halo-completion window hidden behind interior compute\n",
+				100*res.OverlapFraction())
+		}
 	}
 	if popt.Health != nil {
 		fmt.Println("\nhealth probes (severity counts over sampled steps):")

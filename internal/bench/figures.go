@@ -108,6 +108,13 @@ type ValidateRow struct {
 	// comm runtime's waitNs counters averaged over tasks, i.e. the part
 	// of MeasuredCommMs spent idle rather than packing and copying.
 	WaitMs float64
+	// SyncWaitMs is WaitMs of the same workload re-run with the
+	// overlapped exchange disabled (Options.NoOverlap) — the
+	// synchronous baseline the overlap is judged against.
+	SyncWaitMs float64
+	// OverlapFrac is the overlapped run's measured overlap efficiency,
+	// interior compute over interior + halo wait (Result.OverlapFraction).
+	OverlapFrac float64
 	// Phases is the run's full per-phase time decomposition across
 	// ranks (max/mean/imbalance), for the report's breakdown table.
 	Phases []obs.PhaseStat
@@ -116,7 +123,7 @@ type ValidateRow struct {
 // commPhases marks the span phases that count as communication; every
 // other phase (bin, search, force:*, integrate) counts as compute.
 var commPhases = map[string]bool{
-	"halo": true, "writeback": true, "migrate": true, "reduce": true,
+	"halo": true, "halo:wait": true, "writeback": true, "migrate": true, "reduce": true,
 }
 
 // Validate runs real parallel silica MD on small in-process worlds and
@@ -184,6 +191,20 @@ func validateInto(mt *obs.MultiTrace, nAtoms int, ranks []int, steps int, seed i
 			for _, s := range res.CommByClass {
 				waitNs += s.Wait.Nanoseconds()
 			}
+			// Synchronous baseline: the identical workload with the
+			// overlapped exchange off, for the wait-time comparison
+			// (no recorder — only the comm counters are read).
+			syncRes, err := parmd.Run(cfg, model, parmd.Options{
+				Scheme: scheme, Cart: cart, Dt: 1.0, Steps: steps,
+				NoOverlap: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: sync baseline %v on %d ranks: %w", scheme, p, err)
+			}
+			var syncWaitNs int64
+			for _, s := range syncRes.CommByClass {
+				syncWaitNs += s.Wait.Nanoseconds()
+			}
 			st := lm.StepTime(scheme, grain)
 			out = append(out, ValidateRow{
 				Scheme: scheme,
@@ -205,6 +226,8 @@ func validateInto(mt *obs.MultiTrace, nAtoms int, ranks []int, steps int, seed i
 				MeasuredCommMs:    float64(commNs) / evals / 1e6,
 				ModelCommMs:       st.Comm() * 1e3,
 				WaitMs:            float64(waitNs) / float64(p) / evals / 1e6,
+				SyncWaitMs:        float64(syncWaitNs) / float64(p) / evals / 1e6,
+				OverlapFrac:       res.OverlapFraction(),
 				Phases:            res.Phases,
 			})
 		}
@@ -282,15 +305,17 @@ func ValidateReportTrace(w io.Writer, nAtoms int, ranks []int, steps int, seed i
 
 	fmt.Fprintln(w, "\nWall time per force evaluation: span-recorder phase timings (max rank)")
 	fmt.Fprintln(w, "vs the analytic model on the calibrated local machine profile; wait is")
-	fmt.Fprintln(w, "the per-task receive-blocked share of the measured comm time")
+	fmt.Fprintln(w, "the per-task receive-blocked share of the measured comm time, sync wait")
+	fmt.Fprintln(w, "the same workload with the overlapped exchange disabled, and overlap the")
+	fmt.Fprintln(w, "fraction of the exchange window hidden behind interior compute")
 	fmt.Fprintln(w)
 	tw = newTable(w)
-	fmt.Fprintln(tw, "scheme\ttasks\tcompute ms meas\tcompute ms model\tcomm ms meas\tcomm ms model\twait ms")
+	fmt.Fprintln(tw, "scheme\ttasks\tcompute ms meas\tcompute ms model\tcomm ms meas\tcomm ms model\twait ms\tsync wait ms\toverlap")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%v\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+		fmt.Fprintf(tw, "%v\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.2f\n",
 			r.Scheme, r.Tasks,
 			r.MeasuredComputeMs, r.ModelComputeMs,
-			r.MeasuredCommMs, r.ModelCommMs, r.WaitMs)
+			r.MeasuredCommMs, r.ModelCommMs, r.WaitMs, r.SyncWaitMs, r.OverlapFrac)
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -22,7 +22,14 @@ import (
 // record writes and scbench compare reads. Bump it on any breaking
 // change to the field layout; compare refuses to diff files with
 // mismatched versions.
-const BenchSchemaVersion = 1
+//
+// Version history:
+//
+//	1  initial layout
+//	2  overlapped halo exchange: workloads gain overlap_fraction, and
+//	   phase_ns carries the split force:interior/force:boundary and
+//	   halo:wait phases in place of SC/FS per-term force spans
+const BenchSchemaVersion = 2
 
 // HostProfile pins a recorded benchmark to the machine it ran on: the
 // Go runtime's identification plus the calibrated per-operation
@@ -61,7 +68,10 @@ type BenchWorkload struct {
 	AllocsPerStep float64              `json:"allocs_per_step"`
 	PhaseNs       map[string]int64     `json:"phase_ns"` // cumulative max-rank ns per phase
 	Comm          map[string]CommStats `json:"comm"`     // per tag class, world totals
-	Health        health.Summary       `json:"health"`
+	// OverlapFraction is the run's measured overlap efficiency:
+	// interior compute over interior + halo wait (Result.OverlapFraction).
+	OverlapFraction float64        `json:"overlap_fraction"`
+	Health          health.Summary `json:"health"`
 }
 
 // BenchFile is the schema-versioned benchmark record scbench record
@@ -160,7 +170,8 @@ func Record(opt RecordOptions) (*BenchFile, error) {
 			AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(opt.Steps),
 			PhaseNs:       make(map[string]int64, len(res.Phases)),
 			Comm:          make(map[string]CommStats, len(res.CommByClass)),
-			Health:        res.Health,
+			OverlapFraction: res.OverlapFraction(),
+			Health:          res.Health,
 		}
 		for _, ps := range res.Phases {
 			w.PhaseNs[ps.Phase] = ps.MaxNs

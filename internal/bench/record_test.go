@@ -66,7 +66,7 @@ func TestBenchFileGoldenSchema(t *testing.T) {
 		t.Fatalf("%d workloads, want one per scheme (3)", len(workloads))
 	}
 	wantWL := []string{"name", "scheme", "atoms", "steps", "ranks", "workers",
-		"wall_ms_per_step", "allocs_per_step", "phase_ns", "comm", "health"}
+		"wall_ms_per_step", "allocs_per_step", "phase_ns", "comm", "overlap_fraction", "health"}
 	for _, wl := range workloads {
 		if len(wl) != len(wantWL) {
 			t.Errorf("workload keys %v, want exactly %v", keys(wl), wantWL)
@@ -91,9 +91,22 @@ func TestBenchFileGoldenSchema(t *testing.T) {
 		if !w.Health.Healthy() {
 			t.Errorf("workload %s recorded unhealthy: %+v", w.Name, w.Health)
 		}
-		if w.WallMsPerStep <= 0 || w.PhaseNs["force:n2"] <= 0 {
+		// SC/FS time their force kernels under the two-stage
+		// interior/boundary spans; Hybrid keeps the per-term spans.
+		forceNs := w.PhaseNs["force:interior"] + w.PhaseNs["force:boundary"]
+		if w.Scheme == "Hybrid-MD" {
+			forceNs = w.PhaseNs["force:n2"]
+		}
+		if w.WallMsPerStep <= 0 || forceNs <= 0 {
 			t.Errorf("workload %s has empty timings: wall=%g phases=%v",
 				w.Name, w.WallMsPerStep, w.PhaseNs)
+		}
+		if w.PhaseNs["halo:wait"] <= 0 {
+			t.Errorf("workload %s recorded no halo:wait time (overlapped exchange is the default): %v",
+				w.Name, w.PhaseNs)
+		}
+		if w.OverlapFraction <= 0 || w.OverlapFraction > 1 {
+			t.Errorf("workload %s overlap_fraction = %g, want in (0, 1]", w.Name, w.OverlapFraction)
 		}
 		if w.Comm["halo"].Bytes <= 0 {
 			t.Errorf("workload %s recorded no halo traffic: %v", w.Name, w.Comm)

@@ -19,6 +19,7 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -55,6 +56,12 @@ type World struct {
 	msgsSent  [][]atomic.Int64
 	waitNs    [][]atomic.Int64
 
+	// abortCh is closed when any rank's SPMD function fails, so peers
+	// blocked in receives unwind instead of deadlocking on messages
+	// that will never come (see Run).
+	abortCh   chan struct{}
+	abortOnce sync.Once
+
 	log *obs.Logger
 }
 
@@ -83,6 +90,7 @@ func NewWorldTransport(p int, tr Transport) *World {
 			{name: "other"},
 			{name: "collective"},
 		},
+		abortCh: make(chan struct{}),
 	}
 	w.growCounters()
 	return w
@@ -140,8 +148,39 @@ func (w *World) classOf(tag int) int {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// ErrAborted is the error a rank comes back with when it was blocked
+// in a receive while another rank failed: the world's abort signal
+// unwound it instead of leaving it deadlocked on a message that will
+// never arrive.
+var ErrAborted = errors.New("comm: aborted while waiting for a peer (another rank failed)")
+
+// abortSignal is the sentinel panicked by an abort-unblocked receive.
+// It unwinds the rank's SPMD function up to the recover in Run (or an
+// earlier recover installed by the caller — see IsAbort).
+type abortSignal struct{ rank, src int }
+
+// IsAbort reports whether a recovered panic value is the world's abort
+// sentinel. SPMD functions that install their own deferred recover
+// (e.g. to attach rank context to the failure) must re-panic anything
+// for which this returns false.
+func IsAbort(v any) bool {
+	_, ok := v.(abortSignal)
+	return ok
+}
+
+// abort marks the world failed and unblocks every receive selecting on
+// the abort channel. Idempotent.
+func (w *World) abort() {
+	w.abortOnce.Do(func() { close(w.abortCh) })
+}
+
 // Run executes fn once per rank, each on its own goroutine, and waits
-// for all of them. It returns the first error any rank produced.
+// for all of them. When a rank's fn returns an error the world aborts:
+// peers blocked in receives unwind with ErrAborted (over an
+// AsyncTransport; a plain Transport cannot be interrupted) rather than
+// deadlocking the whole world on a protocol that lost a participant.
+// Run reports each failing rank through the world's logger and returns
+// every rank's error joined (nil when all ranks succeeded).
 func (w *World) Run(fn func(p *Proc) error) error {
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
@@ -149,20 +188,27 @@ func (w *World) Run(fn func(p *Proc) error) error {
 	for r := 0; r < w.size; r++ {
 		go func(rank int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if !IsAbort(rec) {
+						panic(rec)
+					}
+					errs[rank] = fmt.Errorf("rank %d: %w", rank, ErrAborted)
+				}
+				if errs[rank] != nil {
+					w.abort()
+				}
+			}()
 			errs[rank] = fn(&Proc{world: w, rank: rank})
 		}(r)
 	}
 	wg.Wait()
-	var first error
 	for rank, err := range errs {
 		if err != nil {
 			w.log.Error("rank failed", "rank", rank, "err", err)
-			if first == nil {
-				first = err
-			}
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // Stats summarizes communication volume. Messages and Bytes count
@@ -332,6 +378,31 @@ func (p *Proc) SendBuffer(dst, tag int, b *Buffer) {
 	p.world.tr.Send(p.rank, dst, Message{Tag: tag, Buf: b})
 }
 
+// recvMessage blocks until the next message on the (src → this rank)
+// link arrives. Over an AsyncTransport it selects on the world's abort
+// channel as well, so a rank stuck waiting on a failed peer unwinds
+// (via the abort sentinel, converted to ErrAborted in Run) instead of
+// deadlocking. The fast path — message already delivered — takes no
+// select at all and allocates nothing.
+func (p *Proc) recvMessage(src int) Message {
+	at, ok := p.world.tr.(AsyncTransport)
+	if !ok {
+		return p.world.tr.Recv(p.rank, src)
+	}
+	ch := at.RecvChan(p.rank, src)
+	select {
+	case m := <-ch:
+		return m
+	default:
+	}
+	select {
+	case m := <-ch:
+		return m
+	case <-p.world.abortCh:
+		panic(abortSignal{rank: p.rank, src: src})
+	}
+}
+
 // RecvBuffer blocks until the next message from src arrives and
 // returns its buffer; release it with ReleaseBuffer once decoded. The
 // message's tag must match; a mismatch means the SPMD protocol is out
@@ -341,7 +412,7 @@ func (p *Proc) RecvBuffer(src, tag int) *Buffer {
 		panic(fmt.Sprintf("comm: rank %d receiving from invalid rank %d", p.rank, src))
 	}
 	start := time.Now()
-	m := p.world.tr.Recv(p.rank, src)
+	m := p.recvMessage(src)
 	p.world.waitNs[p.rank][p.world.classOf(tag)].Add(time.Since(start).Nanoseconds())
 	if m.Tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from rank %d, got %d",
@@ -357,6 +428,58 @@ func (p *Proc) RecvBuffer(src, tag int) *Buffer {
 func (p *Proc) SendRecvBuffer(dst, sendTag int, b *Buffer, src, recvTag int) *Buffer {
 	p.SendBuffer(dst, sendTag, b)
 	return p.RecvBuffer(src, recvTag)
+}
+
+// SendHandle is the completion handle of a posted asynchronous send.
+// The channel transport completes sends at post time (the link buffer
+// absorbs them), so Wait returns immediately; the type exists so
+// callers are already shaped for a fabric where sends complete later.
+type SendHandle struct{}
+
+// Wait blocks until the send has completed.
+func (SendHandle) Wait() {}
+
+// ISendBuffer posts an asynchronous send of a pooled buffer and
+// returns its completion handle. Exactly like SendBuffer, the buffer
+// is handed off at the call: the caller must not touch it afterwards.
+// Messages and bytes are counted at post time under the tag's class.
+func (p *Proc) ISendBuffer(dst, tag int, b *Buffer) SendHandle {
+	p.SendBuffer(dst, tag, b)
+	return SendHandle{}
+}
+
+// RecvHandle is a posted receive: a claim on the next message of the
+// (src → this rank) link carrying the expected tag. Handles on one
+// link complete in message order (the transport is FIFO per link, the
+// non-overtaking rule), so posting order defines the matching. A
+// handle is a plain value — posting allocates nothing — and must be
+// completed exactly once with Wait.
+type RecvHandle struct {
+	p   *Proc
+	src int
+	tag int
+}
+
+// IRecvBuffer posts an asynchronous receive from src with the given
+// tag and returns its completion handle.
+func (p *Proc) IRecvBuffer(src, tag int) RecvHandle {
+	if src < 0 || src >= p.world.size {
+		panic(fmt.Sprintf("comm: rank %d posting receive from invalid rank %d", p.rank, src))
+	}
+	return RecvHandle{p: p, src: src, tag: tag}
+}
+
+// Wait blocks until the posted receive completes and returns its
+// buffer (release it with ReleaseBuffer once decoded). The time spent
+// blocked is accounted to the tag's class here, at the completion
+// point — the definition that makes receive-wait measure exposed
+// latency rather than posting overhead. A tag mismatch is a protocol
+// slip and panics, exactly like RecvBuffer.
+func (h RecvHandle) Wait() *Buffer {
+	if h.p == nil {
+		panic("comm: Wait on an unposted RecvHandle")
+	}
+	return h.p.RecvBuffer(h.src, h.tag)
 }
 
 // Send transfers data to rank dst with the given tag. The data slice

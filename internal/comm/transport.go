@@ -23,6 +23,18 @@ type Transport interface {
 	Recv(dst, src int) Message
 }
 
+// AsyncTransport is the optional extension a Transport can implement
+// to support the non-blocking receive API (Proc.IRecvBuffer) and the
+// world's abort protocol. RecvChan exposes the delivery channel of one
+// (src → dst) link so a receiver can select on it together with the
+// abort signal instead of blocking unconditionally in Recv. Transports
+// without this extension still work — receives fall back to the
+// blocking Recv and cannot be interrupted by an abort.
+type AsyncTransport interface {
+	Transport
+	RecvChan(dst, src int) <-chan Message
+}
+
 // chanTransport is the default in-process Transport: ranks are
 // goroutines and every (src, dst) link is a buffered channel with
 // strict FIFO ordering, the stand-in for MPI on the paper's clusters.
@@ -55,4 +67,9 @@ func (t *chanTransport) Send(src, dst int, m Message) {
 
 func (t *chanTransport) Recv(dst, src int) Message {
 	return <-t.links[src][dst]
+}
+
+// RecvChan implements AsyncTransport: the (src → dst) link channel.
+func (t *chanTransport) RecvChan(dst, src int) <-chan Message {
+	return t.links[src][dst]
 }

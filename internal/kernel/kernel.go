@@ -196,6 +196,36 @@ func (a *Sharded) Begin(dst []geom.Vec3) {
 	}
 }
 
+// Grow re-points a begun accumulator at a destination that grew since
+// Begin — the overlapped rank engines start accumulating over owned
+// atoms while halo copies are still in flight, then widen the window
+// once the imports land. dst must contain the Begin-time destination
+// as a prefix (append may have moved it; the accumulated slot state is
+// private, so only the pointer needs refreshing). Each slot's force
+// buffer is extended with a zeroed tail; everything accumulated so far
+// is preserved, and End reduces over the full new length. Steady-state
+// calls at a warm capacity allocate nothing.
+func (a *Sharded) Grow(dst []geom.Vec3) {
+	prev := len(a.dst)
+	if len(dst) < prev {
+		panic("kernel: Grow to a destination smaller than Begin's")
+	}
+	a.dst = dst
+	clear(dst[prev:])
+	n := len(dst)
+	for s := range a.slots {
+		sl := &a.slots[s]
+		if cap(sl.Force) < n {
+			f := make([]geom.Vec3, n)
+			copy(f, sl.Force)
+			sl.Force = f
+			continue
+		}
+		sl.Force = sl.Force[:n]
+		clear(sl.Force[prev:])
+	}
+}
+
 // Slots implements Accumulator.
 func (a *Sharded) Slots() int { return len(a.slots) }
 

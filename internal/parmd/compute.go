@@ -5,59 +5,126 @@ import (
 	"sctuple/internal/kernel"
 )
 
-// computeForces runs one complete force evaluation: refresh the halo,
-// enumerate and evaluate all potential terms anchored at owned cells
-// through the shared kernel layer, and write imported atoms' force
-// contributions back to their owners. It returns this rank's share of
-// the potential energy.
-func (r *rankState) computeForces() float64 {
+// computeForces runs one complete force evaluation and returns this
+// rank's share of the potential energy.
+//
+// The evaluation is two-stage in both exchange modes: interior cells
+// (whose tuples touch no imported atoms) first, boundary cells second,
+// with the accumulator's fixed shard order making the result
+// bit-identical for every Workers setting. In the overlapped mode (the
+// default) the halo exchange is posted before the interior stage and
+// completed after it, so the import latency hides behind interior
+// compute; the synchronous mode completes the exchange first and then
+// runs the identical dispatch, so the two modes' forces agree bit for
+// bit — the property the A/B determinism tests pin down.
+//
+// Owned cells hold only owned atoms under both binnings (halo copies
+// land in margin cells), so the interior stage sees the same per-cell
+// atom lists whether or not the halo has arrived; only the enumerator's
+// probe of empty margin cells can differ, which affects search
+// counters, never forces.
+func (r *rankState) computeForces() (float64, error) {
 	sp := r.rec.StartSpan(phaseBin)
 	r.dropHalo()
 	r.deriveOwned()
 	sp.End()
-	r.importHalo()
-	sp = r.rec.StartSpan(phaseBin)
-	r.rebin()
-	sp.End()
 
-	// The accumulator covers owned + halo atoms; Begin zeroes it, and
-	// End reduces the shards in fixed order so the forces are
-	// bit-identical for every Options.Workers setting.
-	r.acc.Begin(r.force)
-	switch r.scheme {
-	case SchemeSC, SchemeFS:
-		r.evalCellTerms()
-	case SchemeHybrid:
-		r.evalHybrid()
+	if r.overlap {
+		sp = r.rec.StartSpan(phaseBin)
+		r.rebin() // owned atoms only; margin cells are empty for the interior stage
+		sp.End()
+		r.beginHalo()
+		r.acc.Begin(r.force)
+		r.evalInterior()
+		if err := r.finishHalo(); err != nil {
+			return 0, err
+		}
+		sp = r.rec.StartSpan(phaseBin)
+		r.rebin() // full binning: the imports fill the margin cells
+		sp.End()
+		r.acc.Grow(r.force) // the force array grew (and may have moved) with the imports
+		r.evalBoundary()
+	} else {
+		if err := r.importHalo(); err != nil {
+			return 0, err
+		}
+		sp = r.rec.StartSpan(phaseBin)
+		r.rebin()
+		sp.End()
+		r.acc.Begin(r.force)
+		r.evalInterior()
+		r.evalBoundary()
 	}
+
 	pe, cs := r.acc.End()
 	r.stats.SearchCandidates += cs.SearchCandidates
 	r.stats.TuplesEvaluated += cs.TuplesEvaluated
 	r.stats.PairListEntries += cs.PairListEntries
 	r.stats.Virial += cs.Virial
 
-	r.writeBackForces()
+	if err := r.writeBackForces(); err != nil {
+		return 0, err
+	}
 	r.stats.Steps++
-	return pe
+	return pe, nil
 }
 
-// evalCellTerms is the SC-/FS-MD force kernel: one bounded UCP
-// enumeration per n-body term, the owned cells split across the
-// accumulator's shards and executed by up to r.workers goroutines.
-// Each term runs under its own span (kernel.RunTimed), so the trace
-// timeline decomposes force time per term length.
-func (r *rankState) evalCellTerms() {
+// evalInterior runs the interior stage under the force:interior span —
+// the work whose duration is the overlap budget for hiding the halo
+// receives. For SC/FS it evaluates every term over interior cells; for
+// Hybrid it runs the raw pair search anchored there (the evaluation
+// loops need the complete directed list, so they stay in the boundary
+// stage).
+func (r *rankState) evalInterior() {
+	sp := r.rec.StartSpan(phaseForceInterior)
+	defer sp.End()
+	switch r.scheme {
+	case SchemeSC, SchemeFS:
+		r.evalCellTerms(r.interiorCells)
+	case SchemeHybrid:
+		r.hybridSearch(r.interiorCells, true)
+	}
+}
+
+// evalBoundary runs the boundary stage once the halo is complete. For
+// SC/FS it is the force:boundary span over boundary cells; for Hybrid
+// it finishes the raw search over boundary cells, builds the directed
+// list, and runs the pair/triplet evaluation loops under their own
+// spans (matching the serial Hybrid engine's phase decomposition).
+func (r *rankState) evalBoundary() {
+	switch r.scheme {
+	case SchemeSC, SchemeFS:
+		sp := r.rec.StartSpan(phaseForceBoundary)
+		r.evalCellTerms(r.boundaryCells)
+		sp.End()
+	case SchemeHybrid:
+		sp := r.rec.StartSpan(phaseSearch)
+		r.hybridSearch(r.boundaryCells, false)
+		r.hybridBuildList()
+		sp.End()
+		r.hybridEval()
+	}
+}
+
+// evalCellTerms is the SC-/FS-MD force kernel over one cell subset:
+// one bounded UCP enumeration per n-body term, the cells split across
+// the accumulator's shards by kernel.Chunk and executed by up to
+// r.workers goroutines. The interior and boundary stages pass disjoint
+// subsets that together cover ownedCells in order, so the per-shard
+// accumulation order is a pure function of the partition — identical
+// whether or not the stages were separated by a halo completion.
+func (r *rankState) evalCellTerms(cells []geom.IVec3) {
 	for ti, term := range r.model.Terms {
 		k := kernel.TermKernel{Term: term, Species: r.species}
-		kernel.RunTimed(r.rec, kernel.TermPhase(term.N()), r.acc.Slots(), r.workers, func(w, s int) {
-			lo, hi := kernel.Chunk(len(r.ownedCells), r.acc.Slots(), s)
+		kernel.Run(r.acc.Slots(), r.workers, func(w, s int) {
+			lo, hi := kernel.Chunk(len(cells), r.acc.Slots(), s)
 			if lo >= hi {
 				return
 			}
 			en := r.enums[w][ti]
 			en.SetKeys(r.ids)
 			slot := r.acc.Slot(s)
-			en.VisitCellsInto(r.ownedCells[lo:hi], r.lpos, k.Visitor(slot), &slot.Enum)
+			en.VisitCellsInto(cells[lo:hi], r.lpos, k.Visitor(slot), &slot.Enum)
 		})
 	}
 }
@@ -76,31 +143,37 @@ type rawPair struct {
 	disp geom.Vec3
 }
 
-// evalHybrid is the Hybrid-MD force kernel: a raw full-shell pair
-// search anchored at owned cells builds a directed Verlet list over
-// owned first atoms; pair forces come from the list (each pair
-// evaluated on exactly one rank, chosen by global ID), and triplets
-// are pruned from each owned center's complete neighbor list. The
-// list build is serial (it is the sequential dependence §6 contrasts
-// SC against); the pair and triplet evaluation loops are sharded over
-// owned atoms.
-func (r *rankState) evalHybrid() {
+// hybridSearch runs the raw full-shell pair search anchored at the
+// given cell subset, appending emissions to the directed-list scratch.
+// reset starts a fresh step (the interior stage); the boundary stage
+// appends to it. Anchors are owned cells, so every emission's first
+// atom is owned and the count array, sized by owned atoms, is valid
+// even before the halo arrives. The search is serial — it is the
+// sequential dependence §6 contrasts SC against.
+func (r *rankState) hybridSearch(cells []geom.IVec3, reset bool) {
 	slot0 := r.acc.Slot(0)
-
-	// Build the directed list: start offsets per owned atom. The
-	// scratch buffers are hoisted on rankState and reused across steps.
-	sp := r.rec.StartSpan(phaseSearch)
 	if cap(r.hybCounts) < r.nOwned+1 {
 		r.hybCounts = make([]int32, r.nOwned+1)
 		r.hybFill = make([]int32, r.nOwned)
 	}
 	counts := r.hybCounts[:r.nOwned+1]
-	clear(counts)
-	r.hybRaw = r.hybRaw[:0]
-	r.pairEnum.VisitCellsInto(r.ownedCells, r.lpos, func(atoms []int32, pos []geom.Vec3) {
+	if reset {
+		clear(counts)
+		r.hybRaw = r.hybRaw[:0]
+	}
+	r.pairEnum.VisitCellsInto(cells, r.lpos, func(atoms []int32, pos []geom.Vec3) {
 		r.hybRaw = append(r.hybRaw, rawPair{atoms[0], atoms[1], pos[1].Sub(pos[0])})
 		counts[atoms[0]+1]++
 	}, &slot0.Enum)
+}
+
+// hybridBuildList buckets the raw emissions into the directed list:
+// start offsets per owned atom, then a stable fill. Raw order is
+// interior anchors first, then boundary anchors — fixed by the cell
+// partition, so the per-atom entry order (and with it the evaluation
+// order) is identical in both exchange modes.
+func (r *rankState) hybridBuildList() {
+	counts := r.hybCounts[:r.nOwned+1]
 	for i := 0; i < r.nOwned; i++ {
 		counts[i+1] += counts[i]
 	}
@@ -115,11 +188,18 @@ func (r *rankState) evalHybrid() {
 		entries[k] = hybridEntry{j: p.j, disp: p.disp, dist: p.disp.Norm()}
 		fill[p.i]++
 	}
-	slot0.PairEntries += int64(len(entries))
-	sp.End()
+	r.acc.Slot(0).PairEntries += int64(len(entries))
+}
 
-	// Pair forces: each undirected pair on exactly one rank, chosen by
-	// global ID order.
+// hybridEval is the Hybrid-MD force evaluation over the completed
+// directed list: pair forces from the list (each pair evaluated on
+// exactly one rank, chosen by global ID), and triplets pruned from
+// each owned center's complete neighbor list. Both loops are sharded
+// over owned atoms.
+func (r *rankState) hybridEval() {
+	counts := r.hybCounts[:r.nOwned+1]
+	entries := r.hybEntries[:len(r.hybRaw)]
+
 	pairK := kernel.TermKernel{Term: r.pairTerm, Species: r.species}
 	kernel.RunTimed(r.rec, kernel.TermPhase(2), r.acc.Slots(), r.workers, func(w, s int) {
 		lo, hi := kernel.Chunk(r.nOwned, r.acc.Slots(), s)

@@ -1,0 +1,59 @@
+package parmd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RankError is the typed failure of one rank of a parallel run: which
+// rank failed, at which step (−1 is the initial force evaluation), in
+// which phase of the step protocol ("halo", "writeback", "migrate",
+// "health", …), and the underlying cause. The exchange hot paths
+// return these instead of panicking, so one malformed message aborts
+// the run with full context rather than taking down the process.
+type RankError struct {
+	Rank  int
+	Step  int
+	Phase string
+	Err   error
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("parmd: rank %d step %d phase %s: %v", e.Rank, e.Step, e.Phase, e.Err)
+}
+
+// Unwrap exposes the cause, so errors.Is/As see through the rank
+// context (e.g. to a health.FailError or comm.ErrAborted).
+func (e *RankError) Unwrap() error { return e.Err }
+
+// rankErr wraps err with this rank's identity and current step.
+func (r *rankState) rankErr(phase string, err error) *RankError {
+	return &RankError{Rank: r.p.Rank(), Step: r.curStep, Phase: phase, Err: err}
+}
+
+// RankErrors flattens a parallel run's error into the per-rank typed
+// failures it joins — one *RankError per failed rank (every rank, when
+// a failure aborted the whole world). Non-rank errors are skipped.
+func RankErrors(err error) []*RankError {
+	var out []*RankError
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		// Multi-errors (errors.Join) fan out before errors.As runs, or
+		// the join would collapse to its first rank error only.
+		if j, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, sub := range j.Unwrap() {
+				walk(sub)
+			}
+			return
+		}
+		var re *RankError
+		if errors.As(e, &re) {
+			out = append(out, re)
+		}
+	}
+	walk(err)
+	return out
+}

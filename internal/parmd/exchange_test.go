@@ -141,20 +141,30 @@ func TestCommByClassAccounting(t *testing.T) {
 	}
 }
 
-// exchangeRig builds the per-rank state used by the allocation test
-// and benchmark: a thermalized silica block adopted by each rank, with
-// one warm-up exchange already run.
-func exchangeRig(p *comm.Proc, dec *Decomp, cfg *workload.Config, model *potential.Model, scheme Scheme) (*rankState, func(), error) {
-	r, err := newRankState(p, dec, model, scheme, 1)
+// exchangeRig builds the per-rank state used by the allocation tests
+// and benchmark: a thermalized silica block adopted by each rank.
+// overlap selects the exchange mode the iter closure exercises: the
+// synchronous import, or the split-phase begin/finish pair the
+// overlapped force path runs (with nothing in the overlap window, so
+// only the exchange itself is measured).
+func exchangeRig(p *comm.Proc, dec *Decomp, cfg *workload.Config, model *potential.Model, scheme Scheme, overlap bool) (*rankState, func() error, error) {
+	r, err := newRankState(p, dec, model, scheme, 1, overlap)
 	if err != nil {
 		return nil, nil, err
 	}
 	r.adopt(cfg)
-	iter := func() {
+	iter := func() error {
 		r.dropHalo()
 		r.deriveOwned()
-		r.importHalo()
-		r.writeBackForces()
+		if overlap {
+			r.beginHalo()
+			if err := r.finishHalo(); err != nil {
+				return err
+			}
+		} else if err := r.importHalo(); err != nil {
+			return err
+		}
+		return r.writeBackForces()
 	}
 	return r, iter, nil
 }
@@ -162,51 +172,64 @@ func exchangeRig(p *comm.Proc, dec *Decomp, cfg *workload.Config, model *potenti
 // TestHaloExchangeZeroAllocs: after warm-up, a full halo import plus
 // force write-back cycle must not allocate — the compiled plan reuses
 // its index scratch and the pooled buffers circulate through the
-// per-rank freelists.
+// per-rank freelists. Both exchange modes are covered: the synchronous
+// import and the split-phase (posted handles) exchange the overlapped
+// force path runs.
 func TestHaloExchangeZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
 	}
 	cfg, model := silicaConfig(t, 4, 300, 22)
 	cart, _ := comm.NewCartDims(geom.IV(2, 2, 2))
-	for _, scheme := range []Scheme{SchemeSC, SchemeFS} {
-		dec, err := NewDecomp(cfg.Box, model.MaxCutoff(), cart)
-		if err != nil {
-			t.Fatal(err)
-		}
-		world := comm.NewWorld(cart.Size())
-		defineTagClasses(world)
-		err = world.Run(func(p *comm.Proc) error {
-			_, iter, err := exchangeRig(p, dec, cfg, model, scheme)
+	for _, overlap := range []bool{false, true} {
+		for _, scheme := range []Scheme{SchemeSC, SchemeFS} {
+			dec, err := NewDecomp(cfg.Box, model.MaxCutoff(), cart)
 			if err != nil {
-				return err
+				t.Fatal(err)
 			}
-			// Pooled buffers circulate between ranks and grow in place;
-			// enough warm-up rounds let every circulating buffer reach
-			// the largest payload on its route.
-			for k := 0; k < 30; k++ {
-				iter()
-			}
-			p.Barrier()
-			// Rank 0 measures; the others run the same 1+10 cycles
-			// plainly (AllocsPerRun counts process-wide mallocs, so
-			// their steady state must be clean too).
-			if p.Rank() != 0 {
-				for k := 0; k < 11; k++ {
-					iter()
+			world := comm.NewWorld(cart.Size())
+			defineTagClasses(world)
+			err = world.Run(func(p *comm.Proc) error {
+				_, iter, err := exchangeRig(p, dec, cfg, model, scheme, overlap)
+				if err != nil {
+					return err
+				}
+				var iterErr error
+				run := func() {
+					if err := iter(); err != nil && iterErr == nil {
+						iterErr = err
+					}
+				}
+				// Pooled buffers circulate between ranks and grow in place;
+				// enough warm-up rounds let every circulating buffer reach
+				// the largest payload on its route.
+				for k := 0; k < 30; k++ {
+					run()
 				}
 				p.Barrier()
+				// Rank 0 measures; the others run the same 1+10 cycles
+				// plainly (AllocsPerRun counts process-wide mallocs, so
+				// their steady state must be clean too).
+				if p.Rank() != 0 {
+					for k := 0; k < 11; k++ {
+						run()
+					}
+					p.Barrier()
+					return iterErr
+				}
+				allocs := testing.AllocsPerRun(10, run)
+				p.Barrier()
+				if iterErr != nil {
+					return iterErr
+				}
+				if allocs != 0 {
+					return fmt.Errorf("%v overlap=%v: %g allocs per halo+write-back cycle", scheme, overlap, allocs)
+				}
 				return nil
+			})
+			if err != nil {
+				t.Error(err)
 			}
-			allocs := testing.AllocsPerRun(10, iter)
-			p.Barrier()
-			if allocs != 0 {
-				return fmt.Errorf("%v: %g allocs per halo+write-back cycle", scheme, allocs)
-			}
-			return nil
-		})
-		if err != nil {
-			t.Error(err)
 		}
 	}
 }
@@ -228,17 +251,21 @@ func BenchmarkHaloExchange(b *testing.B) {
 			defineTagClasses(world)
 			b.ReportAllocs()
 			err = world.Run(func(p *comm.Proc) error {
-				r, iter, err := exchangeRig(p, dec, cfg, model, scheme)
+				r, iter, err := exchangeRig(p, dec, cfg, model, scheme, false)
 				if err != nil {
 					return err
 				}
-				iter() // warm up before the measured loop
+				if err := iter(); err != nil { // warm up before the measured loop
+					return err
+				}
 				p.Barrier()
 				if p.Rank() == 0 {
 					b.ResetTimer()
 				}
 				for i := 0; i < b.N; i++ {
-					iter()
+					if err := iter(); err != nil {
+						return err
+					}
 				}
 				if p.Rank() == 0 {
 					b.ReportMetric(float64(r.stats.AtomsImported)/float64(r.stats.HaloMessages/2), "atoms/phase")

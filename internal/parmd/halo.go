@@ -8,39 +8,70 @@ import (
 	"sctuple/internal/obs/health"
 )
 
-// importHalo runs the staged halo exchange over the compiled plan. Per
-// axis there is one transfer for SC-MD (receive the upper-corner slab
-// from the +axis neighbor — 7 effective source ranks reached in 3
-// communication steps via forwarded routing, §4.2) and two for
-// FS-/Hybrid-MD (both directions — 26 effective sources in 6 steps).
-// Because each phase's slab selection includes halo atoms received in
-// earlier phases, edge and corner data are forwarded automatically.
+// The staged halo exchange over the compiled plan. Per axis there is
+// one transfer for SC-MD (receive the upper-corner slab from the +axis
+// neighbor — 7 effective source ranks reached in 3 communication steps
+// via forwarded routing, §4.2) and two for FS-/Hybrid-MD (both
+// directions — 26 effective sources in 6 steps). Because each phase's
+// slab selection includes halo atoms received in earlier phases, edge
+// and corner data are forwarded automatically — which also means only
+// the first phase's send can be posted up front; each later send waits
+// for the receive one phase earlier.
+//
+// The exchange is therefore split into beginHalo (post every receive
+// handle plus the first send) and finishHalo (complete the receives in
+// phase order, appending arrivals and posting the next forwarded
+// send). The overlapped force path evaluates interior cells between
+// the two; the synchronous importHalo runs them back to back.
 //
 // Every geometric decision — slab bounds, peers, tags, frame shifts —
 // was compiled once into r.plan; the per-step loop only selects atoms,
 // streams them through the shared wire codec into pooled buffers, and
 // appends the arrivals. In steady state (capacities warmed up) the
 // whole exchange allocates nothing.
-func (r *rankState) importHalo() {
-	sp := r.rec.StartSpan(phaseHalo)
-	for pi := range r.plan.Halo {
-		r.haloPhaseExchange(pi)
-	}
-	sp.End()
-}
 
 // haloPhaseState is the per-step scratch of one compiled halo phase:
-// which local atoms were exported (for the force write-back) and where
-// the received atoms landed. The slices are reused across steps.
+// which local atoms were exported (for the force write-back), where
+// the received atoms landed, the posted receive handle, and the
+// health probe's pack-time checksum. The slices are reused across
+// steps.
 type haloPhaseState struct {
 	sendIdx   []int32 // local indices sent, reset each step
 	recvStart int     // first local index received
 	recvCount int
+	recv      comm.RecvHandle // posted by beginHalo, completed by finishHalo
+	sentSum   uint64          // checksum of the exported slab (health steps only)
 }
 
-// haloPhaseExchange executes one compiled phase: export the slab,
-// exchange with the precompiled peers, and append the margin fill.
-func (r *rankState) haloPhaseExchange(pi int) {
+// importHalo is the synchronous exchange: post and complete every
+// phase with nothing in between. It shares all machinery with the
+// overlapped path, so the two differ only in when the receives are
+// completed — never in what is evaluated or in which order.
+func (r *rankState) importHalo() error {
+	r.beginHalo()
+	return r.finishHalo()
+}
+
+// beginHalo posts the asynchronous side of the staged exchange: one
+// receive handle per compiled phase, then the first phase's send. The
+// checksum the health mirror probe audits is taken at pack time —
+// the handoff point — because the buffer belongs to the receiver the
+// moment the send is posted.
+func (r *rankState) beginHalo() {
+	sp := r.rec.StartSpan(phaseHalo)
+	defer sp.End()
+	for pi := range r.plan.Halo {
+		ph := &r.plan.Halo[pi]
+		r.phaseState[pi].recv = r.p.IRecvBuffer(ph.RecvPeer, ph.Tag)
+	}
+	r.postHaloSend(0)
+}
+
+// postHaloSend packs phase pi's slab — owned atoms plus any halo atoms
+// already appended by earlier phases (the forwarding) — and posts its
+// send. The flow event is emitted at post time; its receive side pairs
+// up at the peer's completion point.
+func (r *rankState) postHaloSend(pi int) {
 	ph := &r.plan.Halo[pi]
 	st := &r.phaseState[pi]
 	st.sendIdx = st.sendIdx[:0]
@@ -60,20 +91,58 @@ func (r *rankState) haloPhaseExchange(pi int) {
 		putHaloAtom(buf, r.ids[i], r.species[i], ec, lp)
 		st.sendIdx = append(st.sendIdx, int32(i))
 	}
-	// The health probe's sent-side checksum must be taken before the
-	// exchange: SendRecvBuffer hands the buffer off to the receiver.
-	var sentSum uint64
+	st.sentSum = 0
 	if r.healthStep {
-		sentSum = health.Checksum64(buf.Bytes())
+		st.sentSum = health.Checksum64(buf.Bytes())
 	}
 	r.rec.FlowSend(ph.Tag)
-	recv := r.p.SendRecvBuffer(ph.SendPeer, ph.Tag, buf, ph.RecvPeer, ph.Tag)
-	r.rec.FlowRecv(ph.Tag, ph.RecvPeer)
-	r.stats.HaloMessages++
-	if r.healthStep {
-		r.mirrorCheck(ph, sentSum, health.Checksum64(recv.Bytes()))
-	}
+	r.p.ISendBuffer(ph.SendPeer, ph.Tag, buf)
+}
 
+// finishHalo completes the posted receives in phase order: wait for
+// the phase's margin fill (the halo:wait span — with interior work
+// overlapped, this is the latency the computation failed to hide),
+// append it, and post the next phase's forwarded send. Malformed
+// messages come back as typed errors; the caller propagates them so
+// the world aborts with rank/step/phase context instead of crashing.
+func (r *rankState) finishHalo() error {
+	for pi := range r.plan.Halo {
+		ph := &r.plan.Halo[pi]
+		st := &r.phaseState[pi]
+		wsp := r.rec.StartSpan(phaseHaloWait)
+		recv := st.recv.Wait()
+		wsp.End()
+		r.rec.FlowRecv(ph.Tag, ph.RecvPeer)
+		r.stats.HaloMessages++
+		sp := r.rec.StartSpan(phaseHalo)
+		if r.healthStep {
+			r.mirrorCheck(ph, st.sentSum, health.Checksum64(recv.Bytes()))
+		}
+		err := r.appendHalo(pi, recv)
+		if err == nil && pi+1 < len(r.plan.Halo) {
+			r.postHaloSend(pi + 1)
+		}
+		sp.End()
+		if err != nil {
+			return r.rankErr("halo", err)
+		}
+	}
+	return nil
+}
+
+// appendHalo decodes one phase's margin fill and appends it to the
+// atom arrays, recording where it landed for the force write-back.
+// The buffer is validated before decoding: a payload that is not a
+// whole number of wire records, or an atom landing outside the
+// extended lattice, is a malformed message, not a panic.
+func (r *rankState) appendHalo(pi int, recv *comm.Buffer) error {
+	st := &r.phaseState[pi]
+	if recv.Len()%HaloAtomWireBytes != 0 {
+		err := fmt.Errorf("malformed halo message from rank %d: %d bytes is not a whole number of %d-byte atom records",
+			r.plan.Halo[pi].RecvPeer, recv.Len(), HaloAtomWireBytes)
+		r.p.ReleaseBuffer(recv)
+		return err
+	}
 	st.recvStart = len(r.ids)
 	st.recvCount = 0
 	var rd comm.Reader
@@ -81,8 +150,10 @@ func (r *rankState) haloPhaseExchange(pi int) {
 	for rd.Remaining() > 0 {
 		id, sp, ec, lp := getHaloAtom(&rd)
 		if !ec.InBox(r.extLat.Dims) {
-			panic(fmt.Sprintf("parmd: rank %d received halo atom %d in cell %v outside %v",
-				r.p.Rank(), id, ec, r.extLat.Dims))
+			err := fmt.Errorf("received halo atom %d from rank %d in cell %v outside extended lattice %v",
+				id, r.plan.Halo[pi].RecvPeer, ec, r.extLat.Dims)
+			r.p.ReleaseBuffer(recv)
+			return err
 		}
 		r.ids = append(r.ids, id)
 		r.species = append(r.species, sp)
@@ -93,15 +164,35 @@ func (r *rankState) haloPhaseExchange(pi int) {
 	}
 	r.p.ReleaseBuffer(recv)
 	r.stats.AtomsImported += int64(st.recvCount)
+	return nil
 }
 
 // writeBackForces returns the forces accumulated on imported halo
 // atoms to their senders, replaying the compiled phases in reverse
 // order so forwarded contributions propagate back through the same
-// routing.
-func (r *rankState) writeBackForces() {
+// routing. Before replaying it audits the exchange bookkeeping: the
+// phases' [recvStart, recvStart+recvCount) windows must tile the halo
+// range of the atom arrays exactly — a mis-offset window would read
+// the wrong atoms' forces without any trailing-byte mismatch to catch
+// it. The returned payload is also size-checked up front against the
+// exported-atom count, which detects both truncation and mis-offsets,
+// unlike the old trailing-bytes check.
+func (r *rankState) writeBackForces() error {
 	sp := r.rec.StartSpan(phaseWriteback)
 	defer sp.End()
+	next := r.nOwned
+	for pi := range r.plan.Halo {
+		st := &r.phaseState[pi]
+		if st.recvStart != next {
+			return r.rankErr("writeback", fmt.Errorf(
+				"halo bookkeeping: phase %d imports start at index %d, expected %d", pi, st.recvStart, next))
+		}
+		next += st.recvCount
+	}
+	if next != len(r.ids) {
+		return r.rankErr("writeback", fmt.Errorf(
+			"halo bookkeeping: phases cover %d imported atoms, arrays hold %d", next-r.nOwned, len(r.ids)-r.nOwned))
+	}
 	for pi := len(r.plan.Halo) - 1; pi >= 0; pi-- {
 		ph := &r.plan.Halo[pi]
 		st := &r.phaseState[pi]
@@ -113,14 +204,18 @@ func (r *rankState) writeBackForces() {
 		recv := r.p.SendRecvBuffer(ph.RecvPeer, ph.ForceTag, buf, ph.SendPeer, ph.ForceTag)
 		r.rec.FlowRecv(ph.ForceTag, ph.SendPeer)
 		r.stats.HaloMessages++
+		if recv.Len() != len(st.sendIdx)*ForceWireBytes {
+			err := fmt.Errorf("force write-back size mismatch from rank %d: %d bytes for %d exported atoms (want %d)",
+				ph.SendPeer, recv.Len(), len(st.sendIdx), len(st.sendIdx)*ForceWireBytes)
+			r.p.ReleaseBuffer(recv)
+			return r.rankErr("writeback", err)
+		}
 		var rd comm.Reader
 		rd.Reset(recv.Bytes())
 		for _, idx := range st.sendIdx {
 			r.force[idx] = r.force[idx].Add(getForce(&rd))
 		}
-		if rd.Remaining() != 0 {
-			panic(fmt.Sprintf("parmd: rank %d force write-back size mismatch", r.p.Rank()))
-		}
 		r.p.ReleaseBuffer(recv)
 	}
+	return nil
 }

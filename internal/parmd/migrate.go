@@ -17,7 +17,7 @@ import (
 // reassigns the global cell, so every downstream consumer sees
 // owner-authoritative integer cells. When no atoms move, the exchange
 // sends empty pooled buffers and allocates nothing.
-func (r *rankState) migrate() {
+func (r *rankState) migrate() error {
 	sp := r.rec.StartSpan(phaseMigrate)
 	defer sp.End()
 	for i := 0; i < r.nOwned; i++ {
@@ -29,19 +29,27 @@ func (r *rankState) migrate() {
 		if !mp.Active {
 			continue
 		}
-		r.migrateAxis(axis, mp)
+		if err := r.migrateAxis(axis, mp); err != nil {
+			return r.rankErr("migrate", err)
+		}
 	}
 	r.stats.OwnedAtoms = r.nOwned
+	return nil
 }
 
 // migrateAxis exchanges leavers with both axis neighbors of the
 // compiled phase.
-func (r *rankState) migrateAxis(axis int, mp *MigratePhase) {
+func (r *rankState) migrateAxis(axis int, mp *MigratePhase) error {
 	out := [2]*comm.Buffer{r.p.AcquireBuffer(), r.p.AcquireBuffer()} // 0: toward -1, 1: toward +1
 	keep := 0
 	for i := 0; i < r.nOwned; i++ {
 		target := r.dec.ownerIndex(axis, r.gcell[i].Comp(axis))
-		d := hopDir(mp.BlockIdx, target, mp.Dim)
+		d, err := hopDir(mp.BlockIdx, target, mp.Dim)
+		if err != nil {
+			r.p.ReleaseBuffer(out[0])
+			r.p.ReleaseBuffer(out[1])
+			return fmt.Errorf("axis %d atom %d: %w", axis, r.ids[i], err)
+		}
 		if d == 0 {
 			r.copyAtom(keep, i)
 			keep++
@@ -53,6 +61,12 @@ func (r *rankState) migrateAxis(axis int, mp *MigratePhase) {
 
 	for di := range out {
 		recv := r.p.SendRecvBuffer(mp.SendPeer[di], mp.Tag[di], out[di], mp.RecvPeer[di], mp.Tag[di])
+		if recv.Len()%MigrantWireBytes != 0 {
+			err := fmt.Errorf("malformed migration message from rank %d: %d bytes is not a whole number of %d-byte records",
+				mp.RecvPeer[di], recv.Len(), MigrantWireBytes)
+			r.p.ReleaseBuffer(recv)
+			return err
+		}
 		var rd comm.Reader
 		rd.Reset(recv.Bytes())
 		for rd.Remaining() > 0 {
@@ -69,15 +83,17 @@ func (r *rankState) migrateAxis(axis int, mp *MigratePhase) {
 		}
 		r.p.ReleaseBuffer(recv)
 	}
+	return nil
 }
 
 // hopDir returns the single-step direction (-1, 0, +1) from block
 // index my toward block index target on a periodic axis of the given
-// dimension. It panics if the move needs more than one hop, which
-// would mean an atom crossed a whole block in one step.
-func hopDir(my, target, dim int) int {
+// dimension. A move needing more than one hop — an atom crossing a
+// whole block in one step — is reported as an error (it means the
+// integration blew up, which should abort the run, not the process).
+func hopDir(my, target, dim int) (int, error) {
 	if my == target {
-		return 0
+		return 0, nil
 	}
 	diff := target - my
 	// Shortest periodic direction.
@@ -88,13 +104,13 @@ func hopDir(my, target, dim int) int {
 	}
 	switch diff {
 	case 1, -1:
-		return diff
+		return diff, nil
 	}
 	// dim == 2 wraps +1 and -1 onto the same neighbor.
 	if dim == 2 {
-		return 1
+		return 1, nil
 	}
-	panic(fmt.Sprintf("parmd: atom moved %d blocks in one step (axis dim %d)", diff, dim))
+	return 0, fmt.Errorf("atom moved %d blocks in one step (axis dim %d)", diff, dim)
 }
 
 // copyAtom moves atom src's owned fields to slot dst (dst ≤ src).

@@ -136,24 +136,33 @@ func TestHaloExchangeZeroAllocsRecorder(t *testing.T) {
 		world := comm.NewWorld(cart.Size())
 		defineTagClasses(world)
 		err = world.Run(func(p *comm.Proc) error {
-			r, iter, err := exchangeRig(p, dec, cfg, model, SchemeSC)
+			r, iter, err := exchangeRig(p, dec, cfg, model, SchemeSC, false)
 			if err != nil {
 				return err
 			}
 			r.rec = rec.Rank(p.Rank())
+			var iterErr error
+			run := func() {
+				if err := iter(); err != nil && iterErr == nil {
+					iterErr = err
+				}
+			}
 			for k := 0; k < 30; k++ {
-				iter()
+				run()
 			}
 			p.Barrier()
 			if p.Rank() != 0 {
 				for k := 0; k < 11; k++ {
-					iter()
+					run()
 				}
 				p.Barrier()
-				return nil
+				return iterErr
 			}
-			allocs := testing.AllocsPerRun(10, iter)
+			allocs := testing.AllocsPerRun(10, run)
 			p.Barrier()
+			if iterErr != nil {
+				return iterErr
+			}
 			if allocs != 0 {
 				return fmt.Errorf("recorder enabled=%v: %g allocs per halo+write-back cycle", enabled, allocs)
 			}
@@ -321,61 +330,69 @@ func TestMaxRankPin(t *testing.T) {
 // step emits a Chrome-trace flow pair — a "s" (start) event on the
 // sender's track and a matching "f" (finish, bp "e") event on the
 // receiver's — sharing one ID, so the viewer draws arrows from each
-// send into the receive that consumed it.
+// send into the receive that consumed it. Covered for both exchange
+// modes: the overlapped default (send posted in beginHalo/finishHalo,
+// receive paired at the handle's completion point) and the synchronous
+// path.
 func TestTraceFlowEvents(t *testing.T) {
 	cfg, model := silicaConfig(t, 4, 300, 32)
 	// Fully split topology: an unsplit axis would wrap its halo phase
 	// back to the sender itself, putting both flow endpoints on one
 	// track and weakening the cross-track assertion below.
 	cart, _ := comm.NewCartDims(geom.IV(2, 2, 2))
-	rec := obs.NewRecorder(cart.Size(), 1024)
-	_, err := Run(cfg, model, Options{
-		Scheme: SchemeSC, Cart: cart, Dt: 1, Steps: 3, Recorder: rec,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	for _, noOverlap := range []bool{false, true} {
+		rec := obs.NewRecorder(cart.Size(), 1024)
+		_, err := Run(cfg, model, Options{
+			Scheme: SchemeSC, Cart: cart, Dt: 1, Steps: 3, Recorder: rec,
+			NoOverlap: noOverlap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
 
-	type endpoints struct {
-		starts, finishes int
-		startTid, finTid int
-	}
-	flows := map[string]*endpoints{}
-	for _, ev := range rec.Events() {
-		if ev.Cat != "flow" {
-			continue
+		type endpoints struct {
+			starts, finishes int
+			startTid, finTid int
 		}
-		if ev.Name != "msg" {
-			t.Fatalf("flow event named %q, want \"msg\"", ev.Name)
-		}
-		ep := flows[ev.ID]
-		if ep == nil {
-			ep = &endpoints{}
-			flows[ev.ID] = ep
-		}
-		switch ev.Ph {
-		case "s":
-			ep.starts++
-			ep.startTid = ev.Tid
-		case "f":
-			if ev.Bp != "e" {
-				t.Errorf("flow finish %s has bp %q, want \"e\"", ev.ID, ev.Bp)
+		flows := map[string]*endpoints{}
+		for _, ev := range rec.Events() {
+			if ev.Cat != "flow" {
+				continue
 			}
-			ep.finishes++
-			ep.finTid = ev.Tid
-		default:
-			t.Errorf("flow event %s has phase %q, want \"s\" or \"f\"", ev.ID, ev.Ph)
+			if ev.Name != "msg" {
+				t.Fatalf("flow event named %q, want \"msg\"", ev.Name)
+			}
+			ep := flows[ev.ID]
+			if ep == nil {
+				ep = &endpoints{}
+				flows[ev.ID] = ep
+			}
+			switch ev.Ph {
+			case "s":
+				ep.starts++
+				ep.startTid = ev.Tid
+			case "f":
+				if ev.Bp != "e" {
+					t.Errorf("flow finish %s has bp %q, want \"e\"", ev.ID, ev.Bp)
+				}
+				ep.finishes++
+				ep.finTid = ev.Tid
+			default:
+				t.Errorf("flow event %s has phase %q, want \"s\" or \"f\"", ev.ID, ev.Ph)
+			}
 		}
-	}
-	if len(flows) == 0 {
-		t.Fatal("trace contains no flow events")
-	}
-	for id, ep := range flows {
-		if ep.starts != 1 || ep.finishes != 1 {
-			t.Errorf("flow %s: %d starts, %d finishes, want exactly one of each", id, ep.starts, ep.finishes)
+		if len(flows) == 0 {
+			t.Fatal("trace contains no flow events")
 		}
-		if ep.startTid == ep.finTid {
-			t.Errorf("flow %s starts and finishes on the same track %d", id, ep.startTid)
+		for id, ep := range flows {
+			if ep.starts != 1 || ep.finishes != 1 {
+				t.Errorf("noOverlap=%v flow %s: %d starts, %d finishes, want exactly one of each",
+					noOverlap, id, ep.starts, ep.finishes)
+			}
+			if ep.startTid == ep.finTid {
+				t.Errorf("noOverlap=%v flow %s starts and finishes on the same track %d",
+					noOverlap, id, ep.startTid)
+			}
 		}
 	}
 }

@@ -280,24 +280,29 @@ func TestDecompRejectsTooManyRanks(t *testing.T) {
 
 // TestHopDir covers the periodic hop logic.
 func TestHopDir(t *testing.T) {
-	if hopDir(0, 0, 4) != 0 {
+	hop := func(my, target, dim int) int {
+		t.Helper()
+		d, err := hopDir(my, target, dim)
+		if err != nil {
+			t.Fatalf("hopDir(%d, %d, %d): %v", my, target, dim, err)
+		}
+		return d
+	}
+	if hop(0, 0, 4) != 0 {
 		t.Error("same block")
 	}
-	if hopDir(0, 1, 4) != 1 || hopDir(1, 0, 4) != -1 {
+	if hop(0, 1, 4) != 1 || hop(1, 0, 4) != -1 {
 		t.Error("adjacent hop")
 	}
-	if hopDir(0, 3, 4) != -1 || hopDir(3, 0, 4) != 1 {
+	if hop(0, 3, 4) != -1 || hop(3, 0, 4) != 1 {
 		t.Error("periodic wrap hop")
 	}
-	if hopDir(0, 1, 2) == 0 {
+	if hop(0, 1, 2) == 0 {
 		t.Error("dim-2 hop")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("two-block hop accepted")
-		}
-	}()
-	hopDir(0, 2, 5)
+	if _, err := hopDir(0, 2, 5); err == nil {
+		t.Error("two-block hop accepted")
+	}
 }
 
 // TestLJParallelMatchesSerial: a second model (pair-only) through the

@@ -19,6 +19,19 @@ type ExchangePlan struct {
 	// Migrate holds one entry per axis; axes a single rank spans are
 	// marked inactive.
 	Migrate [3]MigratePhase
+
+	// InteriorLo/InteriorHi bound the interior cells in extended-cell
+	// coordinates: an owned cell c with InteriorLo ≤ c < InteriorHi
+	// (component-wise) anchors only tuples whose atoms lie in owned
+	// cells. The margins are the scheme's maximal per-axis tuple reach
+	// (mLo below the anchor, mHi above — the same bound that sizes the
+	// halo import), so a cell at least mLo cells above the lower owned
+	// edge and mHi below the upper one can be evaluated before any halo
+	// data arrives. The remaining owned cells are the boundary set. An
+	// axis may compile to an empty interior range (InteriorHi ≤
+	// InteriorLo) when the block is thinner than both margins combined;
+	// the overlapped path then degenerates gracefully to all-boundary.
+	InteriorLo, InteriorHi geom.IVec3
 }
 
 // HaloPhase is one compiled slab transfer of the staged halo exchange.
@@ -64,6 +77,10 @@ func compileExchangePlan(dec *Decomp, rank, mLo, mHi int) *ExchangePlan {
 
 	plan := &ExchangePlan{}
 	for axis := 0; axis < 3; axis++ {
+		// Owned cells span [mLo, mLo+block) in extended coordinates; the
+		// interior keeps the scheme's reach away from both edges.
+		plan.InteriorLo.SetComp(axis, mLo+mLo)
+		plan.InteriorHi.SetComp(axis, mLo+block.Comp(axis)-mHi)
 		// Dir = −1: my bottom slab fills the −axis neighbor's upper
 		// margin (the SC direction). Dir = +1: my top slab fills the
 		// +axis neighbor's lower margin (full-shell only). The phase

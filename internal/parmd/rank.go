@@ -92,6 +92,20 @@ type rankState struct {
 
 	bin        *cell.Binning
 	ownedCells []geom.IVec3 // extended-lattice coords of owned cells
+	// interiorCells/boundaryCells partition ownedCells by the compiled
+	// plan's interior bounds: interior cells anchor only tuples over
+	// owned atoms, so the overlapped path evaluates them while halo
+	// data is still in flight; boundary cells wait for the imports.
+	// Both keep ownedCells' relative order, so the two-stage dispatch
+	// chunks deterministically.
+	interiorCells []geom.IVec3
+	boundaryCells []geom.IVec3
+	// overlap selects the split-phase exchange (the default): post the
+	// halo sends/receives, evaluate interior cells, complete the
+	// receives, evaluate boundary cells. False runs the synchronous
+	// import with the identical two-stage dispatch, so forces are
+	// bit-identical between the modes.
+	overlap bool
 	// enums holds one enumerator set per worker goroutine (enumerators
 	// are scratch and must not be shared between goroutines),
 	// enums[w][term].
@@ -137,9 +151,10 @@ type rankState struct {
 }
 
 // newRankState builds the static geometry, enumerators, and kernel
-// accumulator of a rank. workers ≤ 1 evaluates forces serially.
-func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Scheme, workers int) (*rankState, error) {
-	r := &rankState{p: p, dec: dec, scheme: scheme, model: model}
+// accumulator of a rank. workers ≤ 1 evaluates forces serially;
+// overlap selects the split-phase halo exchange.
+func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Scheme, workers int, overlap bool) (*rankState, error) {
+	r := &rankState{p: p, dec: dec, scheme: scheme, model: model, overlap: overlap, curStep: -1}
 	if workers < 1 {
 		workers = 1
 	}
@@ -179,7 +194,15 @@ func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Sche
 	for x := 0; x < block.X; x++ {
 		for y := 0; y < block.Y; y++ {
 			for z := 0; z < block.Z; z++ {
-				r.ownedCells = append(r.ownedCells, geom.IV(x+mLo, y+mLo, z+mLo))
+				c := geom.IV(x+mLo, y+mLo, z+mLo)
+				r.ownedCells = append(r.ownedCells, c)
+				if c.X >= r.plan.InteriorLo.X && c.X < r.plan.InteriorHi.X &&
+					c.Y >= r.plan.InteriorLo.Y && c.Y < r.plan.InteriorHi.Y &&
+					c.Z >= r.plan.InteriorLo.Z && c.Z < r.plan.InteriorHi.Z {
+					r.interiorCells = append(r.interiorCells, c)
+				} else {
+					r.boundaryCells = append(r.boundaryCells, c)
+				}
 			}
 		}
 	}

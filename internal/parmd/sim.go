@@ -1,6 +1,7 @@
 package parmd
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -54,6 +55,17 @@ type Options struct {
 	// Log receives structured run-lifecycle events (run start/end, rank
 	// failures); nil disables them.
 	Log *obs.Logger
+	// NoOverlap disables the overlapped (split-phase) halo exchange and
+	// completes every receive before force evaluation begins. Both
+	// modes run the identical interior/boundary two-stage dispatch, so
+	// forces and energies are bit-identical either way; the flag exists
+	// for A/B latency measurement (bench.Validate's synchronous wait
+	// baseline) and debugging. The overlapped path is the default.
+	NoOverlap bool
+	// transport, when non-nil, replaces the world's default channel
+	// transport — the seam fault-injection tests use to exercise the
+	// malformed-message and abort paths.
+	transport comm.Transport
 }
 
 // StepEnergy is one global energy sample.
@@ -132,6 +144,9 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	}
 
 	world := comm.NewWorld(opt.Cart.Size())
+	if opt.transport != nil {
+		world = comm.NewWorldTransport(opt.Cart.Size(), opt.transport)
+	}
 	defineTagClasses(world)
 	world.SetLogger(opt.Log)
 	opt.Log.Info("parmd run start",
@@ -155,8 +170,34 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	finals := make([][]finalAtom, world.Size())
 
 	wallStart := time.Now()
-	err = world.Run(func(p *comm.Proc) error {
-		r, err := newRankState(p, dec, model, opt.Scheme, opt.Workers)
+	err = world.Run(func(p *comm.Proc) (ferr error) {
+		// Failures leave this closure as typed *RankError values with
+		// rank/step/phase context: exchange errors arrive pre-wrapped,
+		// everything else (setup, health aborts, the comm layer's abort
+		// sentinel unwinding a receive blocked on a failed peer) is
+		// wrapped here. World.Run then logs each failing rank through
+		// Options.Log and joins every rank's error.
+		var r *rankState
+		defer func() {
+			if rec := recover(); rec != nil {
+				if !comm.IsAbort(rec) {
+					panic(rec)
+				}
+				ferr = comm.ErrAborted
+			}
+			if ferr != nil {
+				var re *RankError
+				if !errors.As(ferr, &re) {
+					step := -1
+					if r != nil {
+						step = r.curStep
+					}
+					ferr = &RankError{Rank: p.Rank(), Step: step, Phase: "run", Err: ferr}
+				}
+			}
+		}()
+		var err error
+		r, err = newRankState(p, dec, model, opt.Scheme, opt.Workers, !opt.NoOverlap)
 		if err != nil {
 			return err
 		}
@@ -170,7 +211,10 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 		}
 
 		r.rec.SetStep(-1) // spans before the loop tag the initial evaluation
-		pe := r.computeForces()
+		pe, err := r.computeForces()
+		if err != nil {
+			return err
+		}
 		sp := r.rec.StartSpan(phaseReduce)
 		totalPE := p.AllReduceSum(pe)
 		sp.End()
@@ -214,8 +258,13 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 				r.gpos[i] = r.gpos[i].Add(r.vel[i].Scale(opt.Dt))
 			}
 			sp.End()
-			r.migrate()
-			pe := r.computeForces()
+			if err := r.migrate(); err != nil {
+				return err
+			}
+			pe, err := r.computeForces()
+			if err != nil {
+				return err
+			}
 			sp = r.rec.StartSpan(phaseIntegrate)
 			for i := 0; i < r.nOwned; i++ {
 				r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
@@ -237,7 +286,7 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 			}
 			if r.healthStep {
 				if err := r.runHealthProbes(step, pe, masses, int64(cfg.N())); err != nil {
-					return err
+					return r.rankErr("health", err)
 				}
 			}
 			if logging {
@@ -325,10 +374,19 @@ var (
 	phaseMigrate   = obs.Phase("migrate")
 	phaseBin       = obs.Phase("bin")
 	phaseHalo      = obs.Phase("halo")
-	phaseSearch    = obs.Phase("search")
-	phaseWriteback = obs.Phase("writeback")
-	phaseReduce    = obs.Phase("reduce")
-	phaseHealth    = obs.Phase("health")
+	// halo:wait is the time blocked completing posted halo receives —
+	// with the overlapped exchange, the import latency the interior
+	// computation failed to hide.
+	phaseHaloWait = obs.Phase("halo:wait")
+	// force:interior / force:boundary are the two stages of the split
+	// force evaluation: interior cells run concurrently with the halo
+	// transfers, boundary cells after the imports land.
+	phaseForceInterior = obs.Phase("force:interior")
+	phaseForceBoundary = obs.Phase("force:boundary")
+	phaseSearch        = obs.Phase("search")
+	phaseWriteback     = obs.Phase("writeback")
+	phaseReduce        = obs.Phase("reduce")
+	phaseHealth        = obs.Phase("health")
 )
 
 // defineTagClasses registers the simulation's traffic classes on a

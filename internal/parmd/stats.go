@@ -141,6 +141,34 @@ func emitStepRecord(w *obs.StepWriter, r *rankState, p *comm.Proc, step int,
 	w.WriteStep(rec)
 }
 
+// OverlapFraction returns the measured overlap efficiency of the
+// split-phase halo exchange: the fraction of the exchange-completion
+// window covered by interior force computation,
+//
+//	interior / (interior + wait)
+//
+// over the mean per-rank force:interior and halo:wait phase times. 1.0
+// means every receive had already landed when the interior stage
+// finished (the import latency was fully hidden); values near 0 mean
+// the rank mostly sat blocked in halo:wait — no interior cells, or
+// communication far slower than compute. Zero when no recorder ran or
+// no exchange happened.
+func (r *Result) OverlapFraction() float64 {
+	var interior, wait float64
+	for _, ps := range r.Phases {
+		switch ps.Phase {
+		case "force:interior":
+			interior = ps.MeanNs
+		case "halo:wait":
+			wait = ps.MeanNs
+		}
+	}
+	if interior+wait <= 0 {
+		return 0
+	}
+	return interior / (interior + wait)
+}
+
 // publishMetrics exports the run's accumulated counters into the
 // registry: summed RankStats under parmd.*, per-class communication
 // volume and receive-wait time under comm.<class>.*, and — when a span
@@ -182,6 +210,9 @@ func publishMetrics(reg *obs.Registry, res *Result) {
 	for _, ps := range res.Phases {
 		reg.Gauge("phase." + ps.Phase + ".max_ms").Set(float64(ps.MaxNs) / 1e6)
 		reg.Gauge("phase." + ps.Phase + ".imbalance").Set(ps.Imbalance())
+	}
+	if len(res.Phases) > 0 {
+		reg.Gauge("parmd.overlap_fraction").Set(res.OverlapFraction())
 	}
 	if len(res.Phases) > 0 && res.Wall > 0 {
 		frac := float64(obs.CriticalPathNs(res.Phases)) / float64(res.Wall.Nanoseconds())
