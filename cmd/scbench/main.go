@@ -77,7 +77,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: scbench {patterns|imports|midpoint|fig7|fig8|fig9|ablate|validate|workers|record|compare|all} [flags]")
 	fmt.Fprintln(os.Stderr, "  fig8/fig9 flags: -machine {xeon|bgq}; fig9 also -extreme")
 	fmt.Fprintln(os.Stderr, "  record flags: -out file -atoms n -steps n -ranks n -seed n -sha s")
-	fmt.Fprintln(os.Stderr, "  compare: scbench compare old.json new.json [-threshold pct]")
+	fmt.Fprintln(os.Stderr, "  compare: scbench compare old.json new.json [-threshold pct] [-max-allocs n]")
 }
 
 func machineFlag(fs *flag.FlagSet) *string {
@@ -247,11 +247,12 @@ func runCompare(args []string) error {
 	}
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 10, "regression threshold in percent")
+	maxAllocs := fs.Float64("max-allocs", 100, "absolute allocs_per_step ceiling on the new record (0 disables)")
 	fs.Parse(flags)
 	if len(pos) != 2 {
-		return fmt.Errorf("compare needs exactly two files: scbench compare old.json new.json [-threshold pct]")
+		return fmt.Errorf("compare needs exactly two files: scbench compare old.json new.json [-threshold pct] [-max-allocs n]")
 	}
-	return bench.CompareReport(os.Stdout, pos[0], pos[1], *threshold)
+	return bench.CompareReport(os.Stdout, pos[0], pos[1], *threshold, *maxAllocs)
 }
 
 // gitSHA best-effort resolves HEAD; record still works outside a git

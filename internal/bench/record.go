@@ -29,7 +29,12 @@ import (
 //	2  overlapped halo exchange: workloads gain overlap_fraction, and
 //	   phase_ns carries the split force:interior/force:boundary and
 //	   halo:wait phases in place of SC/FS per-term force spans
-const BenchSchemaVersion = 2
+//	3  cell-sorted SoA storage and the zero-alloc step loop:
+//	   allocs_per_step is now the barrier-fenced steady-state malloc
+//	   rate of the step loop alone (Result.StepAllocs) instead of a
+//	   whole-run delta that included setup, and compare enforces an
+//	   absolute allocs_per_step ceiling on the new record
+const BenchSchemaVersion = 3
 
 // HostProfile pins a recorded benchmark to the machine it ran on: the
 // Go runtime's identification plus the calibrated per-operation
@@ -147,17 +152,15 @@ func Record(opt RecordOptions) (*BenchFile, error) {
 		mon := health.New(health.Config{Every: 1, ParityEvery: opt.Steps})
 		rec := obs.NewRecorder(opt.Ranks, 16)
 
-		var before, after runtime.MemStats
 		runtime.GC()
-		runtime.ReadMemStats(&before)
 		res, err := parmd.Run(cfg, model, parmd.Options{
 			Scheme: scheme, Cart: cart, Dt: 0.5, Steps: opt.Steps,
 			Workers: opt.Workers, Recorder: rec, Health: mon,
+			MeasureAllocs: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("bench: record %v: %w", scheme, err)
 		}
-		runtime.ReadMemStats(&after)
 
 		w := BenchWorkload{
 			Name:          fmt.Sprintf("silica-%v-r%d", scheme, opt.Ranks),
@@ -167,7 +170,7 @@ func Record(opt RecordOptions) (*BenchFile, error) {
 			Ranks:         opt.Ranks,
 			Workers:       opt.Workers,
 			WallMsPerStep: res.Wall.Seconds() * 1e3 / float64(opt.Steps),
-			AllocsPerStep: float64(after.Mallocs-before.Mallocs) / float64(opt.Steps),
+			AllocsPerStep: res.StepAllocs,
 			PhaseNs:       make(map[string]int64, len(res.Phases)),
 			Comm:          make(map[string]CommStats, len(res.CommByClass)),
 			OverlapFraction: res.OverlapFraction(),
@@ -240,7 +243,13 @@ const (
 // benchmark, so that is a regression at any threshold. Workloads
 // present in only one file are skipped (recording configurations may
 // evolve); an improvement is never a regression.
-func Compare(old, new *BenchFile, thresholdPct float64) []Regression {
+//
+// maxAllocs is an absolute ceiling on every new workload's steady-state
+// allocs_per_step, enforced regardless of the baseline — the step loop
+// is zero-alloc by construction, so any rate above a small slack means
+// a per-step allocation crept back in. Zero or negative disables the
+// ceiling.
+func Compare(old, new *BenchFile, thresholdPct, maxAllocs float64) []Regression {
 	byName := make(map[string]*BenchWorkload, len(old.Workloads))
 	for i := range old.Workloads {
 		byName[old.Workloads[i].Name] = &old.Workloads[i]
@@ -266,6 +275,13 @@ func Compare(old, new *BenchFile, thresholdPct float64) []Regression {
 		}
 		add("wall_ms_per_step", ow.WallMsPerStep, nw.WallMsPerStep, 0.01)
 		add("allocs_per_step", ow.AllocsPerStep, nw.AllocsPerStep, minAllocs)
+		if maxAllocs > 0 && nw.AllocsPerStep > maxAllocs {
+			regs = append(regs, Regression{
+				Workload: nw.Name, Metric: "allocs_per_step.ceiling",
+				Old: maxAllocs, New: nw.AllocsPerStep,
+				Pct: (nw.AllocsPerStep - maxAllocs) / maxAllocs * 100,
+			})
+		}
 		for phase, oldNs := range ow.PhaseNs {
 			add("phase_ns."+phase, float64(oldNs), float64(nw.PhaseNs[phase]), minPhaseNs)
 		}
@@ -300,7 +316,7 @@ func Compare(old, new *BenchFile, thresholdPct float64) []Regression {
 
 // CompareReport prints a comparison and returns an error when it found
 // regressions — the non-zero-exit contract of scbench compare.
-func CompareReport(w *os.File, oldPath, newPath string, thresholdPct float64) error {
+func CompareReport(w *os.File, oldPath, newPath string, thresholdPct, maxAllocs float64) error {
 	old, err := LoadBenchFile(oldPath)
 	if err != nil {
 		return err
@@ -309,9 +325,9 @@ func CompareReport(w *os.File, oldPath, newPath string, thresholdPct float64) er
 	if err != nil {
 		return err
 	}
-	regs := Compare(old, cur, thresholdPct)
-	fmt.Fprintf(w, "bench compare: %s (sha %s) vs %s (sha %s), threshold %g%%\n",
-		oldPath, shortSHA(old.GitSHA), newPath, shortSHA(cur.GitSHA), thresholdPct)
+	regs := Compare(old, cur, thresholdPct, maxAllocs)
+	fmt.Fprintf(w, "bench compare: %s (sha %s) vs %s (sha %s), threshold %g%%, alloc ceiling %g/step\n",
+		oldPath, shortSHA(old.GitSHA), newPath, shortSHA(cur.GitSHA), thresholdPct, maxAllocs)
 	if len(regs) == 0 {
 		fmt.Fprintln(w, "no regressions")
 		return nil

@@ -174,7 +174,7 @@ func compareFixture() *BenchFile {
 
 func TestCompareCleanOnIdentical(t *testing.T) {
 	old, cur := compareFixture(), compareFixture()
-	if regs := Compare(old, cur, 10); len(regs) != 0 {
+	if regs := Compare(old, cur, 10, 0); len(regs) != 0 {
 		t.Errorf("identical files produced regressions: %+v", regs)
 	}
 }
@@ -193,7 +193,7 @@ func TestCompareFlagsDegradations(t *testing.T) {
 	w.AllocsPerStep = 5100                                    // +2%, under threshold
 	w.Health.Probes[0].Fail = 2                               // unhealthy run
 
-	regs := Compare(old, cur, 10)
+	regs := Compare(old, cur, 10, 0)
 	got := map[string]float64{}
 	for _, r := range regs {
 		if r.Workload != "silica-SC-MD-r2" {
@@ -215,13 +215,37 @@ func TestCompareFlagsDegradations(t *testing.T) {
 	}
 }
 
+// TestCompareAllocCeiling: the absolute allocs_per_step ceiling trips
+// on the new record's rate alone — even when the baseline was equally
+// bad, so a pair of leaky records can never ratchet the ceiling away —
+// and a rate at or under the ceiling (or a disabled ceiling) passes.
+func TestCompareAllocCeiling(t *testing.T) {
+	old, cur := compareFixture(), compareFixture()
+	regs := Compare(old, cur, 10, 100)
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_step.ceiling" {
+		t.Fatalf("ceiling regressions = %+v, want exactly allocs_per_step.ceiling", regs)
+	}
+	if regs[0].Old != 100 || regs[0].New != 5000 {
+		t.Errorf("ceiling regression old=%g new=%g, want 100 and 5000", regs[0].Old, regs[0].New)
+	}
+
+	cur.Workloads[0].AllocsPerStep = 100 // at the ceiling: allowed
+	if regs := Compare(old, cur, 10, 100); len(regs) != 0 {
+		t.Errorf("rate at the ceiling flagged: %+v", regs)
+	}
+	cur.Workloads[0].AllocsPerStep = 5000
+	if regs := Compare(old, cur, 10, 0); len(regs) != 0 {
+		t.Errorf("disabled ceiling still flagged: %+v", regs)
+	}
+}
+
 // TestCompareSkipsUnmatchedWorkloads: a workload present in only one
 // file is not comparable and must not fail the pipeline.
 func TestCompareSkipsUnmatchedWorkloads(t *testing.T) {
 	old, cur := compareFixture(), compareFixture()
 	cur.Workloads[0].Name = "silica-SC-MD-r4"
 	cur.Workloads[0].WallMsPerStep = 1000
-	if regs := Compare(old, cur, 10); len(regs) != 0 {
+	if regs := Compare(old, cur, 10, 0); len(regs) != 0 {
 		t.Errorf("unmatched workload compared anyway: %+v", regs)
 	}
 }

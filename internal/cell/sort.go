@@ -1,0 +1,86 @@
+package cell
+
+// Sorter computes canonical (cell, key) permutations of atom storage:
+// atoms ordered first by linear cell index, ties broken by a unique
+// per-atom key (the global atom ID). Storage laid out this way is a
+// pure function of the physics state — positions and identities —
+// independent of input or arrival order, which is what lets the
+// cell-sorted structure-of-arrays layout keep forces bit-identical
+// under any storage permutation. All scratch is reused: Plan allocates
+// nothing at warm capacity.
+type Sorter struct {
+	perm []int32
+	cnt  []int32
+}
+
+// Ordered reports whether storage is already in canonical (cell, key)
+// order — the common case for a solid between rebuilds, where the
+// O(n) check saves the permutation entirely.
+func Ordered(cells []int32, keys []int64) bool {
+	for i := 1; i < len(cells); i++ {
+		if cells[i] < cells[i-1] || (cells[i] == cells[i-1] && keys[i] < keys[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Plan returns the permutation that brings storage into canonical
+// order: perm[k] is the current slot of the atom that belongs at slot
+// k. The returned slice aliases internal scratch, valid until the next
+// Plan call. Counting sort over cells plus per-cell insertion sort
+// over keys: O(n + cells) with O(1) cell occupancy.
+func (s *Sorter) Plan(numCells int, cells []int32, keys []int64) []int32 {
+	n := len(cells)
+	if cap(s.perm) < n {
+		// Headroom: the parallel ranks' owned count fluctuates under
+		// migration; an exact fit would reallocate at every new
+		// high-water mark.
+		s.perm = make([]int32, n+n/8)
+	}
+	s.perm = s.perm[:n]
+	if cap(s.cnt) < numCells+1 {
+		s.cnt = make([]int32, numCells+1)
+	}
+	cnt := s.cnt[:numCells+1]
+	clear(cnt)
+	for _, c := range cells {
+		cnt[c+1]++
+	}
+	for c := 0; c < numCells; c++ {
+		cnt[c+1] += cnt[c]
+	}
+	for i, c := range cells {
+		s.perm[cnt[c]] = int32(i)
+		cnt[c]++
+	}
+	// cnt[c] is now the end of cell c's range; its start is the end of
+	// cell c-1 (or 0). Insertion-sort each range by key.
+	lo := int32(0)
+	for c := 0; c < numCells; c++ {
+		hi := cnt[c]
+		seg := s.perm[lo:hi]
+		for i := 1; i < len(seg); i++ {
+			a := seg[i]
+			k := keys[a]
+			j := i - 1
+			for j >= 0 && keys[seg[j]] > k {
+				seg[j+1] = seg[j]
+				j--
+			}
+			seg[j+1] = a
+		}
+		lo = hi
+	}
+	return s.perm
+}
+
+// Permute gathers src through perm into dst: dst[k] = src[perm[k]].
+// dst and src must not alias; to permute in place, copy the array to
+// caller-held scratch first and gather back (keeping the backing array
+// stable, so slice headers captured elsewhere stay valid).
+func Permute[T any](dst, src []T, perm []int32) {
+	for k, i := range perm {
+		dst[k] = src[i]
+	}
+}

@@ -1,0 +1,168 @@
+// Package fixture stores and checks golden bit-exact fixtures: IEEE-754
+// bit patterns of forces, positions, and energies captured from a
+// reference build and pinned against later refactors. The cell-sorted
+// storage refactor is required to keep every engine bit-identical to
+// the pre-refactor enumeration order; these fixtures are the evidence.
+// Floats are compared as raw bit patterns — not within a tolerance —
+// so any change to summation order shows up.
+package fixture
+
+import (
+	"compress/gzip"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sctuple/internal/geom"
+)
+
+// Update reports whether golden files should be rewritten instead of
+// checked (GOLDEN_UPDATE=1 in the environment).
+func Update() bool { return os.Getenv("GOLDEN_UPDATE") == "1" }
+
+// Record is one captured run: the initial potential energy, the
+// per-step potential energies, and the final forces and positions in
+// global atom-ID order.
+type Record struct {
+	PE       string   `json:"pe"`
+	Energies []string `json:"energies,omitempty"`
+	Forces   string   `json:"forces"`
+	Pos      string   `json:"pos"`
+}
+
+// Set maps a run label (engine/scheme/topology) to its record.
+type Set map[string]Record
+
+// Bits encodes a float64 as its bit pattern, hex.
+func Bits(v float64) string {
+	return fmt.Sprintf("%016x", math.Float64bits(v))
+}
+
+// PackVec3 encodes a vector array as base64 of the little-endian
+// float64 bit stream (x, y, z per atom).
+func PackVec3(vs []geom.Vec3) string {
+	buf := make([]byte, 0, 24*len(vs))
+	for _, v := range vs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Y))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.Z))
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+func unpackWords(s string) ([]uint64, error) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("fixture: %d bytes is not a float64 stream", len(buf))
+	}
+	out := make([]uint64, len(buf)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return out, nil
+}
+
+// diffPacked locates the first differing float64 word of two packed
+// vector arrays for a readable failure message.
+func diffPacked(what, want, got string) error {
+	if want == got {
+		return nil
+	}
+	ww, err := unpackWords(want)
+	if err != nil {
+		return fmt.Errorf("fixture: bad golden %s: %v", what, err)
+	}
+	gw, err := unpackWords(got)
+	if err != nil {
+		return fmt.Errorf("fixture: bad computed %s: %v", what, err)
+	}
+	if len(ww) != len(gw) {
+		return fmt.Errorf("fixture: %s length %d words, golden %d", what, len(gw), len(ww))
+	}
+	for i := range ww {
+		if ww[i] != gw[i] {
+			return fmt.Errorf("fixture: %s atom %d component %d: %.17g (%016x), golden %.17g (%016x)",
+				what, i/3, i%3, math.Float64frombits(gw[i]), gw[i], math.Float64frombits(ww[i]), ww[i])
+		}
+	}
+	return fmt.Errorf("fixture: %s differs from golden (encoding mismatch)", what)
+}
+
+// Diff compares a computed record against the golden one and returns a
+// description of the first mismatch, or nil if bit-identical.
+func Diff(want, got Record) error {
+	if want.PE != got.PE {
+		return fmt.Errorf("fixture: initial PE bits %s, golden %s", got.PE, want.PE)
+	}
+	if len(want.Energies) != len(got.Energies) {
+		return fmt.Errorf("fixture: %d energy samples, golden %d", len(got.Energies), len(want.Energies))
+	}
+	for i := range want.Energies {
+		if want.Energies[i] != got.Energies[i] {
+			return fmt.Errorf("fixture: step %d PE bits %s, golden %s", i, got.Energies[i], want.Energies[i])
+		}
+	}
+	if err := diffPacked("force", want.Forces, got.Forces); err != nil {
+		return err
+	}
+	return diffPacked("position", want.Pos, got.Pos)
+}
+
+// Save writes the set as (gzipped, when the path ends in .gz) indented
+// JSON, creating parent directories.
+func Save(path string, s Set) error {
+	data, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if !strings.HasSuffix(path, ".gz") {
+		_, err = f.Write(data)
+		return err
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write(data); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// Load reads a set written by Save.
+func Load(path string) (Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var dec *json.Decoder
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		dec = json.NewDecoder(zr)
+	} else {
+		dec = json.NewDecoder(f)
+	}
+	var s Set
+	if err := dec.Decode(&s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

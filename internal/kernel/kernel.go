@@ -42,7 +42,9 @@ type ComputeStats struct {
 	PathApplications int64 // (cell, path) combinations processed
 	TuplesEvaluated  int64 // tuples passed to potential terms
 	PairListEntries  int64 // Verlet-list entries (Hybrid engine only)
-	TermTuples       map[int]int64
+	// TermTuples[n] counts evaluated tuples of length n. A fixed array
+	// (tuple.MaxN is small) so per-step stats never touch the heap.
+	TermTuples [tuple.MaxN + 1]int64
 	// Virial is W = Σ_tuples Σ_k f_k·r_k (eV), accumulated with the
 	// image-resolved tuple positions so periodic wrapping never
 	// corrupts it. The instantaneous pressure is (2·KE + W)/(3V).
@@ -56,13 +58,8 @@ func (cs *ComputeStats) Add(other ComputeStats) {
 	cs.TuplesEvaluated += other.TuplesEvaluated
 	cs.PairListEntries += other.PairListEntries
 	cs.Virial += other.Virial
-	if other.TermTuples != nil {
-		if cs.TermTuples == nil {
-			cs.TermTuples = make(map[int]int64)
-		}
-		for n, c := range other.TermTuples {
-			cs.TermTuples[n] += c
-		}
+	for n, c := range other.TermTuples {
+		cs.TermTuples[n] += c
 	}
 }
 
@@ -107,9 +104,7 @@ func (s *Slot) addTo(stats *ComputeStats) {
 	stats.PairListEntries += s.PairEntries
 	stats.Virial += s.Virial
 	for n, c := range s.TermTuples {
-		if c != 0 {
-			stats.TermTuples[n] += c
-		}
+		stats.TermTuples[n] += c
 	}
 }
 
@@ -154,7 +149,7 @@ func (a *Direct) Slot(int) *Slot { return &a.slot }
 
 // End implements Accumulator.
 func (a *Direct) End() (float64, ComputeStats) {
-	stats := ComputeStats{TermTuples: make(map[int]int64)}
+	var stats ComputeStats
 	a.slot.addTo(&stats)
 	return a.slot.Energy, stats
 }
@@ -188,7 +183,10 @@ func (a *Sharded) Begin(dst []geom.Vec3) {
 	for s := range a.slots {
 		sl := &a.slots[s]
 		if cap(sl.Force) < n {
-			sl.Force = make([]geom.Vec3, n)
+			// Headroom: n tracks owned+halo atoms, which fluctuates with
+			// thermal motion; an exact fit would reallocate every slot at
+			// each new high-water mark.
+			sl.Force = make([]geom.Vec3, n+n/8)
 		}
 		sl.Force = sl.Force[:n]
 		clear(sl.Force)
@@ -216,7 +214,7 @@ func (a *Sharded) Grow(dst []geom.Vec3) {
 	for s := range a.slots {
 		sl := &a.slots[s]
 		if cap(sl.Force) < n {
-			f := make([]geom.Vec3, n)
+			f := make([]geom.Vec3, n, n+n/8)
 			copy(f, sl.Force)
 			sl.Force = f
 			continue
@@ -235,7 +233,7 @@ func (a *Sharded) Slot(s int) *Slot { return &a.slots[s] }
 // End implements Accumulator: the deterministic fixed-order reduction.
 func (a *Sharded) End() (float64, ComputeStats) {
 	energy := 0.0
-	stats := ComputeStats{TermTuples: make(map[int]int64)}
+	var stats ComputeStats
 	for s := range a.slots {
 		sl := &a.slots[s]
 		energy += sl.Energy
@@ -301,21 +299,29 @@ func Run(shards, workers int, fn func(worker, shard int)) {
 // accumulating energy, forces, virial, and counts into a Slot. This
 // is the single audited copy of the force inner loop; every engine
 // routes through it.
+//
+// Species is a pointer to the engine's species slice so that visitors
+// built once can be reused across steps: engines that re-sort or grow
+// their atom storage update the pointee, and every visitor call reads
+// through it. Likewise a visitor reads slot.Force on every call, so
+// accumulator Begin/Grow re-pointing the slot buffers is safe.
 type TermKernel struct {
 	Term    potential.Term
-	Species []int32
+	Species *[]int32
 }
 
 // Visitor returns a tuple.Visitor for enumerator streams (the SC/FS
 // cell engines, serial and rank-local). Scratch is hoisted into the
-// closure, so the per-tuple path allocates nothing.
+// closure, so the per-tuple path allocates nothing; engines cache the
+// visitor itself across steps so the closure is not re-created either.
 func (k TermKernel) Visitor(slot *Slot) tuple.Visitor {
 	term := k.Term
-	species := k.Species
+	speciesp := k.Species
 	n := term.N()
 	var sp [tuple.MaxN]int32
 	var fb [tuple.MaxN]geom.Vec3
 	return func(atoms []int32, pos []geom.Vec3) {
+		species := *speciesp
 		for i := 0; i < n; i++ {
 			sp[i] = species[atoms[i]]
 			fb[i] = geom.Vec3{}
@@ -334,13 +340,16 @@ func (k TermKernel) Visitor(slot *Slot) tuple.Visitor {
 // Hybrid engines): it receives endpoints i, j and the image-resolved
 // displacement from i to j, reconstructing the j-image position from
 // positions[i]. The signature matches nlist.PairList.VisitPairs.
-func (k TermKernel) PairVisitor(slot *Slot, positions []geom.Vec3) func(i, j int32, disp geom.Vec3, dist float64) {
+// positions is a pointer for the same reuse reason as
+// TermKernel.Species.
+func (k TermKernel) PairVisitor(slot *Slot, positionsp *[]geom.Vec3) func(i, j int32, disp geom.Vec3, dist float64) {
 	term := k.Term
-	species := k.Species
+	speciesp := k.Species
 	var sp [2]int32
 	var fb [2]geom.Vec3
 	var pp [2]geom.Vec3
 	return func(i, j int32, disp geom.Vec3, _ float64) {
+		species, positions := *speciesp, *positionsp
 		sp[0], sp[1] = species[i], species[j]
 		fb[0], fb[1] = geom.Vec3{}, geom.Vec3{}
 		pp[0] = positions[i]
@@ -360,11 +369,12 @@ func (k TermKernel) PairVisitor(slot *Slot, positions []geom.Vec3) func(i, j int
 // middle.
 func (k TermKernel) TripletVisitor(slot *Slot) func(atoms [3]int32, pos [3]geom.Vec3) {
 	term := k.Term
-	species := k.Species
+	speciesp := k.Species
 	var sp [3]int32
 	var fb [3]geom.Vec3
 	var pp [3]geom.Vec3
 	return func(atoms [3]int32, pos [3]geom.Vec3) {
+		species := *speciesp
 		for m := 0; m < 3; m++ {
 			sp[m] = species[atoms[m]]
 			fb[m] = geom.Vec3{}

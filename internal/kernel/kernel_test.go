@@ -60,7 +60,7 @@ func TestShardedMatchesDirect(t *testing.T) {
 	}
 	species := []int32{0, 0, 0, 0}
 	pairs := [][2]int32{{0, 1}, {2, 3}}
-	k := TermKernel{Term: term, Species: species}
+	k := TermKernel{Term: term, Species: &species}
 
 	dir := NewDirect()
 	fDir := make([]geom.Vec3, len(pos))
@@ -130,7 +130,7 @@ func TestVisitorVirial(t *testing.T) {
 	dir := NewDirect()
 	f := make([]geom.Vec3, 2)
 	dir.Begin(f)
-	k := TermKernel{Term: term, Species: species}
+	k := TermKernel{Term: term, Species: &species}
 	k.Visitor(dir.Slot(0))([]int32{0, 1}, pos)
 	_, st := dir.End()
 

@@ -1,0 +1,146 @@
+package md
+
+import (
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/geom"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// stepSystem builds a thermalized silica crystal for the allocation
+// tests and step benchmarks (testing.TB so benchmarks share it).
+func stepSystem(tb testing.TB, cells int) *System {
+	tb.Helper()
+	model := potential.NewSilicaModel()
+	cfg := workload.BetaCristobalite(cells, cells, cells)
+	cfg.Thermalize(rand.New(rand.NewSource(7)), model, 300)
+	sys, err := NewSystem(cfg, model)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// stepEngines lists every engine variant whose steady-state step must
+// not allocate. The concurrent engine is included at one worker (the
+// inline path); multi-worker runs spawn goroutines per evaluation,
+// which is an accepted per-step cost covered by the bench ceiling.
+func stepEngines(tb testing.TB, sys *System) map[string]Engine {
+	tb.Helper()
+	mk := func(e Engine, err error) Engine {
+		if err != nil {
+			tb.Fatal(err)
+		}
+		return e
+	}
+	return map[string]Engine{
+		"sc":          mk(NewCellEngine(sys.Model, sys.Box, FamilySC)),
+		"fs":          mk(NewCellEngine(sys.Model, sys.Box, FamilyFS)),
+		"hybrid":      mk(NewHybridEngine(sys.Model, sys.Box)),
+		"hybrid-skin": mk(NewHybridEngineSkin(sys.Model, sys.Box, 0.5)),
+		"concurrent":  mk(NewConcurrentCellEngine(sys.Model, sys.Box, FamilySC, 1)),
+	}
+}
+
+// TestStepZeroAllocs: after warm-up, a full velocity-Verlet step —
+// integrate, canonical re-sort check, rebin, tuple search, force
+// kernels, Verlet-list rebuild or refresh — allocates nothing on any
+// engine. The initial Compute of NewSim performs the one canonical
+// sort and warms every scratch buffer, so the measured steps exercise
+// the reuse paths only.
+func TestStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	base := stepSystem(t, 3)
+	for name := range stepEngines(t, base) {
+		t.Run(name, func(t *testing.T) {
+			sys := stepSystem(t, 3)
+			eng := stepEngines(t, sys)[name]
+			sim, err := NewSim(sys, eng, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 5; k++ {
+				if err := sim.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var stepErr error
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := sim.Step(); err != nil && stepErr == nil {
+					stepErr = err
+				}
+			})
+			if stepErr != nil {
+				t.Fatal(stepErr)
+			}
+			if allocs != 0 {
+				t.Errorf("%s: %g allocs per step, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// TestSortedLayoutIdentity: GatherByID must invert the canonical sort —
+// gathering positions by global ID returns the adoption-order
+// trajectory view whatever the storage permutation is.
+func TestSortedLayoutIdentity(t *testing.T) {
+	sys := stepSystem(t, 3)
+	orig := make([]geom.Vec3, len(sys.Pos))
+	copy(orig, sys.Pos)
+	eng, err := NewCellEngine(sys.Model, sys.Box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Compute(sys); err != nil {
+		t.Fatal(err)
+	}
+	sorted := false
+	for i := range sys.ID {
+		if sys.ID[i] != int64(i) {
+			sorted = true
+			break
+		}
+	}
+	if !sorted {
+		t.Fatal("canonical sort left adoption order untouched; identity test is vacuous")
+	}
+	byID := sys.GatherByID(nil, sys.Pos)
+	for i := range orig {
+		if byID[i] != orig[i] {
+			t.Fatalf("atom %d: gathered position %v != original %v", i, byID[i], orig[i])
+		}
+	}
+	slot := sys.SlotByID()
+	for i := range sys.ID {
+		if int(slot[sys.ID[i]]) != i {
+			t.Fatalf("slotOf[%d] = %d, want %d", sys.ID[i], slot[sys.ID[i]], i)
+		}
+	}
+}
+
+// BenchmarkStep is the per-engine step benchmark the CI allocation
+// gate runs with -benchmem: allocs/op must be 0 for every serial
+// engine.
+func BenchmarkStep(b *testing.B) {
+	for _, name := range []string{"sc", "fs", "hybrid", "hybrid-skin"} {
+		b.Run(name, func(b *testing.B) {
+			sys := stepSystem(b, 3)
+			eng := stepEngines(b, sys)[name]
+			sim, err := NewSim(sys, eng, 0.5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sim.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -33,9 +33,19 @@ type ConcurrentCellEngine struct {
 	bins  []*cell.Binning
 	cells [][]geom.IVec3 // all anchor cells per term
 
+	canonLat cell.Lattice
+	useSpans []bool // term lattice == canonical lattice
+
 	// Per-worker, per-term enumerators (enumerators hold scratch and
 	// must not be shared between goroutines).
 	enums [][]*tuple.Enumerator
+
+	// Per-slot, per-term visitors, bound once per System; the shard
+	// function is hoisted so the step loop re-creates no closures.
+	boundTo  *System
+	visitors [][]tuple.Visitor
+	runFn    func(w, s int)
+	curTerm  int
 
 	acc   *kernel.Sharded
 	stats ComputeStats
@@ -56,6 +66,11 @@ func NewConcurrentCellEngine(model *potential.Model, box geom.Box, family Family
 		workers: workers,
 		acc:     kernel.NewSharded(workers),
 	}
+	canon, err := cell.NewLattice(box, model.MaxCutoff())
+	if err != nil {
+		return nil, fmt.Errorf("md: %w", err)
+	}
+	e.canonLat = canon
 	for _, term := range model.Terms {
 		lat, err := cell.NewLattice(box, term.Cutoff())
 		if err != nil {
@@ -64,6 +79,7 @@ func NewConcurrentCellEngine(model *potential.Model, box geom.Box, family Family
 		bin := cell.NewBinning(lat, nil)
 		e.lats = append(e.lats, lat)
 		e.bins = append(e.bins, bin)
+		e.useSpans = append(e.useSpans, term.Cutoff() == model.MaxCutoff())
 		all := make([]geom.IVec3, 0, lat.NumCells())
 		for i := 0; i < lat.NumCells(); i++ {
 			all = append(all, lat.CellAt(i))
@@ -95,25 +111,64 @@ func (e *ConcurrentCellEngine) Name() string {
 // Workers returns the worker count.
 func (e *ConcurrentCellEngine) Workers() int { return e.workers }
 
-// Compute implements Engine.
+// bind caches per-slot visitors and the shard function for one
+// System. Visitors read species and forces through pointers, so the
+// caches survive re-sorts; only a System switch rebuilds them.
+func (e *ConcurrentCellEngine) bind(sys *System) {
+	if e.boundTo == sys {
+		return
+	}
+	e.boundTo = sys
+	slots := e.acc.Slots()
+	e.visitors = e.visitors[:0]
+	for s := 0; s < slots; s++ {
+		slot := e.acc.Slot(s)
+		vs := make([]tuple.Visitor, 0, len(e.model.Terms))
+		for _, term := range e.model.Terms {
+			k := kernel.TermKernel{Term: term, Species: &sys.Species}
+			vs = append(vs, k.Visitor(slot))
+		}
+		e.visitors = append(e.visitors, vs)
+	}
+	for w := range e.enums {
+		for ti := range e.enums[w] {
+			e.enums[w][ti].SetKeys(sys.ID)
+		}
+	}
+	e.runFn = func(w, s int) {
+		ti := e.curTerm
+		all := e.cells[ti]
+		lo, hi := kernel.Chunk(len(all), e.acc.Slots(), s)
+		if lo >= hi {
+			return
+		}
+		slot := e.acc.Slot(s)
+		e.enums[w][ti].VisitCellsInto(all[lo:hi], sys.Pos, e.visitors[s][ti], &slot.Enum)
+	}
+}
+
+// Compute implements Engine: canonical sort, span (or keyed-CSR)
+// rebin per term, then shard the anchor cells across the accumulator
+// slots exactly as before — the chunk partition hangs off the cell
+// list, so results stay bit-identical to the unsorted layout.
 func (e *ConcurrentCellEngine) Compute(sys *System) (float64, error) {
 	if sys.Model != e.model {
 		return 0, fmt.Errorf("md: engine model %q does not match system model %q",
 			e.model.Name, sys.Model.Name)
 	}
+	sys.EnsureLayout(e.canonLat)
+	e.bind(sys)
 	e.acc.Begin(sys.Force)
-	for ti, term := range e.model.Terms {
-		e.bins[ti].Rebin(sys.Pos)
-		all := e.cells[ti]
-		k := kernel.TermKernel{Term: term, Species: sys.Species}
-		kernel.Run(e.acc.Slots(), e.workers, func(w, s int) {
-			lo, hi := kernel.Chunk(len(all), e.acc.Slots(), s)
-			if lo >= hi {
-				return
+	for ti := range e.model.Terms {
+		if e.useSpans[ti] {
+			if err := e.bins[ti].RebinSpans(sys.CanonicalCells()); err != nil {
+				return 0, fmt.Errorf("md: %w", err)
 			}
-			slot := e.acc.Slot(s)
-			e.enums[w][ti].VisitCellsInto(all[lo:hi], sys.Pos, k.Visitor(slot), &slot.Enum)
-		})
+		} else {
+			e.bins[ti].RebinKeyed(sys.Pos, sys.ID)
+		}
+		e.curTerm = ti
+		kernel.Run(e.acc.Slots(), e.workers, e.runFn)
 	}
 	// Deterministic reduction in fixed shard order.
 	energy, stats := e.acc.End()

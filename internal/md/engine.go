@@ -52,12 +52,27 @@ func (f Family) Pattern(n int) (*core.Pattern, error) {
 // cell lattice sized by its own cutoff: the silica triplet term
 // searches 2.6 Å cells rather than the 5.5 Å pair cells, which is
 // what keeps the SC triplet search space compact.
+//
+// Storage layout: Compute first sorts the system into canonical
+// (cell, ID) order over the model's MaxCutoff lattice (the coarsest
+// term lattice). Terms on that lattice then walk contiguous storage
+// spans with no indirection at all; finer-lattice terms bin CSR with
+// ID-ordered cell lists, which makes their enumeration order equal to
+// the canonical one regardless of storage order. Visitors and
+// enumerator keys are bound once per System, so steady-state Compute
+// calls allocate nothing.
 type CellEngine struct {
 	family Family
 	model  *potential.Model
 	lats   []cell.Lattice
 	bins   []*cell.Binning
 	enums  []*tuple.Enumerator
+
+	canonLat cell.Lattice
+	useSpans []bool // term lattice == canonical lattice
+
+	boundTo  *System
+	visitors []tuple.Visitor
 
 	acc   *kernel.Direct
 	stats ComputeStats
@@ -70,6 +85,11 @@ func NewCellEngine(model *potential.Model, box geom.Box, family Family) (*CellEn
 		return nil, err
 	}
 	e := &CellEngine{family: family, model: model, acc: kernel.NewDirect()}
+	canon, err := cell.NewLattice(box, model.MaxCutoff())
+	if err != nil {
+		return nil, fmt.Errorf("md: %w", err)
+	}
+	e.canonLat = canon
 	for _, term := range model.Terms {
 		lat, err := cell.NewLattice(box, term.Cutoff())
 		if err != nil {
@@ -87,6 +107,7 @@ func NewCellEngine(model *potential.Model, box geom.Box, family Family) (*CellEn
 		e.lats = append(e.lats, lat)
 		e.bins = append(e.bins, bin)
 		e.enums = append(e.enums, en)
+		e.useSpans = append(e.useSpans, term.Cutoff() == model.MaxCutoff())
 	}
 	return e, nil
 }
@@ -104,6 +125,11 @@ func NewCellEngineRadius(model *potential.Model, box geom.Box, family Family, k 
 		return nil, err
 	}
 	e := &CellEngine{family: family, model: model, acc: kernel.NewDirect()}
+	canon, err := cell.NewLattice(box, model.MaxCutoff())
+	if err != nil {
+		return nil, fmt.Errorf("md: %w", err)
+	}
+	e.canonLat = canon
 	for _, term := range model.Terms {
 		lat, err := cell.NewLattice(box, term.Cutoff()/float64(k))
 		if err != nil {
@@ -126,6 +152,7 @@ func NewCellEngineRadius(model *potential.Model, box geom.Box, family Family, k 
 		e.lats = append(e.lats, lat)
 		e.bins = append(e.bins, bin)
 		e.enums = append(e.enums, en)
+		e.useSpans = append(e.useSpans, term.Cutoff()/float64(k) == model.MaxCutoff())
 	}
 	return e, nil
 }
@@ -136,20 +163,47 @@ func (e *CellEngine) Name() string { return e.family.String() + "-MD" }
 // Lattice returns the cell lattice of term i.
 func (e *CellEngine) Lattice(i int) cell.Lattice { return e.lats[i] }
 
-// Compute implements Engine: rebin per term, enumerate each term's
-// force set, and evaluate through the shared kernel layer into the
-// direct (single-buffer) accumulator.
+// bind caches the per-term visitors and enumerator dedup keys for one
+// System. The visitors read species, forces, and positions through
+// pointers, so they survive re-sorts; only switching the engine to a
+// different System rebuilds them.
+func (e *CellEngine) bind(sys *System) {
+	if e.boundTo == sys {
+		return
+	}
+	e.boundTo = sys
+	slot := e.acc.Slot(0)
+	e.visitors = e.visitors[:0]
+	for ti, term := range e.model.Terms {
+		k := kernel.TermKernel{Term: term, Species: &sys.Species}
+		e.visitors = append(e.visitors, k.Visitor(slot))
+		e.enums[ti].SetKeys(sys.ID)
+	}
+}
+
+// Compute implements Engine: sort storage into the canonical layout,
+// rebin per term (contiguous spans on the canonical lattice, keyed CSR
+// on finer ones), enumerate each term's force set, and evaluate
+// through the shared kernel layer into the direct (single-buffer)
+// accumulator. Steady-state calls allocate nothing.
 func (e *CellEngine) Compute(sys *System) (float64, error) {
 	if sys.Model != e.model {
 		return 0, fmt.Errorf("md: engine model %q does not match system model %q",
 			e.model.Name, sys.Model.Name)
 	}
+	sys.EnsureLayout(e.canonLat)
+	e.bind(sys)
 	e.acc.Begin(sys.Force)
 	slot := e.acc.Slot(0)
-	for ti, term := range e.model.Terms {
-		e.bins[ti].Rebin(sys.Pos)
-		k := kernel.TermKernel{Term: term, Species: sys.Species}
-		e.enums[ti].VisitInto(sys.Pos, k.Visitor(slot), &slot.Enum)
+	for ti := range e.model.Terms {
+		if e.useSpans[ti] {
+			if err := e.bins[ti].RebinSpans(sys.CanonicalCells()); err != nil {
+				return 0, fmt.Errorf("md: %w", err)
+			}
+		} else {
+			e.bins[ti].RebinKeyed(sys.Pos, sys.ID)
+		}
+		e.enums[ti].VisitInto(sys.Pos, e.visitors[ti], &slot.Enum)
 	}
 	energy, stats := e.acc.End()
 	e.stats = stats
@@ -172,13 +226,24 @@ type HybridEngine struct {
 	pair    potential.Term
 	triplet potential.Term // nil when the model is pair-only
 
+	canonLat cell.Lattice
+
 	// skin > 0 enables Verlet-list reuse: the list is built with
 	// cutoff r+skin and refreshed in place until some atom has moved
-	// more than skin/2 since the build.
-	skin     float64
-	pl       *nlist.PairList
-	buildPos []geom.Vec3
-	rebuilds int64
+	// more than skin/2 since the build. The list indexes storage
+	// slots, so it is additionally invalidated when the system's
+	// layout epoch moved (some other engine re-sorted the storage);
+	// the engine itself re-sorts only at rebuild steps.
+	skin       float64
+	builder    *nlist.Builder
+	pl         *nlist.PairList
+	buildPos   []geom.Vec3
+	buildEpoch uint64
+	rebuilds   int64
+
+	boundTo *System
+	pairV   func(i, j int32, disp geom.Vec3, dist float64)
+	tripV   func(atoms [3]int32, pos [3]geom.Vec3)
 
 	acc   *kernel.Direct
 	stats ComputeStats
@@ -219,6 +284,11 @@ func NewHybridEngine(model *potential.Model, box geom.Box) (*HybridEngine, error
 	if err != nil {
 		return nil, fmt.Errorf("md: %w", err)
 	}
+	canon, err := cell.NewLattice(box, model.MaxCutoff())
+	if err != nil {
+		return nil, fmt.Errorf("md: %w", err)
+	}
+	e.canonLat = canon
 	e.lat = lat
 	e.bin = cell.NewBinning(lat, nil)
 	return e, nil
@@ -256,10 +326,11 @@ func NewHybridEngineSkin(model *potential.Model, box geom.Box, skin float64) (*H
 // (always one per Compute when no skin is configured).
 func (e *HybridEngine) ListRebuilds() int64 { return e.rebuilds }
 
-// listIsStale reports whether any atom moved more than skin/2 since
-// the last build.
+// listIsStale reports whether the Verlet list must be rebuilt: the
+// storage layout moved under it (slot indices would dangle), or some
+// atom moved more than skin/2 since the build.
 func (e *HybridEngine) listIsStale(sys *System) bool {
-	if e.pl == nil || len(e.buildPos) != sys.N() {
+	if e.pl == nil || e.buildEpoch != sys.LayoutEpoch() || len(e.buildPos) != sys.N() {
 		return true
 	}
 	limit2 := (e.skin / 2) * (e.skin / 2)
@@ -271,55 +342,78 @@ func (e *HybridEngine) listIsStale(sys *System) bool {
 	return false
 }
 
+// bind caches the builder (whose pattern generation is expensive) and
+// the pair/triplet visitors for one System; they read species and
+// positions through pointers and so survive re-sorts.
+func (e *HybridEngine) bind(sys *System) error {
+	if e.boundTo == sys {
+		return nil
+	}
+	e.boundTo = sys
+	b, err := nlist.NewBuilder(e.bin, e.pair.Cutoff()+e.skin, sys.ID)
+	if err != nil {
+		return err
+	}
+	e.builder = b
+	e.pl = nil // slot indices of a previous system are meaningless
+	slot := e.acc.Slot(0)
+	pairK := kernel.TermKernel{Term: e.pair, Species: &sys.Species}
+	e.pairV = pairK.PairVisitor(slot, &sys.Pos)
+	if e.triplet != nil {
+		tripK := kernel.TermKernel{Term: e.triplet, Species: &sys.Species}
+		e.tripV = tripK.TripletVisitor(slot)
+	}
+	return nil
+}
+
 // Name implements Engine.
 func (e *HybridEngine) Name() string { return "Hybrid-MD" }
 
-// Compute implements Engine.
+// Compute implements Engine. Storage is sorted into the canonical
+// layout at every list rebuild (every step without a skin); between
+// skinned rebuilds the storage is left untouched so the list's slot
+// indices stay valid, and pair/triplet streams are walked in global-ID
+// row order so the accumulation order is independent of the layout.
 func (e *HybridEngine) Compute(sys *System) (float64, error) {
 	if sys.Model != e.model {
 		return 0, fmt.Errorf("md: engine model %q does not match system model %q",
 			e.model.Name, sys.Model.Name)
 	}
+	if err := e.bind(sys); err != nil {
+		return 0, err
+	}
+	rebuild := e.skin == 0 || e.listIsStale(sys)
+	if rebuild {
+		sys.EnsureLayout(e.canonLat)
+	}
 	e.acc.Begin(sys.Force)
 	slot := e.acc.Slot(0)
 
-	var pl *nlist.PairList
-	if e.skin > 0 {
-		if e.listIsStale(sys) {
-			e.bin.Rebin(sys.Pos)
-			fresh, err := nlist.Build(e.bin, sys.Pos, e.pair.Cutoff()+e.skin)
-			if err != nil {
-				return 0, err
-			}
-			e.pl = fresh
-			e.buildPos = append(e.buildPos[:0], sys.Pos...)
-			e.rebuilds++
-			slot.Enum.Candidates = fresh.BuildStats.Candidates
-			slot.Enum.PathApplications = fresh.BuildStats.PathApplications
-		} else {
-			e.pl.Refresh(sys.Box, sys.Pos)
-			slot.Enum.Candidates = int64(e.pl.NumEntries())
-		}
-		pl = e.pl
-	} else {
-		e.bin.Rebin(sys.Pos)
-		fresh, err := nlist.Build(e.bin, sys.Pos, e.pair.Cutoff())
+	if rebuild {
+		e.bin.RebinKeyed(sys.Pos, sys.ID)
+		fresh, err := e.builder.Build(sys.Pos)
 		if err != nil {
 			return 0, err
 		}
-		pl = fresh
+		e.pl = fresh
+		e.buildEpoch = sys.LayoutEpoch()
 		e.rebuilds++
 		slot.Enum.Candidates = fresh.BuildStats.Candidates
 		slot.Enum.PathApplications = fresh.BuildStats.PathApplications
+		if e.skin > 0 {
+			e.buildPos = append(e.buildPos[:0], sys.Pos...)
+		}
+	} else {
+		e.pl.Refresh(sys.Box, sys.Pos)
+		slot.Enum.Candidates = int64(e.pl.NumEntries())
 	}
+	pl := e.pl
 	slot.PairEntries = int64(pl.NumEntries())
 
-	pairK := kernel.TermKernel{Term: e.pair, Species: sys.Species}
-	pl.VisitPairs(pairK.PairVisitor(slot, sys.Pos))
+	pl.VisitPairsOrdered(sys.SlotByID(), sys.ID, e.pairV)
 
 	if e.triplet != nil {
-		tripK := kernel.TermKernel{Term: e.triplet, Species: sys.Species}
-		tst := pl.VisitTriplets(sys.Pos, e.triplet.Cutoff(), tripK.TripletVisitor(slot))
+		tst := pl.VisitTripletsOrdered(sys.SlotByID(), sys.Pos, e.triplet.Cutoff(), e.tripV)
 		// The pruning scan and the neighbor-pair expansion are the
 		// triplet search cost of Hybrid-MD.
 		slot.Enum.Candidates += tst.ShortNeighbors + tst.PairsExamined

@@ -1,0 +1,104 @@
+package md
+
+import (
+	"runtime"
+	"testing"
+
+	"sctuple/internal/fixture"
+	"sctuple/internal/geom"
+	"sctuple/internal/potential"
+)
+
+const goldenSerialPath = "testdata/golden_serial.json.gz"
+
+// gatherByID returns arr reordered from storage order into global
+// atom-ID order, the layout-independent identity under which golden
+// fixtures pin bit-exact values.
+func gatherByID(ids []int64, arr []geom.Vec3) []geom.Vec3 {
+	out := make([]geom.Vec3, len(arr))
+	for slot, id := range ids {
+		out[id] = arr[slot]
+	}
+	return out
+}
+
+// goldenEngines enumerates the serial engines pinned by the fixture.
+func goldenEngines(t *testing.T, model *potential.Model, box geom.Box) map[string]Engine {
+	t.Helper()
+	sc, err := NewCellEngine(model, box, FamilySC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewCellEngine(model, box, FamilyFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := NewHybridEngine(model, box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := NewHybridEngineSkin(model, box, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Engine{"sc": sc, "fs": fs, "hybrid": hy, "hybrid-skin": hs}
+}
+
+// TestGoldenSerialBitIdentity pins the serial engines bit-for-bit
+// against fixtures captured from the pre-refactor (unsorted, ID-order)
+// storage layout: 6 velocity-Verlet steps of thermalized crystalline
+// silica, with the initial and per-step potential energies and the
+// final forces and positions compared as raw IEEE-754 bit patterns in
+// atom-ID order. Regenerate with GOLDEN_UPDATE=1 (amd64 only — other
+// architectures may contract FMAs differently and are skipped).
+func TestGoldenSerialBitIdentity(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("bit-exact fixtures are pinned on amd64; GOARCH=%s", runtime.GOARCH)
+	}
+	const (
+		dt    = 0.5
+		steps = 6
+	)
+	got := fixture.Set{}
+	sysProbe := silicaSystem(t, 4, 300, 1)
+	for name := range goldenEngines(t, sysProbe.Model, sysProbe.Box) {
+		sys := silicaSystem(t, 4, 300, 1)
+		engine := goldenEngines(t, sys.Model, sys.Box)[name]
+		sim, err := NewSim(sys, engine, dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := fixture.Record{PE: fixture.Bits(sim.PotentialEnergy())}
+		for s := 0; s < steps; s++ {
+			if err := sim.Step(); err != nil {
+				t.Fatalf("%s step %d: %v", name, s, err)
+			}
+			rec.Energies = append(rec.Energies, fixture.Bits(sim.PotentialEnergy()))
+		}
+		rec.Forces = fixture.PackVec3(gatherByID(sys.ID, sys.Force))
+		rec.Pos = fixture.PackVec3(gatherByID(sys.ID, sys.Pos))
+		got[name] = rec
+	}
+
+	if fixture.Update() {
+		if err := fixture.Save(goldenSerialPath, got); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenSerialPath)
+		return
+	}
+	want, err := fixture.Load(goldenSerialPath)
+	if err != nil {
+		t.Fatalf("load golden (run with GOLDEN_UPDATE=1 to capture): %v", err)
+	}
+	for name, rec := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no golden record", name)
+			continue
+		}
+		if err := fixture.Diff(w, rec); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ package md
 import (
 	"fmt"
 
+	"sctuple/internal/cell"
 	"sctuple/internal/geom"
 	"sctuple/internal/kernel"
 	"sctuple/internal/potential"
@@ -34,16 +35,37 @@ const (
 	KB = 8.617333262e-5
 )
 
-// System is the mutable simulation state.
+// System is the mutable simulation state. Atom arrays are stored in
+// an engine-chosen storage order (the cell-sorted canonical layout
+// once an engine has adopted the system); ID maps each storage slot to
+// the atom's immutable global identity — its index in the originating
+// workload.Config — and is the key under which trajectories, golden
+// fixtures, and any cross-run comparison address atoms.
 type System struct {
 	Box     geom.Box
 	Pos     []geom.Vec3
 	Vel     []geom.Vec3
 	Force   []geom.Vec3
 	Species []int32
+	ID      []int64
 	Model   *potential.Model
 
 	mass []float64 // per-atom mass cache
+
+	// Canonical-layout state. Engines call EnsureLayout to sort the
+	// atom arrays into (cell, ID) order over the model's MaxCutoff
+	// lattice; slotOf inverts ID to the current storage slot, epoch
+	// counts re-sorts (consumers holding slot-indexed caches — the
+	// Hybrid Verlet list — invalidate on a change), and the rest is
+	// reusable sort scratch so steady-state steps allocate nothing.
+	slotOf   []int32
+	epoch    uint64
+	cells    []int32 // canonical cell of each storage slot
+	sorter   cell.Sorter
+	scratchV []geom.Vec3
+	scratchS []int32
+	scratchI []int64
+	scratchM []float64
 }
 
 // NewSystem builds a System from a workload configuration and a model.
@@ -66,7 +88,13 @@ func NewSystem(cfg *workload.Config, model *potential.Model) (*System, error) {
 		Vel:     append([]geom.Vec3(nil), cfg.Vel...),
 		Force:   make([]geom.Vec3, len(cfg.Pos)),
 		Species: append([]int32(nil), cfg.Species...),
+		ID:      make([]int64, len(cfg.Pos)),
 		Model:   model,
+	}
+	sys.slotOf = make([]int32, len(cfg.Pos))
+	for i := range sys.ID {
+		sys.ID[i] = int64(i)
+		sys.slotOf[i] = int32(i)
 	}
 	sys.mass = make([]float64, len(sys.Pos))
 	for i, s := range sys.Species {
@@ -77,6 +105,82 @@ func NewSystem(cfg *workload.Config, model *potential.Model) (*System, error) {
 
 // N returns the number of atoms.
 func (s *System) N() int { return len(s.Pos) }
+
+// EnsureLayout brings the atom arrays into canonical (cell, global-ID)
+// order over the given lattice — atoms of one cell contiguous in
+// storage, ordered by cell linear index, ties broken by ID. The layout
+// is a pure function of positions and identities, so every engine
+// sharing the same lattice sees the same storage order, and the
+// enumeration (hence floating-point accumulation) order is independent
+// of how atoms arrived. Returns whether storage actually moved; the
+// common solid-state case is an O(n) already-ordered check. All sort
+// scratch is reused — steady-state calls allocate nothing.
+func (s *System) EnsureLayout(lat cell.Lattice) bool {
+	n := s.N()
+	if cap(s.cells) < n {
+		s.cells = make([]int32, n)
+	}
+	s.cells = s.cells[:n]
+	for i, r := range s.Pos {
+		s.cells[i] = int32(lat.Linear(lat.CellOf(r)))
+	}
+	if cell.Ordered(s.cells, s.ID) {
+		return false
+	}
+	perm := s.sorter.Plan(lat.NumCells(), s.cells, s.ID)
+	permuteInPlace(&s.scratchV, s.Pos, perm)
+	permuteInPlace(&s.scratchV, s.Vel, perm)
+	permuteInPlace(&s.scratchV, s.Force, perm)
+	permuteInPlace(&s.scratchS, s.Species, perm)
+	permuteInPlace(&s.scratchS, s.cells, perm)
+	permuteInPlace(&s.scratchI, s.ID, perm)
+	permuteInPlace(&s.scratchM, s.mass, perm)
+	for slot, id := range s.ID {
+		s.slotOf[id] = int32(slot)
+	}
+	s.epoch++
+	return true
+}
+
+// permuteInPlace gathers arr through perm using caller-held scratch,
+// keeping arr's backing array stable so slice headers captured by
+// persistent visitors stay valid.
+func permuteInPlace[T any](scratch *[]T, arr []T, perm []int32) {
+	if cap(*scratch) < len(arr) {
+		*scratch = make([]T, len(arr))
+	}
+	sc := (*scratch)[:len(arr)]
+	copy(sc, arr)
+	cell.Permute(arr, sc, perm)
+}
+
+// LayoutEpoch counts completed re-sorts. A consumer holding
+// slot-indexed state (the Hybrid engine's Verlet list) records the
+// epoch at build time and rebuilds when it changes.
+func (s *System) LayoutEpoch() uint64 { return s.epoch }
+
+// CanonicalCells returns the canonical cell index of every storage
+// slot as computed by the last EnsureLayout call. The slice aliases
+// internal state; do not modify.
+func (s *System) CanonicalCells() []int32 { return s.cells }
+
+// SlotByID returns the storage slot of every global atom ID —
+// both the identity map for trajectory output and the row order that
+// walks slot-indexed structures in ID order. Aliases internal state.
+func (s *System) SlotByID() []int32 { return s.slotOf }
+
+// GatherByID fills dst (grown as needed) with src reordered from
+// storage order into global-ID order and returns it.
+func (s *System) GatherByID(dst []geom.Vec3, src []geom.Vec3) []geom.Vec3 {
+	if cap(dst) < len(src) {
+		dst = make([]geom.Vec3, len(src))
+	}
+	dst = dst[:len(src)]
+	for slot, id := range s.ID {
+		dst[id] = src[slot]
+	}
+	return dst
+}
 
 // Mass returns the mass of atom i.
 func (s *System) Mass(i int) float64 { return s.mass[i] }

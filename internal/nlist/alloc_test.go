@@ -1,0 +1,44 @@
+package nlist
+
+import (
+	"testing"
+
+	"sctuple/internal/geom"
+)
+
+// TestBuilderRebuildZeroAllocs: once the staging array, the CSR fill
+// cursors, and the list storage have reached working capacity, a full
+// rebuild — rebin, cell search, degree count, two-direction fill —
+// allocates nothing.
+func TestBuilderRebuildZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	_, pos, bin := buildSystem(t, 7, 300, 9, geom.IV(4, 4, 4))
+	b, err := NewBuilder(bin, 2.2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuild := func() {
+		bin.Rebin(pos)
+		if _, err := b.Build(pos); err != nil {
+			t.Error(err)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		rebuild()
+	}
+	if allocs := testing.AllocsPerRun(10, rebuild); allocs != 0 {
+		t.Errorf("%g allocs per list rebuild, want 0", allocs)
+	}
+
+	// The skin-reuse refresh must be allocation-free as well.
+	pl, err := b.Build(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := geom.NewCubicBox(9)
+	if allocs := testing.AllocsPerRun(10, func() { pl.Refresh(box, pos) }); allocs != 0 {
+		t.Errorf("%g allocs per list refresh, want 0", allocs)
+	}
+}

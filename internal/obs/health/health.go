@@ -204,6 +204,13 @@ func (m *Monitor) ParityDue(step int) bool {
 	return m != nil && m.cfg.ParityEvery > 0 && step >= 0 && step%m.cfg.ParityEvery == 0
 }
 
+// ParityEnabled reports whether the tuple-parity probe will sample any
+// step of the run — the hook rank 0 uses to pre-build the probe's
+// enumerators outside the step loop.
+func (m *Monitor) ParityEnabled() bool {
+	return m != nil && m.cfg.ParityEvery > 0
+}
+
 // ObserveEnergy feeds one sampled global energy measurement. The first
 // observation sets the baseline E₀ and the KE₀ normalization; later
 // observations classify |E − E₀| / KE₀ against the energy thresholds.

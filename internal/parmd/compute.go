@@ -27,12 +27,16 @@ func (r *rankState) computeForces() (float64, error) {
 	sp := r.rec.StartSpan(phaseBin)
 	r.dropHalo()
 	r.deriveOwned()
+	r.canonicalizeOwned()
 	sp.End()
 
 	if r.overlap {
 		sp = r.rec.StartSpan(phaseBin)
-		r.rebin() // owned atoms only; margin cells are empty for the interior stage
+		err := r.rebin() // owned atoms only; margin cells are empty for the interior stage
 		sp.End()
+		if err != nil {
+			return 0, r.rankErr("bin", err)
+		}
 		r.beginHalo()
 		r.acc.Begin(r.force)
 		r.evalInterior()
@@ -40,8 +44,11 @@ func (r *rankState) computeForces() (float64, error) {
 			return 0, err
 		}
 		sp = r.rec.StartSpan(phaseBin)
-		r.rebin() // full binning: the imports fill the margin cells
+		err = r.rebin() // full binning: the imports fill the margin cells
 		sp.End()
+		if err != nil {
+			return 0, r.rankErr("bin", err)
+		}
 		r.acc.Grow(r.force) // the force array grew (and may have moved) with the imports
 		r.evalBoundary()
 	} else {
@@ -49,8 +56,11 @@ func (r *rankState) computeForces() (float64, error) {
 			return 0, err
 		}
 		sp = r.rec.StartSpan(phaseBin)
-		r.rebin()
+		err := r.rebin()
 		sp.End()
+		if err != nil {
+			return 0, r.rankErr("bin", err)
+		}
 		r.acc.Begin(r.force)
 		r.evalInterior()
 		r.evalBoundary()
@@ -114,18 +124,10 @@ func (r *rankState) evalBoundary() {
 // accumulation order is a pure function of the partition — identical
 // whether or not the stages were separated by a halo completion.
 func (r *rankState) evalCellTerms(cells []geom.IVec3) {
-	for ti, term := range r.model.Terms {
-		k := kernel.TermKernel{Term: term, Species: r.species}
-		kernel.Run(r.acc.Slots(), r.workers, func(w, s int) {
-			lo, hi := kernel.Chunk(len(cells), r.acc.Slots(), s)
-			if lo >= hi {
-				return
-			}
-			en := r.enums[w][ti]
-			en.SetKeys(r.ids)
-			slot := r.acc.Slot(s)
-			en.VisitCellsInto(cells[lo:hi], r.lpos, k.Visitor(slot), &slot.Enum)
-		})
+	r.curCells = cells
+	for ti := range r.model.Terms {
+		r.curTerm = ti
+		kernel.Run(r.acc.Slots(), r.workers, r.cellFn)
 	}
 }
 
@@ -153,18 +155,17 @@ type rawPair struct {
 func (r *rankState) hybridSearch(cells []geom.IVec3, reset bool) {
 	slot0 := r.acc.Slot(0)
 	if cap(r.hybCounts) < r.nOwned+1 {
-		r.hybCounts = make([]int32, r.nOwned+1)
-		r.hybFill = make([]int32, r.nOwned)
+		// Headroom: the owned count fluctuates under migration; an exact
+		// fit would reallocate at every new high-water mark.
+		r.hybCounts = make([]int32, r.nOwned+1+r.nOwned/8)
+		r.hybFill = make([]int32, r.nOwned+r.nOwned/8)
 	}
-	counts := r.hybCounts[:r.nOwned+1]
+	r.hybCounts = r.hybCounts[:r.nOwned+1]
 	if reset {
-		clear(counts)
+		clear(r.hybCounts)
 		r.hybRaw = r.hybRaw[:0]
 	}
-	r.pairEnum.VisitCellsInto(cells, r.lpos, func(atoms []int32, pos []geom.Vec3) {
-		r.hybRaw = append(r.hybRaw, rawPair{atoms[0], atoms[1], pos[1].Sub(pos[0])})
-		counts[atoms[0]+1]++
-	}, &slot0.Enum)
+	r.pairEnum.VisitCellsInto(cells, r.lpos, r.hybEmit, &slot0.Enum)
 }
 
 // hybridBuildList buckets the raw emissions into the directed list:
@@ -178,9 +179,13 @@ func (r *rankState) hybridBuildList() {
 		counts[i+1] += counts[i]
 	}
 	if cap(r.hybEntries) < len(r.hybRaw) {
-		r.hybEntries = make([]hybridEntry, len(r.hybRaw))
+		// An eighth of headroom: the pair count fluctuates with thermal
+		// motion, and an exact fit would reallocate at every new
+		// high-water mark for the life of the run.
+		r.hybEntries = make([]hybridEntry, 0, len(r.hybRaw)+len(r.hybRaw)/8)
 	}
-	entries := r.hybEntries[:len(r.hybRaw)]
+	r.hybEntries = r.hybEntries[:len(r.hybRaw)]
+	entries := r.hybEntries
 	fill := r.hybFill[:r.nOwned]
 	clear(fill)
 	for _, p := range r.hybRaw {
@@ -194,64 +199,14 @@ func (r *rankState) hybridBuildList() {
 // hybridEval is the Hybrid-MD force evaluation over the completed
 // directed list: pair forces from the list (each pair evaluated on
 // exactly one rank, chosen by global ID), and triplets pruned from
-// each owned center's complete neighbor list. Both loops are sharded
-// over owned atoms.
+// each owned center's complete neighbor list. Both loops shard the
+// owned atoms by global-ID rank and walk them in ID order (idOrder),
+// so the accumulation stream — and with it the forces, bit for bit —
+// is invariant under the canonical cell sort of the storage.
 func (r *rankState) hybridEval() {
-	counts := r.hybCounts[:r.nOwned+1]
-	entries := r.hybEntries[:len(r.hybRaw)]
-
-	pairK := kernel.TermKernel{Term: r.pairTerm, Species: r.species}
-	kernel.RunTimed(r.rec, kernel.TermPhase(2), r.acc.Slots(), r.workers, func(w, s int) {
-		lo, hi := kernel.Chunk(r.nOwned, r.acc.Slots(), s)
-		if lo >= hi {
-			return
-		}
-		slot := r.acc.Slot(s)
-		pv := pairK.PairVisitor(slot, r.lpos)
-		for i := lo; i < hi; i++ {
-			for k := counts[i]; k < counts[i+1]; k++ {
-				e := entries[k]
-				if r.ids[i] >= r.ids[e.j] {
-					continue
-				}
-				pv(int32(i), e.j, e.disp, e.dist)
-			}
-		}
-	})
-
-	// Triplets around owned centers, pruned from the list.
+	r.ensureIDOrder()
+	kernel.RunTimed(r.rec, kernel.TermPhase(2), r.acc.Slots(), r.workers, r.hybPairFn)
 	if r.tripTerm != nil {
-		rc3 := r.tripTerm.Cutoff()
-		tripK := kernel.TermKernel{Term: r.tripTerm, Species: r.species}
-		kernel.RunTimed(r.rec, kernel.TermPhase(3), r.acc.Slots(), r.workers, func(w, s int) {
-			lo, hi := kernel.Chunk(r.nOwned, r.acc.Slots(), s)
-			if lo >= hi {
-				return
-			}
-			slot := r.acc.Slot(s)
-			tv := tripK.TripletVisitor(slot)
-			short := r.tripShort[w][:0]
-			for j := lo; j < hi; j++ {
-				short = short[:0]
-				for k := counts[j]; k < counts[j+1]; k++ {
-					slot.Enum.Candidates++
-					if entries[k].dist < rc3 {
-						short = append(short, k)
-					}
-				}
-				for a := 0; a < len(short); a++ {
-					for b := a + 1; b < len(short); b++ {
-						slot.Enum.Candidates++
-						ea, eb := entries[short[a]], entries[short[b]]
-						tv([3]int32{ea.j, int32(j), eb.j}, [3]geom.Vec3{
-							r.lpos[j].Add(ea.disp),
-							r.lpos[j],
-							r.lpos[j].Add(eb.disp),
-						})
-					}
-				}
-			}
-			r.tripShort[w] = short
-		})
+		kernel.RunTimed(r.rec, kernel.TermPhase(3), r.acc.Slots(), r.workers, r.hybTripFn)
 	}
 }

@@ -1,0 +1,104 @@
+package parmd
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/fixture"
+	"sctuple/internal/geom"
+)
+
+const goldenParmdPath = "testdata/golden_parmd.json.gz"
+
+// TestGoldenParallelBitIdentity pins the parallel step loop bit-for-bit
+// against fixtures captured from the pre-refactor (unsorted, ID-order)
+// rank storage: 6 steps of thermalized crystalline silica for every
+// scheme, a 2-rank and a 2x2x2 topology, overlapped and synchronous
+// halo exchange. Initial and per-step global potential energies and
+// the gathered final forces and positions (ID order) are compared as
+// raw bit patterns. The workload is a solid over a short run, so no
+// atom migrates — asserted below, since the capture relies on owned
+// storage keeping its adoption order on the pre-refactor side.
+// Regenerate with GOLDEN_UPDATE=1 (amd64 only).
+func TestGoldenParallelBitIdentity(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("bit-exact fixtures are pinned on amd64; GOARCH=%s", runtime.GOARCH)
+	}
+	if testing.Short() {
+		t.Skip("12 six-step parallel runs")
+	}
+	const (
+		dt    = 0.5
+		steps = 6
+	)
+	cfg, model := silicaConfig(t, 4, 300, 1)
+	// Lattice sites sit exactly on the x=y=z=0 rank boundary planes;
+	// translate the crystal so every atom clears every decomposition
+	// plane by ≫ the thermal displacement of the run, keeping the
+	// fixture migration-free by construction.
+	for i := range cfg.Pos {
+		cfg.Pos[i] = cfg.Box.Wrap(cfg.Pos[i].Add(geom.V(0.8, 0.8, 0.8)))
+	}
+	topos := []geom.IVec3{{X: 2, Y: 1, Z: 1}, {X: 2, Y: 2, Z: 2}}
+
+	got := fixture.Set{}
+	for _, scheme := range Schemes() {
+		for _, dims := range topos {
+			for _, noOverlap := range []bool{false, true} {
+				label := fmt.Sprintf("%v/%dx%dx%d/overlap", scheme, dims.X, dims.Y, dims.Z)
+				if noOverlap {
+					label = fmt.Sprintf("%v/%dx%dx%d/sync", scheme, dims.X, dims.Y, dims.Z)
+				}
+				cart, err := comm.NewCartDims(dims)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(cfg, model, Options{
+					Scheme: scheme, Cart: cart, Dt: dt, Steps: steps,
+					Workers: 2, TraceEnergies: true, NoOverlap: noOverlap,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				var migrated int64
+				for _, s := range res.RankStats {
+					migrated += s.AtomsMigrated
+				}
+				if migrated != 0 {
+					t.Fatalf("%s: %d atoms migrated; fixture workload must be migration-free", label, migrated)
+				}
+				rec := fixture.Record{PE: fixture.Bits(res.InitialPotential)}
+				for _, e := range res.Energies {
+					rec.Energies = append(rec.Energies, fixture.Bits(e.Potential))
+				}
+				rec.Forces = fixture.PackVec3(res.Forces)
+				rec.Pos = fixture.PackVec3(res.Final.Pos)
+				got[label] = rec
+			}
+		}
+	}
+
+	if fixture.Update() {
+		if err := fixture.Save(goldenParmdPath, got); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenParmdPath)
+		return
+	}
+	want, err := fixture.Load(goldenParmdPath)
+	if err != nil {
+		t.Fatalf("load golden (run with GOLDEN_UPDATE=1 to capture): %v", err)
+	}
+	for label, rec := range got {
+		w, ok := want[label]
+		if !ok {
+			t.Errorf("%s: no golden record", label)
+			continue
+		}
+		if err := fixture.Diff(w, rec); err != nil {
+			t.Errorf("%s: %v", label, err)
+		}
+	}
+}

@@ -101,21 +101,63 @@ func (r *rankState) probeTupleParity(step int) {
 	}
 	parts := r.p.GatherTo0(buf.Clone())
 	r.p.ReleaseBuffer(buf)
-	if r.p.Rank() != 0 {
+	if r.p.Rank() != 0 || r.parityOff {
 		return
 	}
 
-	var pos []geom.Vec3
+	r.parityPos = r.parityPos[:0]
 	var rd comm.Reader
 	for _, part := range parts {
 		rd.Reset(part)
 		for rd.Remaining() > 0 {
-			pos = append(pos, geom.V(rd.Float64(), rd.Float64(), rd.Float64()))
+			r.parityPos = append(r.parityPos, geom.V(rd.Float64(), rd.Float64(), rd.Float64()))
 		}
 	}
+	pos := r.parityPos
 
-	bin := cell.NewBinning(r.dec.Lat, pos)
+	if r.parityBin == nil {
+		r.parityBin = cell.NewBinning(r.dec.Lat, pos)
+	} else {
+		r.parityBin.Rebin(pos)
+	}
+	if r.parityEnums == nil && !r.buildParityEnums(step) {
+		return
+	}
+
 	var scCount, fsCount int64
+	for _, pair := range r.parityEnums {
+		scCount += pair[0].Count(pos).Emitted
+		fsCount += pair[1].Count(pos).Emitted
+	}
+	r.monitor.ObserveTupleParity(step, scCount, fsCount)
+}
+
+// prewarmParity builds the parity probe's cached state — the gathered-
+// position buffer, the global binning, and the enumerator pairs —
+// before the step loop, so a sampled step performs only the gather,
+// rebin, and two counting sweeps. Rank 0 only; a no-op when already
+// warm or latched off.
+func (r *rankState) prewarmParity(totalAtoms int) {
+	if r.p.Rank() != 0 || r.parityOff || r.parityEnums != nil {
+		return
+	}
+	if cap(r.parityPos) < totalAtoms {
+		r.parityPos = make([]geom.Vec3, 0, totalAtoms)
+	}
+	if r.parityBin == nil {
+		r.parityBin = cell.NewBinning(r.dec.Lat, nil)
+	}
+	r.buildParityEnums(-1)
+}
+
+// buildParityEnums constructs the cached SC/FS enumerator pair for
+// every term over the parity binning. A constructor error — typically a
+// global lattice too small for the full-shell pattern's span (FS(n)
+// needs ≥ 2(n−1)+1 cells per axis) — is a configuration limit, not a
+// parity violation: it is logged once and the probe is disabled for the
+// rest of the run.
+func (r *rankState) buildParityEnums(step int) bool {
+	enums := make([][2]*tuple.Enumerator, 0, len(r.model.Terms))
 	for _, term := range r.model.Terms {
 		scPat, err := md.FamilySC.Pattern(term.N())
 		if err == nil {
@@ -123,25 +165,22 @@ func (r *rankState) probeTupleParity(step int) {
 			fsPat, err = md.FamilyFS.Pattern(term.N())
 			if err == nil {
 				var scEn, fsEn *tuple.Enumerator
-				scEn, err = tuple.NewEnumerator(bin, scPat, term.Cutoff(), tuple.DedupAuto)
+				scEn, err = tuple.NewEnumerator(r.parityBin, scPat, term.Cutoff(), tuple.DedupAuto)
 				if err == nil {
-					fsEn, err = tuple.NewEnumerator(bin, fsPat, term.Cutoff(), tuple.DedupAuto)
+					fsEn, err = tuple.NewEnumerator(r.parityBin, fsPat, term.Cutoff(), tuple.DedupAuto)
 					if err == nil {
-						scCount += scEn.Count(pos).Emitted
-						fsCount += fsEn.Count(pos).Emitted
+						enums = append(enums, [2]*tuple.Enumerator{scEn, fsEn})
 					}
 				}
 			}
 		}
 		if err != nil {
-			// Typically the global lattice is too small for the full-shell
-			// pattern's span (FS(n) needs ≥ 2(n−1)+1 cells per axis); the
-			// probe cannot run, which is a configuration limit, not a
-			// parity violation.
-			r.monitor.Logger().Warn("tuple parity probe skipped",
+			r.monitor.Logger().Warn("tuple parity probe disabled",
 				"step", step, "n", term.N(), "err", err.Error())
-			return
+			r.parityOff = true
+			return false
 		}
 	}
-	r.monitor.ObserveTupleParity(step, scCount, fsCount)
+	r.parityEnums = enums
+	return true
 }

@@ -41,6 +41,7 @@ func (r *rankState) migrate() error {
 // compiled phase.
 func (r *rankState) migrateAxis(axis int, mp *MigratePhase) error {
 	out := [2]*comm.Buffer{r.p.AcquireBuffer(), r.p.AcquireBuffer()} // 0: toward -1, 1: toward +1
+	before := r.nOwned
 	keep := 0
 	for i := 0; i < r.nOwned; i++ {
 		target := r.dec.ownerIndex(axis, r.gcell[i].Comp(axis))
@@ -82,6 +83,12 @@ func (r *rankState) migrateAxis(axis int, mp *MigratePhase) error {
 			r.stats.AtomsMigrated++
 		}
 		r.p.ReleaseBuffer(recv)
+	}
+	// Any leaver or arrival changes the owned set, so the ID-order walk
+	// of the Hybrid evaluation must be rebuilt (a canonical re-sort also
+	// marks it, but an append that happens to keep cell order would not).
+	if keep != before || r.nOwned != keep {
+		r.idOrderStale = true
 	}
 	return nil
 }

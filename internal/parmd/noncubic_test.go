@@ -62,8 +62,9 @@ func TestManyRanksDynamics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range sys.Pos {
-		if d := cfg.Box.Distance(res.Final.Pos[i], sys.Pos[i]); d > 1e-8 {
+	pos := sys.GatherByID(nil, sys.Pos)
+	for i := range pos {
+		if d := cfg.Box.Distance(res.Final.Pos[i], pos[i]); d > 1e-8 {
 			t.Fatalf("atom %d position differs by %g", i, d)
 		}
 	}

@@ -33,7 +33,8 @@ func serialReference(t *testing.T, cfg *workload.Config, model *potential.Model,
 			t.Fatal(err)
 		}
 	}
-	return sys.Force, sim.PotentialEnergy(), sys
+	// Serial storage is cell-sorted; parmd results are ID-ordered.
+	return sys.GatherByID(nil, sys.Force), sim.PotentialEnergy(), sys
 }
 
 // silicaConfig builds a thermalized silica crystal spanning ≥ minCells
@@ -99,11 +100,13 @@ func TestParallelDynamicsMatchSerial(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
 		}
-		for i := range sys.Pos {
-			if d := cfg.Box.Distance(res.Final.Pos[i], sys.Pos[i]); d > 1e-7 {
+		pos := sys.GatherByID(nil, sys.Pos)
+		vel := sys.GatherByID(nil, sys.Vel)
+		for i := range pos {
+			if d := cfg.Box.Distance(res.Final.Pos[i], pos[i]); d > 1e-7 {
 				t.Fatalf("%v: atom %d position differs by %g after 10 steps", scheme, i, d)
 			}
-			if d := res.Final.Vel[i].Sub(sys.Vel[i]).Norm(); d > 1e-8 {
+			if d := res.Final.Vel[i].Sub(vel[i]).Norm(); d > 1e-8 {
 				t.Fatalf("%v: atom %d velocity differs by %g", scheme, i, d)
 			}
 		}

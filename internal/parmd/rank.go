@@ -1,7 +1,9 @@
 package parmd
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"sctuple/internal/cell"
 	"sctuple/internal/comm"
@@ -118,6 +120,24 @@ type rankState struct {
 	workers int
 	acc     *kernel.Sharded
 
+	// Canonical owned-storage sort state: the owned segment is kept in
+	// (extended-lattice cell, global ID) order so the binning can use
+	// contiguous storage spans. All scratch is reused; the common
+	// solid-state step is an O(n) already-ordered check.
+	sorter  cell.Sorter
+	sortV3  []geom.Vec3
+	sortIV  []geom.IVec3
+	sortI64 []int64
+	sortI32 []int32
+
+	// Per-slot, per-term visitors and the hoisted shard closure of the
+	// SC/FS cell dispatch — created once, so the step loop builds no
+	// closures (cellVisitors[slot][term]).
+	cellVisitors [][]tuple.Visitor
+	cellFn       func(w, s int)
+	curTerm      int
+	curCells     []geom.IVec3
+
 	// Hybrid scheme only: the model's pair/triplet terms plus the
 	// hoisted directed-list and pruning scratch, reused across steps.
 	pairTerm   potential.Term
@@ -127,6 +147,30 @@ type rankState struct {
 	hybRaw     []rawPair
 	hybEntries []hybridEntry
 	tripShort  [][]int32 // per-worker pruning scratch
+	hybEmit    tuple.Visitor
+	hybPairV   []func(i, j int32, disp geom.Vec3, dist float64) // per slot
+	hybTripV   []func(atoms [3]int32, pos [3]geom.Vec3)         // per slot
+	hybPairFn  func(w, s int)
+	hybTripFn  func(w, s int)
+
+	// idOrder lists the owned storage slots in ascending global-ID
+	// order — the Hybrid evaluation walks it so the shard partition and
+	// accumulation order stay bit-identical to ID-ordered storage. It
+	// is rebuilt lazily after migration or a re-sort.
+	idOrder      []int32
+	idOrderStale bool
+	idCmp        func(a, b int32) int // hoisted comparator: no closure alloc per rebuild
+
+	// Tuple-parity probe state, rank 0 only, built lazily at the first
+	// sampled step and reused for the rest of the run: the gathered
+	// global configuration, its binning over the global lattice, and the
+	// SC/FS enumerator pair per term. parityOff latches a constructor
+	// failure (a lattice too small for the full-shell span) so the
+	// configuration limit is logged once, not at every sample.
+	parityPos   []geom.Vec3
+	parityBin   *cell.Binning
+	parityEnums [][2]*tuple.Enumerator
+	parityOff   bool
 
 	// plan is the compiled communication schedule (peers, tags, slab
 	// bounds, frame shifts); phaseState is its per-step scratch, one
@@ -228,6 +272,30 @@ func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Sche
 			}
 			r.enums = append(r.enums, set)
 		}
+		// Per-slot, per-term visitors plus one hoisted shard closure,
+		// created here so the step loop allocates none. The visitors read
+		// species (and the accumulator slot's force buffer) through
+		// pointers, so they survive re-sorts and array growth.
+		for s := 0; s < r.acc.Slots(); s++ {
+			slot := r.acc.Slot(s)
+			var vs []tuple.Visitor
+			for _, term := range model.Terms {
+				k := kernel.TermKernel{Term: term, Species: &r.species}
+				vs = append(vs, k.Visitor(slot))
+			}
+			r.cellVisitors = append(r.cellVisitors, vs)
+		}
+		r.cellFn = func(w, s int) {
+			cells := r.curCells
+			lo, hi := kernel.Chunk(len(cells), r.acc.Slots(), s)
+			if lo >= hi {
+				return
+			}
+			en := r.enums[w][r.curTerm]
+			en.SetKeys(r.ids)
+			slot := r.acc.Slot(s)
+			en.VisitCellsInto(cells[lo:hi], r.lpos, r.cellVisitors[s][r.curTerm], &slot.Enum)
+		}
 	case SchemeHybrid:
 		// One raw (both orientations) full-shell pair search; pair and
 		// triplet terms are both served from the resulting list.
@@ -253,7 +321,83 @@ func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Sche
 		for w := range r.tripShort {
 			r.tripShort[w] = make([]int32, 0, 64)
 		}
+		// Hoisted search emission plus per-slot evaluation visitors and
+		// shard closures — the Hybrid analogue of the SC/FS visitor cache.
+		r.hybEmit = func(atoms []int32, pos []geom.Vec3) {
+			r.hybRaw = append(r.hybRaw, rawPair{atoms[0], atoms[1], pos[1].Sub(pos[0])})
+			r.hybCounts[atoms[0]+1]++
+		}
+		for s := 0; s < r.acc.Slots(); s++ {
+			slot := r.acc.Slot(s)
+			pairK := kernel.TermKernel{Term: r.pairTerm, Species: &r.species}
+			r.hybPairV = append(r.hybPairV, pairK.PairVisitor(slot, &r.lpos))
+			if r.tripTerm != nil {
+				tripK := kernel.TermKernel{Term: r.tripTerm, Species: &r.species}
+				r.hybTripV = append(r.hybTripV, tripK.TripletVisitor(slot))
+			}
+		}
+		// Both evaluation loops walk owned atoms in global-ID order via
+		// idOrder: the shard partition chunks ID ranks, and each shard
+		// visits its atoms' list entries in ID-ascending order — exactly
+		// the stream ID-ordered storage produced, so forces stay
+		// bit-identical under the canonical cell sort.
+		r.hybPairFn = func(w, s int) {
+			lo, hi := kernel.Chunk(r.nOwned, r.acc.Slots(), s)
+			if lo >= hi {
+				return
+			}
+			counts := r.hybCounts
+			entries := r.hybEntries
+			pv := r.hybPairV[s]
+			for t := lo; t < hi; t++ {
+				i := r.idOrder[t]
+				idI := r.ids[i]
+				for k := counts[i]; k < counts[i+1]; k++ {
+					e := entries[k]
+					if idI >= r.ids[e.j] {
+						continue
+					}
+					pv(i, e.j, e.disp, e.dist)
+				}
+			}
+		}
+		r.hybTripFn = func(w, s int) {
+			lo, hi := kernel.Chunk(r.nOwned, r.acc.Slots(), s)
+			if lo >= hi {
+				return
+			}
+			slot := r.acc.Slot(s)
+			counts := r.hybCounts
+			entries := r.hybEntries
+			tv := r.hybTripV[s]
+			rc3 := r.tripTerm.Cutoff()
+			short := r.tripShort[w][:0]
+			for t := lo; t < hi; t++ {
+				j := r.idOrder[t]
+				short = short[:0]
+				for k := counts[j]; k < counts[j+1]; k++ {
+					slot.Enum.Candidates++
+					if entries[k].dist < rc3 {
+						short = append(short, k)
+					}
+				}
+				for a := 0; a < len(short); a++ {
+					for b := a + 1; b < len(short); b++ {
+						slot.Enum.Candidates++
+						ea, eb := entries[short[a]], entries[short[b]]
+						tv([3]int32{ea.j, j, eb.j}, [3]geom.Vec3{
+							r.lpos[j].Add(ea.disp),
+							r.lpos[j],
+							r.lpos[j].Add(eb.disp),
+						})
+					}
+				}
+			}
+			r.tripShort[w] = short
+		}
 	}
+	r.idOrderStale = true
+	r.idCmp = func(a, b int32) int { return cmp.Compare(r.ids[a], r.ids[b]) }
 	return r, nil
 }
 
@@ -332,14 +476,83 @@ func (r *rankState) localPos(g geom.Vec3, kx, ky, kz int) geom.Vec3 {
 	)
 }
 
-// rebin refreshes the CSR binning from the current ecell assignment.
-func (r *rankState) rebin() {
+// rebin refreshes the span binning from the current ecell assignment.
+// The owned segment is in canonical (cell, ID) order and every halo
+// phase appends whole per-cell runs, so the storage is cell-run
+// contiguous — the layout RebinSpans requires (and verifies).
+func (r *rankState) rebin() error {
 	if cap(r.lcell) < len(r.ecell) {
-		r.lcell = make([]int32, len(r.ecell))
+		// Headroom: the halo count fluctuates with thermal motion; an
+		// exact fit would reallocate at every new high-water mark.
+		r.lcell = make([]int32, len(r.ecell)+len(r.ecell)/8)
 	}
 	r.lcell = r.lcell[:len(r.ecell)]
 	for i, ec := range r.ecell {
 		r.lcell[i] = int32(r.extLat.Linear(ec))
 	}
-	r.bin.RebinCells(r.lcell)
+	return r.bin.RebinSpans(r.lcell)
+}
+
+// canonicalizeOwned re-sorts the owned segment into (extended-lattice
+// cell, global ID) order — the canonical layout that makes per-cell
+// storage contiguous. Already-ordered storage (every step a solid
+// takes, except right after a migration) is detected in O(n) and left
+// untouched; a real sort permutes all owned arrays through reused
+// scratch, so steady-state steps allocate nothing either way.
+func (r *rankState) canonicalizeOwned() {
+	n := r.nOwned
+	if cap(r.lcell) < n {
+		r.lcell = make([]int32, n+n/8)
+	}
+	lc := r.lcell[:n]
+	for i := 0; i < n; i++ {
+		lc[i] = int32(r.extLat.Linear(r.ecell[i]))
+	}
+	if cell.Ordered(lc, r.ids[:n]) {
+		return
+	}
+	perm := r.sorter.Plan(r.extLat.NumCells(), lc, r.ids[:n])
+	permuteWith(&r.sortI64, r.ids, perm)
+	permuteWith(&r.sortV3, r.gpos, perm)
+	permuteWith(&r.sortIV, r.gcell, perm)
+	permuteWith(&r.sortV3, r.vel, perm)
+	permuteWith(&r.sortI32, r.species, perm)
+	permuteWith(&r.sortV3, r.force, perm)
+	permuteWith(&r.sortIV, r.ecell, perm)
+	permuteWith(&r.sortV3, r.lpos, perm)
+	r.idOrderStale = true
+}
+
+// permuteWith applies dst[k] = dst[perm[k]] over the first len(perm)
+// elements, staging through the reusable scratch so the backing array
+// (which visitors and captured slice headers may alias) stays put.
+func permuteWith[T any](scratch *[]T, arr []T, perm []int32) {
+	n := len(perm)
+	if cap(*scratch) < n {
+		// Headroom: n tracks the owned count, which fluctuates under
+		// migration; an exact fit would reallocate at every new
+		// high-water mark.
+		*scratch = make([]T, n+n/8)
+	}
+	s := (*scratch)[:n]
+	copy(s, arr[:n])
+	cell.Permute(arr[:n], s, perm)
+}
+
+// ensureIDOrder rebuilds the owned-slot-by-ID-rank walk order if a
+// migration or re-sort invalidated it. Hybrid evaluation is the only
+// consumer; on steady-state steps this is two comparisons.
+func (r *rankState) ensureIDOrder() {
+	if !r.idOrderStale && len(r.idOrder) == r.nOwned {
+		return
+	}
+	if cap(r.idOrder) < r.nOwned {
+		r.idOrder = make([]int32, r.nOwned+r.nOwned/8)
+	}
+	r.idOrder = r.idOrder[:r.nOwned]
+	for i := range r.idOrder {
+		r.idOrder[i] = int32(i)
+	}
+	slices.SortFunc(r.idOrder, r.idCmp)
+	r.idOrderStale = false
 }

@@ -3,6 +3,7 @@ package parmd
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -55,6 +56,15 @@ type Options struct {
 	// Log receives structured run-lifecycle events (run start/end, rank
 	// failures); nil disables them.
 	Log *obs.Logger
+	// MeasureAllocs measures the heap allocations of the step loop:
+	// ranks synchronize on a barrier before the first step and after
+	// the last, and rank 0 reads the process-wide malloc counter at
+	// both points. The per-step quotient lands in Result.StepAllocs.
+	// Because every rank runs in one process here, the figure covers
+	// the whole world's steady-state step loop — integration,
+	// migration, binning and canonical sort, halo exchange, force
+	// evaluation, write-back, and reductions.
+	MeasureAllocs bool
 	// NoOverlap disables the overlapped (split-phase) halo exchange and
 	// completes every receive before force evaluation begins. Both
 	// modes run the identical interior/boundary two-stage dispatch, so
@@ -103,6 +113,10 @@ type Result struct {
 	// Health summarizes the invariant-probe outcomes when
 	// Options.Health was set (empty otherwise).
 	Health health.Summary
+	// StepAllocs is the mean number of heap allocations per step across
+	// the whole step loop (all ranks, whole process), measured when
+	// Options.MeasureAllocs is set with Steps > 0; -1 otherwise.
+	StepAllocs float64
 	// Wall is the wall-clock time of the SPMD section of the run.
 	Wall time.Duration
 }
@@ -152,7 +166,7 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	opt.Log.Info("parmd run start",
 		"scheme", opt.Scheme.String(), "ranks", world.Size(), "workers", opt.Workers,
 		"steps", opt.Steps, "dt_fs", opt.Dt, "atoms", cfg.N())
-	res := &Result{RankStats: make([]RankStats, world.Size())}
+	res := &Result{RankStats: make([]RankStats, world.Size()), StepAllocs: -1}
 	if opt.TraceEnergies {
 		res.Energies = make([]StepEnergy, opt.Steps)
 	}
@@ -239,6 +253,21 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 			p.ClassStatsInto(prevClass)
 		}
 
+		if opt.Health.ParityEnabled() {
+			r.prewarmParity(cfg.N())
+		}
+
+		var mallocs0 uint64
+		if opt.MeasureAllocs && opt.Steps > 0 {
+			p.Barrier()
+			if p.Rank() == 0 {
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				mallocs0 = m.Mallocs
+			}
+			p.Barrier() // no rank steps (and allocates) before the read
+		}
+
 		for step := 0; step < opt.Steps; step++ {
 			var stepStart time.Time
 			if logging {
@@ -299,6 +328,16 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 						classNames, prevClass, curClass)
 				}
 			}
+		}
+
+		if opt.MeasureAllocs && opt.Steps > 0 {
+			p.Barrier()
+			if p.Rank() == 0 {
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				res.StepAllocs = float64(m.Mallocs-mallocs0) / float64(opt.Steps)
+			}
+			p.Barrier() // no rank gathers (and allocates) before the read
 		}
 
 		// Gather final state (shared-memory collection; the comm

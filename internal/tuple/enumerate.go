@@ -130,10 +130,15 @@ type Enumerator struct {
 	// palindromic[i] reports whether pattern path i is self-reflective.
 	palindromic []bool
 
-	// Scratch reused across cells and calls.
+	// Scratch reused across cells and calls. CSR binnings resolve each
+	// offset cell to an atom-index list; span binnings resolve it to a
+	// contiguous storage range [spanLo, spanHi) walked directly — the
+	// indirection-free inner loop of the cell-sorted SoA layout.
 	atoms  [MaxN]int32
 	pos    [MaxN]geom.Vec3
 	lists  [MaxN][]int32
+	spanLo [MaxN]int32
+	spanHi [MaxN]int32
 	shifts [MaxN]geom.Vec3
 }
 
@@ -293,6 +298,10 @@ func (e *Enumerator) VisitCellsInto(cells []geom.IVec3, positions []geom.Vec3, f
 // all tuples of all paths anchored at cell q, accumulating counters
 // into st.
 func (e *Enumerator) VisitCell(q geom.IVec3, positions []geom.Vec3, fn Visitor, st *Stats) {
+	if e.bin.Spans() {
+		e.visitCellSpans(q, positions, fn, st)
+		return
+	}
 	st.Cells++
 	lat := e.bin.Lat
 	for pi, p := range e.pattern.Paths() {
@@ -323,6 +332,43 @@ func (e *Enumerator) VisitCell(q geom.IVec3, positions []geom.Vec3, fn Visitor, 
 			continue
 		}
 		e.extend(0, pi, positions, fn, st)
+	}
+}
+
+// visitCellSpans is VisitCell over a span-layout binning: each offset
+// cell resolves to a contiguous storage range instead of an index
+// list, and the chain walker iterates storage slots directly. Because
+// span storage is canonically ordered (cells sorted, keys ascending
+// within a cell), the emission sequence is identical to a CSR binning
+// whose cell lists are in the same within-cell order.
+func (e *Enumerator) visitCellSpans(q geom.IVec3, positions []geom.Vec3, fn Visitor, st *Stats) {
+	st.Cells++
+	lat := e.bin.Lat
+	for pi, p := range e.pattern.Paths() {
+		st.PathApplications++
+		empty := false
+		for k, v := range p {
+			cq := q.Add(v)
+			if e.bounded {
+				if !cq.InBox(lat.Dims) {
+					empty = true
+					break
+				}
+				e.spanLo[k], e.spanHi[k] = e.bin.CellSpan(lat.Linear(cq))
+				e.shifts[k] = geom.Vec3{}
+			} else {
+				e.spanLo[k], e.spanHi[k] = e.bin.CellSpan(lat.Linear(lat.WrapCell(cq)))
+				e.shifts[k] = lat.ImageShift(cq)
+			}
+			if e.spanLo[k] == e.spanHi[k] {
+				empty = true
+				break
+			}
+		}
+		if empty {
+			continue
+		}
+		e.extendSpan(0, pi, positions, fn, st)
 	}
 }
 
@@ -358,6 +404,54 @@ func (e *Enumerator) extend(k, pi int, positions []geom.Vec3, fn Visitor, st *St
 			continue
 		}
 		// Completed chain: apply the reflection policy.
+		switch e.dedup {
+		case DedupPalindromic:
+			if e.palindromic[pi] && e.keyOf(e.atoms[0]) > e.keyOf(e.atoms[e.n-1]) {
+				st.ReflectionCut++
+				continue
+			}
+		case DedupCanonical:
+			if e.keyOf(e.atoms[0]) > e.keyOf(e.atoms[e.n-1]) {
+				st.ReflectionCut++
+				continue
+			}
+		}
+		st.Emitted++
+		fn(e.atoms[:e.n], e.pos[:e.n])
+	}
+}
+
+// extendSpan is extend for span-layout binnings: level k's candidates
+// are the storage slots [spanLo[k], spanHi[k]) themselves — no
+// indirection load in the hot loop.
+func (e *Enumerator) extendSpan(k, pi int, positions []geom.Vec3, fn Visitor, st *Stats) {
+	for ai := e.spanLo[k]; ai < e.spanHi[k]; ai++ {
+		st.Candidates++
+		dup := false
+		for j := 0; j < k; j++ {
+			if e.atoms[j] == ai {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			st.DuplicateAtom++
+			continue
+		}
+		r := positions[ai].Add(e.shifts[k])
+		if k > 0 {
+			d := r.Sub(e.pos[k-1])
+			if d.Norm2() >= e.cutoff2 {
+				st.DistancePruned++
+				continue
+			}
+		}
+		e.atoms[k] = ai
+		e.pos[k] = r
+		if k+1 < e.n {
+			e.extendSpan(k+1, pi, positions, fn, st)
+			continue
+		}
 		switch e.dedup {
 		case DedupPalindromic:
 			if e.palindromic[pi] && e.keyOf(e.atoms[0]) > e.keyOf(e.atoms[e.n-1]) {
