@@ -55,6 +55,10 @@ func main() {
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event span timeline (one track per rank) to this file; parallel runs only")
 		metricsOut = flag.String("metrics", "", "write per-step JSONL telemetry records and a final metrics snapshot to this file; parallel runs only")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		voidFrac   = flag.Float64("void", 0, "carve a spherical void of this diameter fraction out of a uniform fluid workload (0 = off); uses -atoms (default 6000)")
+		balance    = flag.Bool("balance", false, "adaptive repartitioning: move slab boundaries toward equal measured force load; parallel runs only")
+		balanceEv  = flag.Int("balance-every", 0, "balance-check cadence in steps (0 = default 20)")
+		balanceThr = flag.Float64("balance-threshold", 0, "force-phase imbalance (max/mean) that triggers a repartition (0 = default 1.2)")
 		healthEv   = flag.Int("health", 0, "run invariant health probes every N steps (0 = off); parallel runs only")
 		parityEv   = flag.Int("parity", 0, "SC-vs-FS tuple-parity probe every N steps (0 = off; expensive, implies -health); parallel runs only")
 		abortFail  = flag.Bool("abort-on-fail", false, "abort the run when a health probe fails")
@@ -88,8 +92,9 @@ func main() {
 		trace: *tracePath, metrics: *metricsOut, log: logger,
 		healthEvery: *healthEv, parityEvery: *parityEv, abortOnFail: *abortFail,
 		noOverlap: *noOverlap,
+		balance:   *balance, balanceEvery: *balanceEv, balanceThreshold: *balanceThr,
 	}
-	if err := run(*modelName, *engineName, *atoms, *cells, *steps, *dt, *temp, *thermostat, *ranks, *every, *seed, opts, tel); err != nil {
+	if err := run(*modelName, *engineName, *atoms, *cells, *steps, *dt, *temp, *thermostat, *ranks, *every, *seed, *voidFrac, opts, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "scmd:", err)
 		os.Exit(1)
 	}
@@ -105,6 +110,10 @@ type telemetryOpts struct {
 	parityEvery int
 	abortOnFail bool
 	noOverlap   bool
+
+	balance          bool
+	balanceEvery     int
+	balanceThreshold float64
 }
 
 // serialOpts carries the optional serial-run features.
@@ -115,7 +124,7 @@ type serialOpts struct {
 	workers int
 }
 
-func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermostat float64, ranks, every int, seed int64, opts serialOpts, tel telemetryOpts) error {
+func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermostat float64, ranks, every int, seed int64, voidFrac float64, opts serialOpts, tel telemetryOpts) error {
 	rng := rand.New(rand.NewSource(seed))
 	var (
 		model *potential.Model
@@ -146,6 +155,25 @@ func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermo
 	default:
 		return fmt.Errorf("unknown model %q", modelName)
 	}
+	if voidFrac > 0 {
+		if voidFrac >= 1 {
+			return fmt.Errorf("-void %g must be in (0, 1)", voidFrac)
+		}
+		// The void workload replaces the model's default configuration: a
+		// uniform fluid at amorphous-silica density with an off-center
+		// spherical hole — the nonuniform load the adaptive balancer is
+		// for.
+		n := atoms
+		if n == 0 {
+			n = 6000
+		}
+		cfg = workload.Void(rng, n, voidFrac)
+		if len(model.Species) == 1 {
+			for i := range cfg.Species {
+				cfg.Species[i] = 0
+			}
+		}
+	}
 	if temp > 0 {
 		cfg.Thermalize(rng, model, temp)
 	}
@@ -162,6 +190,9 @@ func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermo
 	}
 	if tel.healthEvery > 0 || tel.parityEvery > 0 {
 		return fmt.Errorf("-health and -parity probe the parallel stack; use -ranks > 1")
+	}
+	if tel.balance {
+		return fmt.Errorf("-balance repartitions the parallel decomposition; use -ranks > 1")
 	}
 	return runSerial(cfg, model, engineName, steps, dt, thermostat, every, opts, tel.log)
 }
@@ -326,6 +357,9 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 		Scheme: scheme, Cart: cart, Dt: dt, Steps: steps, Workers: workers, TraceEnergies: true,
 		Log: tel.log, NoOverlap: tel.noOverlap,
 	}
+	if tel.balance {
+		popt.Balance = &parmd.Balancer{Every: tel.balanceEvery, Threshold: tel.balanceThreshold}
+	}
 	if tel.healthEvery > 0 || tel.parityEvery > 0 {
 		every := tel.healthEvery
 		if every <= 0 {
@@ -384,6 +418,10 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 	}
 	fmt.Printf("max rank: %d owned atoms, %d halo atoms imported, %d search candidates\n",
 		maxRank.OwnedAtoms, maxRank.AtomsImported, maxRank.SearchCandidates)
+	if popt.Balance != nil {
+		fmt.Printf("adaptive balance: %d checks, %d repartitions, final force imbalance %.2f (whole run %.2f)\n",
+			res.BalanceChecks, res.Repartitions, res.Imbalance, res.ForceImbalance())
+	}
 
 	if len(res.Phases) > 0 {
 		fmt.Println("\nper-phase time across ranks (whole run):")

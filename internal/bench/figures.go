@@ -115,6 +115,10 @@ type ValidateRow struct {
 	// OverlapFrac is the overlapped run's measured overlap efficiency,
 	// interior compute over interior + halo wait (Result.OverlapFraction).
 	OverlapFrac float64
+	// Imbalance is the force-phase load imbalance (max/mean of per-rank
+	// force-kernel time, Result.ForceImbalance) — the quantity the
+	// adaptive balancer drives toward 1.
+	Imbalance float64
 	// Phases is the run's full per-phase time decomposition across
 	// ranks (max/mean/imbalance), for the report's breakdown table.
 	Phases []obs.PhaseStat
@@ -228,6 +232,7 @@ func validateInto(mt *obs.MultiTrace, nAtoms int, ranks []int, steps int, seed i
 				WaitMs:            float64(waitNs) / float64(p) / evals / 1e6,
 				SyncWaitMs:        float64(syncWaitNs) / float64(p) / evals / 1e6,
 				OverlapFrac:       res.OverlapFraction(),
+				Imbalance:         res.ForceImbalance(),
 				Phases:            res.Phases,
 			})
 		}
@@ -307,15 +312,16 @@ func ValidateReportTrace(w io.Writer, nAtoms int, ranks []int, steps int, seed i
 	fmt.Fprintln(w, "vs the analytic model on the calibrated local machine profile; wait is")
 	fmt.Fprintln(w, "the per-task receive-blocked share of the measured comm time, sync wait")
 	fmt.Fprintln(w, "the same workload with the overlapped exchange disabled, and overlap the")
-	fmt.Fprintln(w, "fraction of the exchange window hidden behind interior compute")
+	fmt.Fprintln(w, "fraction of the exchange window hidden behind interior compute;")
+	fmt.Fprintln(w, "imbalance is max/mean per-rank force-kernel time (1.00 = perfect)")
 	fmt.Fprintln(w)
 	tw = newTable(w)
-	fmt.Fprintln(tw, "scheme\ttasks\tcompute ms meas\tcompute ms model\tcomm ms meas\tcomm ms model\twait ms\tsync wait ms\toverlap")
+	fmt.Fprintln(tw, "scheme\ttasks\tcompute ms meas\tcompute ms model\tcomm ms meas\tcomm ms model\twait ms\tsync wait ms\toverlap\timbalance")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%v\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.2f\n",
+		fmt.Fprintf(tw, "%v\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.2f\t%.2f\n",
 			r.Scheme, r.Tasks,
 			r.MeasuredComputeMs, r.ModelComputeMs,
-			r.MeasuredCommMs, r.ModelCommMs, r.WaitMs, r.SyncWaitMs, r.OverlapFrac)
+			r.MeasuredCommMs, r.ModelCommMs, r.WaitMs, r.SyncWaitMs, r.OverlapFrac, r.Imbalance)
 	}
 	if err := tw.Flush(); err != nil {
 		return err

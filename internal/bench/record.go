@@ -34,7 +34,11 @@ import (
 //	   rate of the step loop alone (Result.StepAllocs) instead of a
 //	   whole-run delta that included setup, and compare enforces an
 //	   absolute allocs_per_step ceiling on the new record
-const BenchSchemaVersion = 3
+//	4  adaptive repartitioning: workloads gain repartitions (count of
+//	   boundary moves, 0 on these uniform benchmark runs) and
+//	   imbalance (max/mean per-rank force-kernel time over the whole
+//	   run, the quantity the balancer drives toward 1)
+const BenchSchemaVersion = 4
 
 // HostProfile pins a recorded benchmark to the machine it ran on: the
 // Go runtime's identification plus the calibrated per-operation
@@ -75,8 +79,14 @@ type BenchWorkload struct {
 	Comm          map[string]CommStats `json:"comm"`     // per tag class, world totals
 	// OverlapFraction is the run's measured overlap efficiency:
 	// interior compute over interior + halo wait (Result.OverlapFraction).
-	OverlapFraction float64        `json:"overlap_fraction"`
-	Health          health.Summary `json:"health"`
+	OverlapFraction float64 `json:"overlap_fraction"`
+	// Repartitions counts adaptive boundary moves (0 when the balancer
+	// is off or the load never trips its threshold); Imbalance is the
+	// whole-run force-phase load imbalance, max/mean of per-rank
+	// force-kernel time (Result.ForceImbalance).
+	Repartitions int            `json:"repartitions"`
+	Imbalance    float64        `json:"imbalance"`
+	Health       health.Summary `json:"health"`
 }
 
 // BenchFile is the schema-versioned benchmark record scbench record
@@ -174,6 +184,8 @@ func Record(opt RecordOptions) (*BenchFile, error) {
 			PhaseNs:       make(map[string]int64, len(res.Phases)),
 			Comm:          make(map[string]CommStats, len(res.CommByClass)),
 			OverlapFraction: res.OverlapFraction(),
+			Repartitions:    res.Repartitions,
+			Imbalance:       res.ForceImbalance(),
 			Health:          res.Health,
 		}
 		for _, ps := range res.Phases {

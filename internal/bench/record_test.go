@@ -66,7 +66,8 @@ func TestBenchFileGoldenSchema(t *testing.T) {
 		t.Fatalf("%d workloads, want one per scheme (3)", len(workloads))
 	}
 	wantWL := []string{"name", "scheme", "atoms", "steps", "ranks", "workers",
-		"wall_ms_per_step", "allocs_per_step", "phase_ns", "comm", "overlap_fraction", "health"}
+		"wall_ms_per_step", "allocs_per_step", "phase_ns", "comm", "overlap_fraction",
+		"repartitions", "imbalance", "health"}
 	for _, wl := range workloads {
 		if len(wl) != len(wantWL) {
 			t.Errorf("workload keys %v, want exactly %v", keys(wl), wantWL)
@@ -110,6 +111,14 @@ func TestBenchFileGoldenSchema(t *testing.T) {
 		}
 		if w.Comm["halo"].Bytes <= 0 {
 			t.Errorf("workload %s recorded no halo traffic: %v", w.Name, w.Comm)
+		}
+		// The benchmark sweep runs with the balancer off: the count must
+		// be zero, and the imbalance ratio is max/mean so it is ≥ 1.
+		if w.Repartitions != 0 {
+			t.Errorf("workload %s recorded %d repartitions with no balancer", w.Name, w.Repartitions)
+		}
+		if w.Imbalance < 1 {
+			t.Errorf("workload %s imbalance = %g, want ≥ 1", w.Name, w.Imbalance)
 		}
 	}
 }

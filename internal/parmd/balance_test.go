@@ -1,0 +1,201 @@
+package parmd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+	"sctuple/internal/md"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// TestBalancerReducesVoidImbalance: on the void workload over a
+// 4-rank x-slab decomposition, the balancer must actually repartition
+// and converge to a force-phase imbalance well below the static
+// decomposition's. Wall-clock driven, so noisy sweeps retry; only a
+// consistent miss fails.
+func TestBalancerReducesVoidImbalance(t *testing.T) {
+	if raceEnabled {
+		t.Skip("wall-clock load comparison; race instrumentation distorts it")
+	}
+	if testing.Short() {
+		t.Skip("timing comparison over real runs")
+	}
+	rng := rand.New(rand.NewSource(13))
+	cfg := workload.Void(rng, 9000, 0.7)
+	// A short-cutoff single-species LJ model: the 3.4 Å cells give the
+	// slab boundaries 15 cells of granularity along x, enough for the
+	// equalizer to meaningfully improve on the uniform split (the
+	// silica cutoff would leave only 2 coarse cells per rank, where no
+	// boundary move can pay).
+	model := potential.NewLJModel(0.005, 1.3, 3.4, 39.948)
+	for i := range cfg.Species {
+		cfg.Species[i] = 0
+	}
+	cfg.Thermalize(rng, model, 30)
+	cart, err := comm.NewCartDims(geom.IV(4, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Scheme: SchemeSC, Cart: cart, Dt: 0.5, Steps: 60, Workers: 1}
+
+	const attempts = 3
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		// Static baseline: same collective checks (so Imbalance is the
+		// same last-interval measure), but an infinite threshold keeps the
+		// boundaries fixed.
+		static := base
+		static.Balance = &Balancer{Every: 10, Threshold: math.Inf(1)}
+		sres, err := Run(cfg, model, static)
+		if err != nil {
+			t.Fatal(err)
+		}
+		balanced := base
+		balanced.Balance = &Balancer{Every: 10, Threshold: 1.05}
+		bres, err := Run(cfg, model, balanced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sres.Repartitions != 0 {
+			t.Fatalf("static run repartitioned %d times", sres.Repartitions)
+		}
+		lastErr = nil
+		if bres.Repartitions < 1 {
+			lastErr = fmt.Errorf("balanced run never repartitioned (imbalance %.2f)", bres.Imbalance)
+		} else if excess, want := bres.Imbalance-1, 0.6*(sres.Imbalance-1); excess > want {
+			lastErr = fmt.Errorf("converged imbalance %.2f (excess %.2f), want excess ≤ %.2f of static %.2f (%d repartitions)",
+				bres.Imbalance, excess, want, sres.Imbalance, bres.Repartitions)
+		}
+		if lastErr == nil {
+			return
+		}
+	}
+	t.Error(lastErr)
+}
+
+// TestBalancerUniformHysteresis: on a perfectly uniform crystal the
+// balancer's threshold and min-gain guards must hold — zero
+// repartitions, every check a cheap no-op. Retries absorb the rare
+// noise spike a shared machine can inject into one interval.
+func TestBalancerUniformHysteresis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent run")
+	}
+	cfg, model := silicaConfig(t, 4, 300, 17)
+	cart, err := comm.NewCartDims(geom.IV(2, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Scheme: SchemeSC, Cart: cart, Dt: 0.5, Steps: 40, Workers: 1,
+		Balance: &Balancer{Every: 10}}
+	const attempts = 3
+	reparts := 0
+	for a := 0; a < attempts; a++ {
+		res, err := Run(cfg, model, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BalanceChecks == 0 {
+			t.Fatal("no balance checks ran")
+		}
+		reparts = res.Repartitions
+		if reparts == 0 {
+			return
+		}
+	}
+	t.Errorf("uniform workload repartitioned %d times on every attempt", reparts)
+}
+
+// TestBalanceStepZeroAllocs: with the balancer active and checking on
+// every step, non-repartitioning steps stay allocation-free — the
+// protocol runs on pooled buffers and preallocated scratch. The
+// infinite threshold pins every check to the no-repartition path
+// (repartition steps are allowed to allocate; they rebuild geometry).
+func TestBalanceStepZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	cfg, model := silicaConfig(t, 4, 300, 22)
+	for i := range cfg.Pos {
+		cfg.Pos[i] = cfg.Box.Wrap(cfg.Pos[i].Add(geom.V(0.8, 0.8, 0.8)))
+	}
+	cart, _ := comm.NewCartDims(geom.IV(2, 1, 1))
+	masses := make([]float64, len(model.Species))
+	for i, s := range model.Species {
+		masses[i] = s.Mass
+	}
+	const dt = 0.5
+	dec, err := NewDecomp(cfg.Box, model.MaxCutoff(), cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := comm.NewWorld(cart.Size())
+	defineTagClasses(world)
+	err = world.Run(func(p *comm.Proc) error {
+		r, err := newRankState(p, dec, model, SchemeSC, 1, true)
+		if err != nil {
+			return err
+		}
+		r.initBalance(&Balancer{Every: 1, Threshold: math.Inf(1)})
+		r.adopt(cfg)
+		if _, err := r.computeForces(); err != nil {
+			return err
+		}
+		step := func() error {
+			half := 0.5 * dt * md.ForceToAccel
+			for i := 0; i < r.nOwned; i++ {
+				r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
+			}
+			for i := 0; i < r.nOwned; i++ {
+				r.gpos[i] = r.gpos[i].Add(r.vel[i].Scale(dt))
+			}
+			if err := r.migrate(); err != nil {
+				return err
+			}
+			if _, err := r.balanceCheck(); err != nil {
+				return err
+			}
+			if _, err := r.computeForces(); err != nil {
+				return err
+			}
+			for i := 0; i < r.nOwned; i++ {
+				r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
+			}
+			return nil
+		}
+		var stepErr error
+		run := func() {
+			if err := step(); err != nil && stepErr == nil {
+				stepErr = err
+			}
+		}
+		for k := 0; k < 30; k++ {
+			run()
+		}
+		p.Barrier()
+		if p.Rank() != 0 {
+			for k := 0; k < 11; k++ {
+				run()
+			}
+			p.Barrier()
+			return stepErr
+		}
+		allocs := testing.AllocsPerRun(10, run)
+		p.Barrier()
+		if stepErr != nil {
+			return stepErr
+		}
+		if allocs != 0 {
+			return fmt.Errorf("%g allocs per balanced step, want 0", allocs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,6 +1,8 @@
 package parmd
 
 import (
+	"time"
+
 	"sctuple/internal/geom"
 	"sctuple/internal/kernel"
 )
@@ -85,15 +87,21 @@ func (r *rankState) computeForces() (float64, error) {
 // Hybrid it runs the raw pair search anchored there (the evaluation
 // loops need the complete directed list, so they stay in the boundary
 // stage).
+// Both stages also accumulate their wall time into RankStats.ForceNs —
+// the force-work measure the adaptive balancer weighs ranks by. It is
+// timed here, around the pure compute, so halo-wait time between the
+// stages never counts as load.
 func (r *rankState) evalInterior() {
+	start := time.Now()
 	sp := r.rec.StartSpan(phaseForceInterior)
-	defer sp.End()
 	switch r.scheme {
 	case SchemeSC, SchemeFS:
 		r.evalCellTerms(r.interiorCells)
 	case SchemeHybrid:
 		r.hybridSearch(r.interiorCells, true)
 	}
+	sp.End()
+	r.stats.ForceNs += time.Since(start).Nanoseconds()
 }
 
 // evalBoundary runs the boundary stage once the halo is complete. For
@@ -102,6 +110,7 @@ func (r *rankState) evalInterior() {
 // list, and runs the pair/triplet evaluation loops under their own
 // spans (matching the serial Hybrid engine's phase decomposition).
 func (r *rankState) evalBoundary() {
+	start := time.Now()
 	switch r.scheme {
 	case SchemeSC, SchemeFS:
 		sp := r.rec.StartSpan(phaseForceBoundary)
@@ -114,6 +123,7 @@ func (r *rankState) evalBoundary() {
 		sp.End()
 		r.hybridEval()
 	}
+	r.stats.ForceNs += time.Since(start).Nanoseconds()
 }
 
 // evalCellTerms is the SC-/FS-MD force kernel over one cell subset:

@@ -75,6 +75,186 @@ func NewDecompLattice(lat cell.Lattice, cart comm.Cart) (*Decomp, error) {
 	return d, nil
 }
 
+// NewDecompStarts builds a decomposition with explicit per-axis slab
+// boundaries: starts[axis][i] is the first global cell of block i, with
+// starts[axis][0] = 0 and starts[axis][procs] = cells. Boundaries must
+// be strictly increasing (every block at least one cell wide). The
+// slices are copied, so the caller may reuse its scratch — the
+// repartition path installs each balance decision through here.
+func NewDecompStarts(lat cell.Lattice, cart comm.Cart, starts [3][]int) (*Decomp, error) {
+	d := &Decomp{Cart: cart, Lat: lat}
+	for axis := 0; axis < 3; axis++ {
+		procs := cart.Dims.Comp(axis)
+		cells := lat.Dims.Comp(axis)
+		s := starts[axis]
+		if len(s) != procs+1 {
+			return nil, fmt.Errorf("parmd: axis %d: %d boundaries for %d ranks (want %d)",
+				axis, len(s), procs, procs+1)
+		}
+		if s[0] != 0 || s[procs] != cells {
+			return nil, fmt.Errorf("parmd: axis %d: boundaries [%d, %d] must span [0, %d]",
+				axis, s[0], s[procs], cells)
+		}
+		for i := 0; i < procs; i++ {
+			if s[i+1] <= s[i] {
+				return nil, fmt.Errorf("parmd: axis %d: block %d is empty (boundaries %d, %d)",
+					axis, i, s[i], s[i+1])
+			}
+		}
+		d.starts[axis] = append([]int(nil), s...)
+	}
+	return d, nil
+}
+
+// Starts returns a copy of the slab boundaries along one axis
+// (length = process-grid extent + 1).
+func (d *Decomp) Starts(axis int) []int {
+	return append([]int(nil), d.starts[axis]...)
+}
+
+// Rebalance returns a new decomposition whose slab boundaries shift
+// toward equalizing per-block weight, and whether any boundary moved.
+// weights[axis][x] is the measured cost of global cell layer x along
+// that axis (a nil axis is left untouched). minWidth is the smallest
+// block extent any rank may shrink to (the halo thickness); maxShift
+// caps how far one boundary moves per call, bounding the migration a
+// repartition triggers; minGain is the hysteresis guard — an axis's
+// boundaries move only when the predicted per-axis imbalance (max
+// block weight over mean) improves by at least minGain, so measurement
+// noise on an already balanced run never causes churn.
+func (d *Decomp) Rebalance(weights [3][]float64, minWidth, maxShift int, minGain float64) (*Decomp, bool) {
+	var cand [3][]int
+	for axis := 0; axis < 3; axis++ {
+		cand[axis] = make([]int, len(d.starts[axis]))
+	}
+	if !d.rebalanceInto(weights, minWidth, maxShift, minGain, &cand) {
+		return d, false
+	}
+	nd, err := NewDecompStarts(d.Lat, d.Cart, cand)
+	if err != nil {
+		// rebalanceInto only emits valid boundaries; defend anyway.
+		return d, false
+	}
+	return nd, true
+}
+
+// rebalanceInto computes the rebalanced boundaries into the
+// caller-provided scratch (cand[axis] sized len(starts[axis])) and
+// reports whether any axis moved. Split from Rebalance so the balance
+// protocol's steady-state checks allocate nothing.
+func (d *Decomp) rebalanceInto(weights [3][]float64, minWidth, maxShift int, minGain float64, cand *[3][]int) bool {
+	changed := false
+	for axis := 0; axis < 3; axis++ {
+		old := d.starts[axis]
+		out := cand[axis][:len(old)]
+		copy(out, old)
+		procs := len(old) - 1
+		w := weights[axis]
+		if procs < 2 || len(w) != old[procs] {
+			continue
+		}
+		total := 0.0
+		for _, x := range w {
+			total += x
+		}
+		if !(total > 0) {
+			continue
+		}
+		// Equalize prefix sums: boundary i lands where the cumulative
+		// weight crosses i/procs of the total, rounded to the closer of
+		// the two bracketing cell boundaries.
+		for i := 1; i < procs; i++ {
+			target := total * float64(i) / float64(procs)
+			s, acc := 0, 0.0
+			for s < len(w) && acc < target {
+				acc += w[s]
+				s++
+			}
+			if s > 0 && acc-target > target-(acc-w[s-1]) {
+				s--
+			}
+			// Bound the per-repartition movement (and with it the
+			// migration rounds the installation needs).
+			if s > old[i]+maxShift {
+				s = old[i] + maxShift
+			} else if s < old[i]-maxShift {
+				s = old[i] - maxShift
+			}
+			out[i] = s
+		}
+		// Enforce the minimum block width with a forward then backward
+		// clamp; the current boundaries satisfy it, so the passes always
+		// land on a feasible layout.
+		for i := 1; i <= procs; i++ {
+			if out[i] < out[i-1]+minWidth {
+				out[i] = out[i-1] + minWidth
+			}
+		}
+		out[procs] = old[procs]
+		for i := procs - 1; i >= 1; i-- {
+			if out[i] > out[i+1]-minWidth {
+				out[i] = out[i+1] - minWidth
+			}
+		}
+		// Hysteresis: adopt the axis only when the predicted imbalance
+		// improves by at least minGain.
+		if axisImbalance(w, old)-axisImbalance(w, out) < minGain {
+			copy(out, old)
+			continue
+		}
+		for i := range out {
+			if out[i] != old[i] {
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// axisImbalance is the predicted per-axis load imbalance of a boundary
+// layout: the maximum block weight over the mean block weight.
+func axisImbalance(w []float64, starts []int) float64 {
+	procs := len(starts) - 1
+	maxW, total := 0.0, 0.0
+	for i := 0; i < procs; i++ {
+		bw := 0.0
+		for x := starts[i]; x < starts[i+1]; x++ {
+			bw += w[x]
+		}
+		total += bw
+		if bw > maxW {
+			maxW = bw
+		}
+	}
+	if !(total > 0) {
+		return 1
+	}
+	return maxW / (total / float64(procs))
+}
+
+// maxBoundaryShift returns the largest per-boundary cell distance
+// between two decompositions of the same lattice and topology — the
+// number of one-hop migration rounds that provably suffice to hand
+// every atom to its new owner (an atom whose owner index moves by k
+// requires k boundaries to have crossed its cell, and boundaries stay
+// ≥ 1 cell apart, so some boundary moved by ≥ k).
+func maxBoundaryShift(a, b *Decomp) int {
+	m := 0
+	for axis := 0; axis < 3; axis++ {
+		for i, s := range a.starts[axis] {
+			d := b.starts[axis][i] - s
+			if d < 0 {
+				d = -d
+			}
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
 // BlockLo returns the first owned global cell of the block at the
 // given process coordinate.
 func (d *Decomp) BlockLo(coord geom.IVec3) geom.IVec3 {

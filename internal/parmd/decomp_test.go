@@ -1,0 +1,237 @@
+package parmd
+
+import (
+	"math/rand"
+	"testing"
+
+	"sctuple/internal/cell"
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+)
+
+// testDecomp builds a decomposition of a dims-cell lattice over a
+// cart-dims process grid with the default near-uniform boundaries.
+func testDecomp(t *testing.T, dims, cartDims geom.IVec3) *Decomp {
+	t.Helper()
+	lat, err := cell.NewLatticeDims(geom.NewBox(float64(dims.X)*5, float64(dims.Y)*5, float64(dims.Z)*5), dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cart, err := comm.NewCartDims(cartDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecompLattice(lat, cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// randomStarts draws a valid boundary layout: strictly increasing,
+// spanning [0, cells].
+func randomStarts(rng *rand.Rand, procs, cells int) []int {
+	for {
+		s := make([]int, procs+1)
+		s[procs] = cells
+		used := map[int]bool{0: true, cells: true}
+		ok := true
+		for i := 1; i < procs; i++ {
+			v := 1 + rng.Intn(cells-1)
+			if used[v] {
+				ok = false
+				break
+			}
+			used[v] = true
+			s[i] = v
+		}
+		if !ok {
+			continue
+		}
+		// Sort the interior boundaries (procs is small; insertion sort).
+		for i := 2; i < procs; i++ {
+			for j := i; j > 1 && s[j] < s[j-1]; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return s
+	}
+}
+
+// TestOwnerIndexProperty: for arbitrary valid boundary layouts, every
+// global cell maps to the block whose [lo, hi) contains it — the
+// contract ownerIndex's binary search must keep once boundaries are no
+// longer the uniform base/remainder layout.
+func TestOwnerIndexProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := testDecomp(t, geom.IV(17, 9, 12), geom.IV(4, 2, 3))
+	for trial := 0; trial < 200; trial++ {
+		var starts [3][]int
+		for axis := 0; axis < 3; axis++ {
+			starts[axis] = randomStarts(rng,
+				base.Cart.Dims.Comp(axis), base.Lat.Dims.Comp(axis))
+		}
+		d, err := NewDecompStarts(base.Lat, base.Cart, starts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for axis := 0; axis < 3; axis++ {
+			s := starts[axis]
+			for c := 0; c < base.Lat.Dims.Comp(axis); c++ {
+				i := d.ownerIndex(axis, c)
+				if !(s[i] <= c && c < s[i+1]) {
+					t.Fatalf("trial %d axis %d: cell %d mapped to block %d = [%d,%d)",
+						trial, axis, c, i, s[i], s[i+1])
+				}
+			}
+		}
+		// The block views agree with the starts.
+		for rank := 0; rank < d.Cart.Size(); rank++ {
+			co := d.Cart.Coord(rank)
+			lo, hi := d.BlockLo(co), d.BlockHi(co)
+			for axis := 0; axis < 3; axis++ {
+				if lo.Comp(axis) != starts[axis][co.Comp(axis)] ||
+					hi.Comp(axis) != starts[axis][co.Comp(axis)+1] {
+					t.Fatalf("trial %d rank %d: block [%v,%v) disagrees with starts", trial, rank, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestNewDecompStartsRejectsInvalid(t *testing.T) {
+	d := testDecomp(t, geom.IV(8, 8, 8), geom.IV(2, 1, 1))
+	good := [3][]int{d.Starts(0), d.Starts(1), d.Starts(2)}
+	cases := []struct {
+		name   string
+		mutate func(s *[3][]int)
+	}{
+		{"wrong length", func(s *[3][]int) { s[0] = []int{0, 2, 5, 8} }},
+		{"nonzero first", func(s *[3][]int) { s[0][0] = 1 }},
+		{"short span", func(s *[3][]int) { s[0][len(s[0])-1] = 7 }},
+		{"empty block", func(s *[3][]int) { s[0][1] = 0 }},
+		{"decreasing", func(s *[3][]int) { s[0][1] = 9 }},
+	}
+	for _, tc := range cases {
+		s := [3][]int{
+			append([]int(nil), good[0]...),
+			append([]int(nil), good[1]...),
+			append([]int(nil), good[2]...),
+		}
+		tc.mutate(&s)
+		if _, err := NewDecompStarts(d.Lat, d.Cart, s); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := NewDecompStarts(d.Lat, d.Cart, good); err != nil {
+		t.Errorf("valid starts rejected: %v", err)
+	}
+}
+
+// TestRebalanceEqualizes: a strongly skewed weight profile moves the
+// boundary toward the heavy side, never past maxShift, never below
+// minWidth, and the predicted imbalance improves.
+func TestRebalanceEqualizes(t *testing.T) {
+	d := testDecomp(t, geom.IV(16, 4, 4), geom.IV(4, 1, 1))
+	// All weight in the last quarter of x.
+	var w [3][]float64
+	w[0] = make([]float64, 16)
+	for x := 12; x < 16; x++ {
+		w[0][x] = 1
+	}
+	old := d.Starts(0)
+	nd, moved := d.Rebalance(w, 2, 3, 0.02)
+	if !moved {
+		t.Fatal("no move on a maximally skewed profile")
+	}
+	ns := nd.Starts(0)
+	for i := 1; i < 4; i++ {
+		if ns[i] < old[i] {
+			t.Errorf("boundary %d moved away from the load: %d -> %d", i, old[i], ns[i])
+		}
+		if diff := ns[i] - old[i]; diff > 3 {
+			t.Errorf("boundary %d moved %d > maxShift 3", i, diff)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if ns[i+1]-ns[i] < 2 {
+			t.Errorf("block %d width %d < minWidth 2", i, ns[i+1]-ns[i])
+		}
+	}
+	if before, after := axisImbalance(w[0], old), axisImbalance(w[0], ns); after >= before {
+		t.Errorf("imbalance %g -> %g did not improve", before, after)
+	}
+	// Untouched axes keep their boundaries.
+	for axis := 1; axis < 3; axis++ {
+		got, want := nd.Starts(axis), d.Starts(axis)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("axis %d boundaries moved without weights", axis)
+			}
+		}
+	}
+	// Iterating converges onto the loaded quarter (one cell per rank is
+	// impossible under minWidth 2; it packs as tight as feasibility
+	// allows and then stops moving).
+	cur := d
+	for i := 0; i < 10; i++ {
+		next, m := cur.Rebalance(w, 2, 3, 0.02)
+		if !m {
+			break
+		}
+		cur = next
+	}
+	if s := cur.Starts(0); s[3] < 10 {
+		t.Errorf("converged boundary 3 at %d, want pulled toward the loaded quarter", s[3])
+	}
+}
+
+// TestRebalanceHysteresis: a near-uniform profile whose best move buys
+// less than minGain keeps the current boundaries — the guard that makes
+// measurement noise on balanced runs cause zero churn.
+func TestRebalanceHysteresis(t *testing.T) {
+	d := testDecomp(t, geom.IV(16, 4, 4), geom.IV(4, 1, 1))
+	var w [3][]float64
+	w[0] = make([]float64, 16)
+	rng := rand.New(rand.NewSource(7))
+	for x := range w[0] {
+		w[0][x] = 1 + 0.01*rng.Float64()
+	}
+	if _, moved := d.Rebalance(w, 1, 2, 0.05); moved {
+		t.Error("noisy uniform profile moved boundaries")
+	}
+	// The same profile with a zero guard may move; with the guard the
+	// result must be the identical decomposition.
+	nd, moved := d.Rebalance(w, 1, 2, 0.05)
+	if moved {
+		t.Fatal("moved")
+	}
+	for axis := 0; axis < 3; axis++ {
+		got, want := nd.Starts(axis), d.Starts(axis)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("axis %d boundaries changed", axis)
+			}
+		}
+	}
+}
+
+func TestMaxBoundaryShift(t *testing.T) {
+	d := testDecomp(t, geom.IV(16, 4, 4), geom.IV(4, 1, 1))
+	if got := maxBoundaryShift(d, d); got != 0 {
+		t.Errorf("self shift %d", got)
+	}
+	s := [3][]int{d.Starts(0), d.Starts(1), d.Starts(2)}
+	s[0][1] -= 3
+	s[0][2] -= 1
+	nd, err := NewDecompStarts(d.Lat, d.Cart, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxBoundaryShift(d, nd); got != 3 {
+		t.Errorf("shift %d, want 3", got)
+	}
+	if got := maxBoundaryShift(nd, d); got != 3 {
+		t.Errorf("reverse shift %d, want 3", got)
+	}
+}

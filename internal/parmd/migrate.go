@@ -47,9 +47,14 @@ func (r *rankState) migrateAxis(axis int, mp *MigratePhase) error {
 		target := r.dec.ownerIndex(axis, r.gcell[i].Comp(axis))
 		d, err := hopDir(mp.BlockIdx, target, mp.Dim)
 		if err != nil {
-			r.p.ReleaseBuffer(out[0])
-			r.p.ReleaseBuffer(out[1])
-			return fmt.Errorf("axis %d atom %d: %w", axis, r.ids[i], err)
+			if !r.hopClamp {
+				r.p.ReleaseBuffer(out[0])
+				r.p.ReleaseBuffer(out[1])
+				return fmt.Errorf("axis %d atom %d: %w", axis, r.ids[i], err)
+			}
+			// Repartition handoff: an atom left several blocks from its
+			// new owner walks over one hop per round.
+			d = hopDirClamped(mp.BlockIdx, target, mp.Dim)
 		}
 		if d == 0 {
 			r.copyAtom(keep, i)
@@ -118,6 +123,27 @@ func hopDir(my, target, dim int) (int, error) {
 		return 1, nil
 	}
 	return 0, fmt.Errorf("atom moved %d blocks in one step (axis dim %d)", diff, dim)
+}
+
+// hopDirClamped is hopDir for moves hopDir rejects: the shortest
+// periodic direction, clamped to one hop. Repeated migration rounds
+// (repartition's slab handoff) then deliver a multi-block move one
+// neighbor at a time; maxBoundaryShift bounds the rounds needed.
+func hopDirClamped(my, target, dim int) int {
+	d, err := hopDir(my, target, dim)
+	if err == nil {
+		return d
+	}
+	diff := target - my
+	if diff > dim/2 {
+		diff -= dim
+	} else if diff < -dim/2 {
+		diff += dim
+	}
+	if diff > 0 {
+		return 1
+	}
+	return -1
 }
 
 // copyAtom moves atom src's owned fields to slot dst (dst ≤ src).

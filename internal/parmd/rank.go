@@ -30,11 +30,15 @@ const computeShards = 16
 // so a protocol slip is caught by the tag check in comm.Recv.
 // tagHealth carries the halo-mirror checksum exchange of the health
 // probes, offset identically to the halo tag it audits.
+// tagBalance carries the balance protocol: per-rank force-work times
+// gathered to rank 0 (tagBalance) and the repartition decision
+// broadcast back (tagBalance + 1).
 const (
 	tagMigrate = 100
 	tagHalo    = 200
 	tagForce   = 300
 	tagHealth  = 400
+	tagBalance = 500
 )
 
 // RankStats accumulates one rank's per-run operation counts — the
@@ -48,6 +52,11 @@ type RankStats struct {
 	AtomsImported    int64 // halo atoms received, summed over steps
 	AtomsMigrated    int64 // atoms received in migration
 	HaloMessages     int64 // halo + write-back messages received
+	// ForceNs is the cumulative wall time of this rank's force work
+	// (interior + boundary evaluation stages, excluding halo waits) —
+	// the per-rank load measure the adaptive balancer equalizes and
+	// Result.ForceImbalance summarizes.
+	ForceNs int64
 	// Virial is this rank's share of W = Σ f·r (eV), summed over force
 	// evaluations; summing it over ranks gives the global virial of
 	// the serial engines' ComputeStats (per-tuple virials are
@@ -64,6 +73,7 @@ func (s *RankStats) Add(o RankStats) {
 	s.AtomsImported += o.AtomsImported
 	s.AtomsMigrated += o.AtomsMigrated
 	s.HaloMessages += o.HaloMessages
+	s.ForceNs += o.ForceNs
 	s.Virial += o.Virial
 }
 
@@ -178,6 +188,14 @@ type rankState struct {
 	plan       *ExchangePlan
 	phaseState []haloPhaseState
 
+	// bal is the adaptive-repartitioning state (nil when no Balancer is
+	// configured); hopClamp relaxes the one-hop migration invariant
+	// during the multi-round slab handoff a repartition runs — a moved
+	// boundary may strand an atom several blocks from its new owner, and
+	// the clamped rounds walk it over one hop at a time.
+	bal      *balanceState
+	hopClamp bool
+
 	// rec records this rank's phase spans; nil (the default) keeps
 	// every span site a single-branch no-op.
 	rec *obs.RankRecorder
@@ -194,19 +212,16 @@ type rankState struct {
 	stats RankStats
 }
 
-// newRankState builds the static geometry, enumerators, and kernel
+// newRankState builds the geometry, enumerators, and kernel
 // accumulator of a rank. workers ≤ 1 evaluates forces serially;
 // overlap selects the split-phase halo exchange.
 func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Scheme, workers int, overlap bool) (*rankState, error) {
-	r := &rankState{p: p, dec: dec, scheme: scheme, model: model, overlap: overlap, curStep: -1}
+	r := &rankState{p: p, scheme: scheme, model: model, overlap: overlap, curStep: -1}
 	if workers < 1 {
 		workers = 1
 	}
 	r.workers = min(workers, computeShards)
 	r.acc = kernel.NewSharded(computeShards)
-	r.coord = dec.Cart.Coord(p.Rank())
-	r.lo = dec.BlockLo(r.coord)
-	r.hi = dec.BlockHi(r.coord)
 
 	side := minSide(dec.Lat.Side)
 	mLo, mHi, err := scheme.margins(model, side)
@@ -214,68 +229,38 @@ func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Sche
 		return nil, err
 	}
 	r.mLo, r.mHi = mLo, mHi
-	t := max(mLo, mHi)
-	if dec.MinBlockDim() < t {
-		return nil, fmt.Errorf("parmd: block dimension %d below halo thickness %d; use fewer ranks",
-			dec.MinBlockDim(), t)
-	}
-	r.base = r.lo.Sub(geom.IV(mLo, mLo, mLo))
-	r.plan = compileExchangePlan(dec, p.Rank(), mLo, mHi)
-	r.phaseState = make([]haloPhaseState, len(r.plan.Halo))
-	ext := r.hi.Sub(r.lo).Add(geom.IV(mLo+mHi, mLo+mHi, mLo+mHi))
-	extBox := geom.NewBox(
-		float64(ext.X)*dec.Lat.Side.X,
-		float64(ext.Y)*dec.Lat.Side.Y,
-		float64(ext.Z)*dec.Lat.Side.Z,
-	)
-	r.extLat, err = cell.NewLatticeDims(extBox, ext)
-	if err != nil {
-		return nil, err
-	}
-	r.bin = cell.NewBinning(r.extLat, nil)
-
-	block := r.hi.Sub(r.lo)
-	for x := 0; x < block.X; x++ {
-		for y := 0; y < block.Y; y++ {
-			for z := 0; z < block.Z; z++ {
-				c := geom.IV(x+mLo, y+mLo, z+mLo)
-				r.ownedCells = append(r.ownedCells, c)
-				if c.X >= r.plan.InteriorLo.X && c.X < r.plan.InteriorHi.X &&
-					c.Y >= r.plan.InteriorLo.Y && c.Y < r.plan.InteriorHi.Y &&
-					c.Z >= r.plan.InteriorLo.Z && c.Z < r.plan.InteriorHi.Z {
-					r.interiorCells = append(r.interiorCells, c)
-				} else {
-					r.boundaryCells = append(r.boundaryCells, c)
-				}
+	if scheme == SchemeHybrid {
+		// One raw (both orientations) full-shell pair search; pair and
+		// triplet terms are both served from the resulting list.
+		for _, term := range model.Terms {
+			switch term.N() {
+			case 2:
+				r.pairTerm = term
+			case 3:
+				r.tripTerm = term
+			default:
+				return nil, fmt.Errorf("parmd: Hybrid-MD cannot handle n=%d terms", term.N())
 			}
 		}
+		if r.pairTerm == nil {
+			return nil, fmt.Errorf("parmd: Hybrid-MD needs a pair term")
+		}
+	}
+	if err := r.initGeometry(dec); err != nil {
+		return nil, err
+	}
+	if err := r.buildEnumerators(); err != nil {
+		return nil, err
 	}
 
 	switch scheme {
 	case SchemeSC, SchemeFS:
-		fam := md.FamilySC
-		if scheme == SchemeFS {
-			fam = md.FamilyFS
-		}
-		for w := 0; w < r.workers; w++ {
-			var set []*tuple.Enumerator
-			for _, term := range model.Terms {
-				pattern, err := fam.Pattern(term.N())
-				if err != nil {
-					return nil, fmt.Errorf("parmd: %w", err)
-				}
-				en, err := tuple.NewBoundedEnumerator(r.bin, pattern, term.Cutoff(), tuple.DedupAuto)
-				if err != nil {
-					return nil, fmt.Errorf("parmd: term n=%d: %w", term.N(), err)
-				}
-				set = append(set, en)
-			}
-			r.enums = append(r.enums, set)
-		}
 		// Per-slot, per-term visitors plus one hoisted shard closure,
 		// created here so the step loop allocates none. The visitors read
 		// species (and the accumulator slot's force buffer) through
-		// pointers, so they survive re-sorts and array growth.
+		// pointers, so they survive re-sorts and array growth; the shard
+		// closure reads the enumerator set through r.enums, so it
+		// survives the enumerator rebuild a repartition triggers.
 		for s := 0; s < r.acc.Slots(); s++ {
 			slot := r.acc.Slot(s)
 			var vs []tuple.Visitor
@@ -297,26 +282,6 @@ func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Sche
 			en.VisitCellsInto(cells[lo:hi], r.lpos, r.cellVisitors[s][r.curTerm], &slot.Enum)
 		}
 	case SchemeHybrid:
-		// One raw (both orientations) full-shell pair search; pair and
-		// triplet terms are both served from the resulting list.
-		for _, term := range model.Terms {
-			switch term.N() {
-			case 2:
-				r.pairTerm = term
-			case 3:
-				r.tripTerm = term
-			default:
-				return nil, fmt.Errorf("parmd: Hybrid-MD cannot handle n=%d terms", term.N())
-			}
-		}
-		if r.pairTerm == nil {
-			return nil, fmt.Errorf("parmd: Hybrid-MD needs a pair term")
-		}
-		en, err := tuple.NewBoundedEnumerator(r.bin, core.FS(2), r.pairTerm.Cutoff(), tuple.DedupNone)
-		if err != nil {
-			return nil, err
-		}
-		r.pairEnum = en
 		r.tripShort = make([][]int32, r.workers)
 		for w := range r.tripShort {
 			r.tripShort[w] = make([]int32, 0, 64)
@@ -399,6 +364,102 @@ func newRankState(p *comm.Proc, dec *Decomp, model *potential.Model, scheme Sche
 	r.idOrderStale = true
 	r.idCmp = func(a, b int32) int { return cmp.Compare(r.ids[a], r.ids[b]) }
 	return r, nil
+}
+
+// initGeometry derives every decomposition-dependent piece of rank
+// state from dec: the owned block, the extended lattice and binning,
+// the compiled exchange plan with its per-phase scratch, and the
+// interior/boundary cell split. It is called once at construction and
+// again by repartition when the slab boundaries move — slices are
+// reset, not reallocated, where capacities allow.
+func (r *rankState) initGeometry(dec *Decomp) error {
+	r.dec = dec
+	r.coord = dec.Cart.Coord(r.p.Rank())
+	r.lo = dec.BlockLo(r.coord)
+	r.hi = dec.BlockHi(r.coord)
+	mLo, mHi := r.mLo, r.mHi
+	t := max(mLo, mHi)
+	if dec.MinBlockDim() < t {
+		return fmt.Errorf("parmd: block dimension %d below halo thickness %d; use fewer ranks",
+			dec.MinBlockDim(), t)
+	}
+	r.base = r.lo.Sub(geom.IV(mLo, mLo, mLo))
+	r.plan = compileExchangePlan(dec, r.p.Rank(), mLo, mHi)
+	if len(r.phaseState) != len(r.plan.Halo) {
+		r.phaseState = make([]haloPhaseState, len(r.plan.Halo))
+	}
+	ext := r.hi.Sub(r.lo).Add(geom.IV(mLo+mHi, mLo+mHi, mLo+mHi))
+	extBox := geom.NewBox(
+		float64(ext.X)*dec.Lat.Side.X,
+		float64(ext.Y)*dec.Lat.Side.Y,
+		float64(ext.Z)*dec.Lat.Side.Z,
+	)
+	var err error
+	r.extLat, err = cell.NewLatticeDims(extBox, ext)
+	if err != nil {
+		return err
+	}
+	r.bin = cell.NewBinning(r.extLat, nil)
+
+	r.ownedCells = r.ownedCells[:0]
+	r.interiorCells = r.interiorCells[:0]
+	r.boundaryCells = r.boundaryCells[:0]
+	block := r.hi.Sub(r.lo)
+	for x := 0; x < block.X; x++ {
+		for y := 0; y < block.Y; y++ {
+			for z := 0; z < block.Z; z++ {
+				c := geom.IV(x+mLo, y+mLo, z+mLo)
+				r.ownedCells = append(r.ownedCells, c)
+				if c.X >= r.plan.InteriorLo.X && c.X < r.plan.InteriorHi.X &&
+					c.Y >= r.plan.InteriorLo.Y && c.Y < r.plan.InteriorHi.Y &&
+					c.Z >= r.plan.InteriorLo.Z && c.Z < r.plan.InteriorHi.Z {
+					r.interiorCells = append(r.interiorCells, c)
+				} else {
+					r.boundaryCells = append(r.boundaryCells, c)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// buildEnumerators (re)builds the tuple enumerators, which bind the
+// current binning: the per-worker SC/FS sets, or the Hybrid raw pair
+// search. The evaluation closures read them through r.enums/r.pairEnum
+// at call time, so a rebuild after repartition needs no closure work.
+func (r *rankState) buildEnumerators() error {
+	switch r.scheme {
+	case SchemeSC, SchemeFS:
+		fam := md.FamilySC
+		if r.scheme == SchemeFS {
+			fam = md.FamilyFS
+		}
+		if r.enums == nil {
+			r.enums = make([][]*tuple.Enumerator, r.workers)
+		}
+		for w := 0; w < r.workers; w++ {
+			set := r.enums[w][:0]
+			for _, term := range r.model.Terms {
+				pattern, err := fam.Pattern(term.N())
+				if err != nil {
+					return fmt.Errorf("parmd: %w", err)
+				}
+				en, err := tuple.NewBoundedEnumerator(r.bin, pattern, term.Cutoff(), tuple.DedupAuto)
+				if err != nil {
+					return fmt.Errorf("parmd: term n=%d: %w", term.N(), err)
+				}
+				set = append(set, en)
+			}
+			r.enums[w] = set
+		}
+	case SchemeHybrid:
+		en, err := tuple.NewBoundedEnumerator(r.bin, core.FS(2), r.pairTerm.Cutoff(), tuple.DedupNone)
+		if err != nil {
+			return err
+		}
+		r.pairEnum = en
+	}
+	return nil
 }
 
 func minSide(v geom.Vec3) float64 {

@@ -1,0 +1,205 @@
+package parmd
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+	"sctuple/internal/md"
+	"sctuple/internal/workload"
+)
+
+// repartSnapshot is one atom's state gathered after the forced
+// repartition of world A — the fixed physics state world B is built at.
+type repartSnapshot struct {
+	id      int64
+	pos     geom.Vec3
+	vel     geom.Vec3
+	force   geom.Vec3
+	species int32
+}
+
+// TestRepartitionBitIdentity is the golden A/B guarantee of the
+// adaptive balancer: repartitioning a running world onto new slab
+// boundaries, then evaluating forces, gives bit-identical forces to a
+// world freshly constructed on those boundaries at the same physics
+// state. Because the canonical (cell, ID) storage order is a pure
+// function of state and boundaries, the repartitioned rank state is
+// indistinguishable from the fresh one — for every scheme, a 1-D and a
+// 3-D topology, and both exchange modes.
+func TestRepartitionBitIdentity(t *testing.T) {
+	cfg, model := silicaConfig(t, 4, 300, 9)
+	masses := make([]float64, len(model.Species))
+	for i, s := range model.Species {
+		masses[i] = s.Mass
+	}
+	const dt, steps = 0.5, 2
+
+	topos := []geom.IVec3{{X: 2, Y: 1, Z: 1}, {X: 2, Y: 2, Z: 2}}
+	for _, scheme := range Schemes() {
+		for _, topo := range topos {
+			for _, overlap := range []bool{true, false} {
+				cart, err := comm.NewCartDims(topo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				decA, err := NewDecomp(cfg.Box, model.MaxCutoff(), cart)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Shift every split axis's interior boundary one cell low —
+				// a genuine multi-axis repartition on the 3-D topology.
+				var starts [3][]int
+				for axis := 0; axis < 3; axis++ {
+					starts[axis] = decA.Starts(axis)
+					if topo.Comp(axis) > 1 {
+						starts[axis][1]--
+					}
+				}
+				decB, err := NewDecompStarts(decA.Lat, cart, starts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// World A: run under decA, force the repartition to decB
+				// mid-run, then evaluate forces and snapshot everything.
+				snapsA := make([][]repartSnapshot, cart.Size())
+				world := comm.NewWorld(cart.Size())
+				defineTagClasses(world)
+				err = world.Run(func(p *comm.Proc) error {
+					r, err := newRankState(p, decA, model, scheme, 1, overlap)
+					if err != nil {
+						return err
+					}
+					r.adopt(cfg)
+					if _, err := r.computeForces(); err != nil {
+						return err
+					}
+					for step := 0; step < steps; step++ {
+						half := 0.5 * dt * md.ForceToAccel
+						for i := 0; i < r.nOwned; i++ {
+							r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
+						}
+						for i := 0; i < r.nOwned; i++ {
+							r.gpos[i] = r.gpos[i].Add(r.vel[i].Scale(dt))
+						}
+						if err := r.migrate(); err != nil {
+							return err
+						}
+						if _, err := r.computeForces(); err != nil {
+							return err
+						}
+						for i := 0; i < r.nOwned; i++ {
+							r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
+						}
+					}
+					if err := r.repartition(decB); err != nil {
+						return err
+					}
+					// The owned blocks must now be decB's.
+					co := cart.Coord(p.Rank())
+					if r.lo != decB.BlockLo(co) || r.hi != decB.BlockHi(co) {
+						t.Errorf("rank %d block [%v,%v), want [%v,%v)",
+							p.Rank(), r.lo, r.hi, decB.BlockLo(co), decB.BlockHi(co))
+					}
+					if _, err := r.computeForces(); err != nil {
+						return err
+					}
+					snap := make([]repartSnapshot, r.nOwned)
+					for i := 0; i < r.nOwned; i++ {
+						snap[i] = repartSnapshot{
+							id:      r.ids[i],
+							pos:     decB.Lat.Box.Wrap(r.gpos[i]),
+							vel:     r.vel[i],
+							force:   r.force[i],
+							species: r.species[i],
+						}
+						// Every owned atom must sit in this rank's new block.
+						if !r.ownsCell(r.gcell[i]) {
+							t.Errorf("rank %d: atom %d in cell %v outside block after repartition",
+								p.Rank(), r.ids[i], r.gcell[i])
+						}
+					}
+					snapsA[p.Rank()] = snap
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("%v topo %v overlap %v: world A: %v", scheme, topo, overlap, err)
+				}
+
+				var all []repartSnapshot
+				for _, s := range snapsA {
+					all = append(all, s...)
+				}
+				if len(all) != cfg.N() {
+					t.Fatalf("%v topo %v: gathered %d atoms, want %d", scheme, topo, len(all), cfg.N())
+				}
+				sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+
+				// World B: fresh construction directly on decB at the
+				// snapshot state.
+				cfgB := &workload.Config{
+					Box:     cfg.Box,
+					Pos:     make([]geom.Vec3, len(all)),
+					Vel:     make([]geom.Vec3, len(all)),
+					Species: make([]int32, len(all)),
+				}
+				for i, a := range all {
+					if a.id != int64(i) {
+						t.Fatalf("%v topo %v: atom ID %d at position %d", scheme, topo, a.id, i)
+					}
+					cfgB.Pos[i] = a.pos
+					cfgB.Vel[i] = a.vel
+					cfgB.Species[i] = a.species
+				}
+				forcesB := make([][]repartSnapshot, cart.Size())
+				world2 := comm.NewWorld(cart.Size())
+				defineTagClasses(world2)
+				err = world2.Run(func(p *comm.Proc) error {
+					r, err := newRankState(p, decB, model, scheme, 1, overlap)
+					if err != nil {
+						return err
+					}
+					r.adopt(cfgB)
+					if _, err := r.computeForces(); err != nil {
+						return err
+					}
+					snap := make([]repartSnapshot, r.nOwned)
+					for i := 0; i < r.nOwned; i++ {
+						snap[i] = repartSnapshot{id: r.ids[i], force: r.force[i]}
+					}
+					forcesB[p.Rank()] = snap
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("%v topo %v overlap %v: world B: %v", scheme, topo, overlap, err)
+				}
+
+				want := make([]geom.Vec3, len(all))
+				for _, s := range forcesB {
+					for _, a := range s {
+						want[a.id] = a.force
+					}
+				}
+				bad := 0
+				for i, a := range all {
+					if math.Float64bits(a.force.X) != math.Float64bits(want[i].X) ||
+						math.Float64bits(a.force.Y) != math.Float64bits(want[i].Y) ||
+						math.Float64bits(a.force.Z) != math.Float64bits(want[i].Z) {
+						if bad == 0 {
+							t.Errorf("%v topo %v overlap %v: atom %d force %v after repartition, %v fresh",
+								scheme, topo, overlap, i, a.force, want[i])
+						}
+						bad++
+					}
+				}
+				if bad > 0 {
+					t.Errorf("%v topo %v overlap %v: %d/%d atoms differ bitwise",
+						scheme, topo, overlap, bad, len(all))
+				}
+			}
+		}
+	}
+}

@@ -47,6 +47,15 @@ type Options struct {
 	// per-phase imbalance gauges — and accumulates a per-step wall-time
 	// histogram (parmd.step_ms) during the run.
 	Metrics *obs.Registry
+	// Balance, when non-nil, turns on telemetry-driven adaptive
+	// repartitioning: every Balance.Every steps the ranks compare their
+	// measured force-work time, and past Balance.Threshold the slab
+	// boundaries of the decomposition move toward equal load (the
+	// exchange plans recompile and whole cell slabs migrate to their new
+	// owners mid-run). Off (nil) by default: a balanced run's
+	// repartition points depend on wall-clock measurements, so
+	// run-to-run trajectories are no longer bitwise reproducible.
+	Balance *Balancer
 	// Health, when non-nil, runs the sampled invariant probes inside
 	// the step loop (energy drift, momentum, atom-count conservation,
 	// halo mirror checksums, SC-vs-FS tuple parity) at the monitor's
@@ -113,6 +122,15 @@ type Result struct {
 	// Health summarizes the invariant-probe outcomes when
 	// Options.Health was set (empty otherwise).
 	Health health.Summary
+	// BalanceChecks, Repartitions, and Imbalance summarize the adaptive
+	// balancer when Options.Balance was set: the number of collective
+	// balance checks, how many of them repartitioned the decomposition,
+	// and the force-phase imbalance (max/mean over ranks) measured at
+	// the last check. Zero when the balancer was off; ForceImbalance()
+	// gives the whole-run measure either way.
+	BalanceChecks int
+	Repartitions  int
+	Imbalance     float64
 	// StepAllocs is the mean number of heap allocations per step across
 	// the whole step loop (all ranks, whole process), measured when
 	// Options.MeasureAllocs is set with Steps > 0; -1 otherwise.
@@ -217,6 +235,9 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 		}
 		r.rec = opt.Recorder.Rank(p.Rank())
 		r.monitor = opt.Health
+		if opt.Balance != nil {
+			r.initBalance(opt.Balance)
+		}
 		r.adopt(cfg)
 
 		masses := make([]float64, len(model.Species))
@@ -290,6 +311,18 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 			if err := r.migrate(); err != nil {
 				return err
 			}
+			// Balance checks sit between migration and the force
+			// evaluation: a repartition's slab handoff reuses the migration
+			// wire format (no forces carried), and the evaluation right
+			// after recomputes them on the new owners.
+			if r.bal != nil && step > 0 && step%opt.Balance.every() == 0 {
+				sp := r.rec.StartSpan(phaseBalance)
+				_, err := r.balanceCheck()
+				sp.End()
+				if err != nil {
+					return r.rankErr("balance", err)
+				}
+			}
 			pe, err := r.computeForces()
 			if err != nil {
 				return err
@@ -354,6 +387,11 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 		}
 		finals[p.Rank()] = fin
 		res.RankStats[p.Rank()] = r.stats
+		if r.bal != nil && p.Rank() == 0 {
+			res.BalanceChecks = r.bal.checks
+			res.Repartitions = r.bal.repartitions
+			res.Imbalance = r.bal.lastImb
+		}
 		return nil
 	})
 	res.Wall = time.Since(wallStart)
@@ -426,6 +464,11 @@ var (
 	phaseWriteback     = obs.Phase("writeback")
 	phaseReduce        = obs.Phase("reduce")
 	phaseHealth        = obs.Phase("health")
+	// balance is the collective balance-check exchange; repartition is
+	// the boundary move itself (plan recompilation plus slab migration),
+	// recorded only on checks that trigger one.
+	phaseBalance     = obs.Phase("balance")
+	phaseRepartition = obs.Phase("repartition")
 )
 
 // defineTagClasses registers the simulation's traffic classes on a
@@ -436,4 +479,5 @@ func defineTagClasses(world *comm.World) {
 	world.DefineTagClass("halo", tagHalo, tagForce)
 	world.DefineTagClass("force", tagForce, tagHealth)
 	world.DefineTagClass("health", tagHealth, tagHealth+100)
+	world.DefineTagClass("balance", tagBalance, tagBalance+100)
 }

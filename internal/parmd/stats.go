@@ -47,6 +47,9 @@ var rankStatFields = []rankStatField{
 	{"halo_messages",
 		func(s *RankStats) float64 { return float64(s.HaloMessages) },
 		func(s *RankStats, v float64) { s.HaloMessages = int64(v) }},
+	{"force_ns",
+		func(s *RankStats) float64 { return float64(s.ForceNs) },
+		func(s *RankStats, v float64) { s.ForceNs = int64(v) }},
 	{"virial",
 		func(s *RankStats) float64 { return s.Virial },
 		func(s *RankStats, v float64) { s.Virial = v }},
@@ -169,6 +172,29 @@ func (r *Result) OverlapFraction() float64 {
 	return interior / (interior + wait)
 }
 
+// ForceImbalance returns the whole-run force-phase load imbalance: the
+// max over mean of the per-rank cumulative force-work time
+// (RankStats.ForceNs). 1 means perfectly balanced; it is the quantity
+// the adaptive balancer drives down (Result.Imbalance is the same
+// measure over the last balance-check interval only).
+func (r *Result) ForceImbalance() float64 {
+	if len(r.RankStats) == 0 {
+		return 1
+	}
+	var maxNs, sumNs int64
+	for i := range r.RankStats {
+		ns := r.RankStats[i].ForceNs
+		sumNs += ns
+		if ns > maxNs {
+			maxNs = ns
+		}
+	}
+	if sumNs <= 0 {
+		return 1
+	}
+	return float64(maxNs) / (float64(sumNs) / float64(len(r.RankStats)))
+}
+
 // publishMetrics exports the run's accumulated counters into the
 // registry: summed RankStats under parmd.*, per-class communication
 // volume and receive-wait time under comm.<class>.*, and — when a span
@@ -200,6 +226,10 @@ func publishMetrics(reg *obs.Registry, res *Result) {
 		reg.Counter("parmd." + f.Name).Add(int64(f.Get(&sum)))
 	}
 	reg.Gauge("parmd.ranks").Set(float64(len(res.RankStats)))
+	if res.BalanceChecks > 0 {
+		reg.Counter("parmd.repartitions").Add(int64(res.Repartitions))
+		reg.Gauge("parmd.imbalance").Set(res.Imbalance)
+	}
 
 	for class, s := range res.CommByClass {
 		reg.Counter("comm." + class + ".messages").Add(s.Messages)

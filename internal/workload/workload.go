@@ -95,9 +95,82 @@ func UniformSilica(rng *rand.Rand, n int) *Config {
 	return cfg
 }
 
+// Void builds an n-atom SiO₂ configuration with a spherical void of
+// radius radiusFrac·side/2 carved out of a uniform fluid: atoms are
+// drawn as in UniformSilica but rejected inside the sphere, so the
+// material piles up around the void. The box side is the uniform one
+// (overall density = SilicaDensity), which makes the occupied region
+// denser than uniform. The sphere sits at (¼, ¼, ¼) of the box, NOT
+// the center: in a periodic box a centered sphere is symmetric about
+// every slab midplane, which makes the uniform slab decomposition
+// already locally optimal — the off-center sphere is what gives an
+// adaptive balancer boundaries worth moving on every axis, the
+// purpose of this workload. radiusFrac ∈ (0, 1); 0.6 leaves ~11% of
+// the volume empty.
+func Void(rng *rand.Rand, n int, radiusFrac float64) *Config {
+	side := math.Cbrt(float64(n) / SilicaDensity)
+	radius := radiusFrac * side / 2
+	center := geom.V(side/4, side/4, side/4)
+	r2 := radius * radius
+	box := geom.NewCubicBox(side)
+	cfg := withSampler(rng, side, n, 1.30, func() geom.Vec3 {
+		for {
+			r := geom.V(rng.Float64()*side, rng.Float64()*side, rng.Float64()*side)
+			if box.MinImage(r.Sub(center)).Norm2() >= r2 {
+				return r
+			}
+		}
+	})
+	silicaSpecies(cfg)
+	return cfg
+}
+
+// DensityGradient builds an n-atom SiO₂ configuration whose number
+// density ramps linearly along x from 1 at the low face to ratio at
+// the high face (mean density = SilicaDensity, so the box matches
+// UniformSilica's). Positions along x follow the inverse CDF of the
+// linear ramp; y and z stay uniform. The ramp loads the high-x ranks
+// of a slab decomposition proportionally harder — the directional
+// counterpart of Void for exercising per-axis boundary moves.
+func DensityGradient(rng *rand.Rand, n int, ratio float64) *Config {
+	side := math.Cbrt(float64(n) / SilicaDensity)
+	a := (ratio - 1) / 2 // pdf p(t) ∝ 1 + 2a·t on t ∈ [0,1]
+	cfg := withSampler(rng, side, n, 1.30, func() geom.Vec3 {
+		u := rng.Float64()
+		t := u
+		if a != 0 {
+			t = (-1 + math.Sqrt(1+4*a*u*(1+a))) / (2 * a)
+		}
+		return geom.V(t*side, rng.Float64()*side, rng.Float64()*side)
+	})
+	silicaSpecies(cfg)
+	return cfg
+}
+
+// silicaSpecies assigns deterministic 1:2 SiO₂ stoichiometry (every
+// third atom Si), matching UniformSilica.
+func silicaSpecies(cfg *Config) {
+	for i := range cfg.Species {
+		if i%3 == 0 {
+			cfg.Species[i] = 0 // Si
+		} else {
+			cfg.Species[i] = 1 // O
+		}
+	}
+}
+
 // withMinSeparation draws uniform positions rejecting any closer than
 // minSep to a previous atom (checked on a throwaway grid).
 func withMinSeparation(rng *rand.Rand, side float64, n int, minSep float64) *Config {
+	return withSampler(rng, side, n, minSep, func() geom.Vec3 {
+		return geom.V(rng.Float64()*side, rng.Float64()*side, rng.Float64()*side)
+	})
+}
+
+// withSampler draws positions from sample (which must return points
+// inside the cubic box) rejecting any closer than minSep to a previous
+// atom (checked on a throwaway grid).
+func withSampler(rng *rand.Rand, side float64, n int, minSep float64, sample func() geom.Vec3) *Config {
 	box := geom.NewCubicBox(side)
 	cfg := &Config{
 		Box:     box,
@@ -124,7 +197,7 @@ func withMinSeparation(rng *rand.Rand, side float64, n int, minSep float64) *Con
 	maxTries := 200 * n
 	for len(cfg.Pos) < n && maxTries > 0 {
 		maxTries--
-		r := geom.V(rng.Float64()*side, rng.Float64()*side, rng.Float64()*side)
+		r := sample()
 		k := key(r)
 		ok := true
 	scan:
@@ -151,7 +224,7 @@ func withMinSeparation(rng *rand.Rand, side float64, n int, minSep float64) *Con
 	// unconditionally; the thermostat equilibrates the residual
 	// overlaps.
 	for len(cfg.Pos) < n {
-		cfg.Pos = append(cfg.Pos, geom.V(rng.Float64()*side, rng.Float64()*side, rng.Float64()*side))
+		cfg.Pos = append(cfg.Pos, sample())
 	}
 	return cfg
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"sctuple/internal/geom"
 	"sctuple/internal/potential"
 )
 
@@ -130,5 +131,78 @@ func TestLJFluid(t *testing.T) {
 	density := float64(cfg.N()) * 3.4 * 3.4 * 3.4 / cfg.Box.Volume()
 	if math.Abs(density-0.6) > 0.01 {
 		t.Errorf("reduced density %g, want 0.6", density)
+	}
+}
+
+func TestVoid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := Void(rng, 3000, 0.6)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N() != 3000 {
+		t.Fatalf("N = %d", cfg.N())
+	}
+	side := cfg.Box.L.X
+	radius := 0.6 * side / 2
+	center := geom.V(side/4, side/4, side/4)
+	inside := 0
+	for _, r := range cfg.Pos {
+		if cfg.Box.MinImage(r.Sub(center)).Norm2() < radius*radius {
+			inside++
+		}
+	}
+	if inside != 0 {
+		t.Errorf("%d atoms inside the void", inside)
+	}
+	// Stoichiometry: 1 Si : 2 O.
+	si := 0
+	for _, s := range cfg.Species {
+		if s == 0 {
+			si++
+		}
+	}
+	if si != 1000 {
+		t.Errorf("%d Si atoms, want 1000", si)
+	}
+	// Box at uniform-silica side: density concentrated in the shell.
+	wantSide := math.Cbrt(3000 / SilicaDensity)
+	if math.Abs(side-wantSide) > 1e-9 {
+		t.Errorf("side %g, want %g", side, wantSide)
+	}
+}
+
+func TestDensityGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const ratio = 2.0
+	cfg := DensityGradient(rng, 6000, ratio)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N() != 6000 {
+		t.Fatalf("N = %d", cfg.N())
+	}
+	// The low-x and high-x quarters of the box must hold atom counts in
+	// roughly the ramp's proportion: the mean of 1+(ratio-1)t over
+	// [0,1/4] vs [3/4,1] is (1+(ratio-1)/8) : (1+7(ratio-1)/8). The
+	// min-separation rejection flattens the dense end slightly, hence
+	// the loose tolerance.
+	side := cfg.Box.L.X
+	lo, hi := 0, 0
+	for _, r := range cfg.Pos {
+		switch {
+		case r.X < side/4:
+			lo++
+		case r.X >= 3*side/4:
+			hi++
+		}
+	}
+	wantRatio := (1 + 7*(ratio-1)/8.0) / (1 + (ratio-1)/8.0)
+	got := float64(hi) / float64(lo)
+	if math.Abs(got-wantRatio)/wantRatio > 0.15 {
+		t.Errorf("high/low quarter count ratio %.2f, want %.2f", got, wantRatio)
+	}
+	if lo == 0 || hi == 0 {
+		t.Errorf("degenerate quarter counts lo=%d hi=%d", lo, hi)
 	}
 }
