@@ -15,7 +15,8 @@
 //	scbench workers           intra-node worker sweep of the force kernel (§6)
 //	scbench record            record a machine-readable benchmark (BENCH_<sha>.json)
 //	scbench compare old new   diff two recorded benchmarks; non-zero exit on regression
-//	scbench all               everything above (except record/compare)
+//	scbench watch addr        poll a live scmd -serve run and render a terminal dashboard
+//	scbench all               everything above (except record/compare/watch)
 package main
 
 import (
@@ -25,8 +26,10 @@ import (
 	"os/exec"
 	"runtime"
 	"strings"
+	"time"
 
 	"sctuple/internal/bench"
+	"sctuple/internal/obs/serve"
 	"sctuple/internal/perfmodel"
 )
 
@@ -61,6 +64,8 @@ func main() {
 		err = runRecord(args)
 	case "compare":
 		err = runCompare(args)
+	case "watch":
+		err = runWatch(args)
 	case "all":
 		err = runAll()
 	default:
@@ -74,10 +79,11 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scbench {patterns|imports|midpoint|fig7|fig8|fig9|ablate|validate|workers|record|compare|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: scbench {patterns|imports|midpoint|fig7|fig8|fig9|ablate|validate|workers|record|compare|watch|all} [flags]")
 	fmt.Fprintln(os.Stderr, "  fig8/fig9 flags: -machine {xeon|bgq}; fig9 also -extreme")
 	fmt.Fprintln(os.Stderr, "  record flags: -out file -atoms n -steps n -ranks n -seed n -sha s")
 	fmt.Fprintln(os.Stderr, "  compare: scbench compare old.json new.json [-threshold pct] [-max-allocs n]")
+	fmt.Fprintln(os.Stderr, "  watch:   scbench watch host:port [-every dur] [-n polls] [-plain]  (pairs with scmd -serve)")
 }
 
 func machineFlag(fs *flag.FlagSet) *string {
@@ -253,6 +259,34 @@ func runCompare(args []string) error {
 		return fmt.Errorf("compare needs exactly two files: scbench compare old.json new.json [-threshold pct] [-max-allocs n]")
 	}
 	return bench.CompareReport(os.Stdout, pos[0], pos[1], *threshold, *maxAllocs)
+}
+
+// runWatch accepts the address before or after the flags, like
+// runCompare, so `scbench watch :9190 -every 2s` works.
+func runWatch(args []string) error {
+	var pos, flags []string
+	for i := 0; i < len(args); i++ {
+		if strings.HasPrefix(args[i], "-") {
+			flags = append(flags, args[i])
+			if !strings.Contains(args[i], "=") && i+1 < len(args) && args[i] != "-plain" {
+				i++
+				flags = append(flags, args[i])
+			}
+			continue
+		}
+		pos = append(pos, args[i])
+	}
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	every := fs.Duration("every", time.Second, "poll interval")
+	polls := fs.Int("n", 0, "stop after this many polls (0 = until the run completes)")
+	plain := fs.Bool("plain", false, "append frames instead of redrawing (for logs / non-TTY output)")
+	fs.Parse(flags)
+	if len(pos) != 1 {
+		return fmt.Errorf("watch needs one address: scbench watch host:port [-every dur] [-n polls] [-plain]")
+	}
+	return serve.Watch(os.Stdout, pos[0], serve.WatchOptions{
+		Every: *every, Iterations: *polls, Plain: *plain,
+	})
 }
 
 // gitSHA best-effort resolves HEAD; record still works outside a git

@@ -13,14 +13,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"math/rand"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"sctuple/internal/analysis"
@@ -28,6 +29,7 @@ import (
 	"sctuple/internal/md"
 	"sctuple/internal/obs"
 	"sctuple/internal/obs/health"
+	"sctuple/internal/obs/serve"
 	"sctuple/internal/parmd"
 	"sctuple/internal/potential"
 	"sctuple/internal/trajio"
@@ -54,7 +56,8 @@ func main() {
 		noOverlap  = flag.Bool("no-overlap", false, "disable overlapping halo communication with interior force computation; parallel runs only")
 		tracePath  = flag.String("trace", "", "write a Chrome trace-event span timeline (one track per rank) to this file; parallel runs only")
 		metricsOut = flag.String("metrics", "", "write per-step JSONL telemetry records and a final metrics snapshot to this file; parallel runs only")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		serveAddr  = flag.String("serve", "", "serve live telemetry on this address (e.g. :9190): /metrics /healthz /steps /phases /trace + /debug/pprof")
+		pprofAddr  = flag.String("pprof", "", "deprecated alias for -serve (kept for old scripts; pprof rides on the -serve mux)")
 		voidFrac   = flag.Float64("void", 0, "carve a spherical void of this diameter fraction out of a uniform fluid workload (0 = off); uses -atoms (default 6000)")
 		balance    = flag.Bool("balance", false, "adaptive repartitioning: move slab boundaries toward equal measured force load; parallel runs only")
 		balanceEv  = flag.Int("balance-every", 0, "balance-check cadence in steps (0 = default 20)")
@@ -66,13 +69,9 @@ func main() {
 	)
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "scmd: pprof server:", err)
-			}
-		}()
-		fmt.Printf("pprof listening on %s (profiles at /debug/pprof/)\n", *pprofAddr)
+	if *serveAddr == "" && *pprofAddr != "" {
+		fmt.Fprintln(os.Stderr, "scmd: -pprof is deprecated; use -serve (pprof is mounted on the telemetry mux)")
+		*serveAddr = *pprofAddr
 	}
 
 	var logger *obs.Logger
@@ -89,7 +88,7 @@ func main() {
 
 	opts := serialOpts{traj: *trajPath, analyze: *analyze, skin: *skin, workers: *workers}
 	tel := telemetryOpts{
-		trace: *tracePath, metrics: *metricsOut, log: logger,
+		trace: *tracePath, metrics: *metricsOut, serve: *serveAddr, log: logger,
 		healthEvery: *healthEv, parityEvery: *parityEv, abortOnFail: *abortFail,
 		noOverlap: *noOverlap,
 		balance:   *balance, balanceEvery: *balanceEv, balanceThreshold: *balanceThr,
@@ -105,6 +104,7 @@ func main() {
 type telemetryOpts struct {
 	trace       string
 	metrics     string
+	serve       string
 	log         *obs.Logger
 	healthEvery int
 	parityEvery int
@@ -193,6 +193,23 @@ func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermo
 	}
 	if tel.balance {
 		return fmt.Errorf("-balance repartitions the parallel decomposition; use -ranks > 1")
+	}
+	if tel.serve != "" {
+		// Serial runs have no registry/recorder wiring (yet); the server
+		// still gives pprof and a liveness /healthz.
+		srv := &serve.Server{Info: map[string]string{
+			"model": model.Name, "engine": engineName, "ranks": "1",
+			"atoms": strconv.Itoa(cfg.N()), "steps": strconv.Itoa(steps),
+		}}
+		if err := srv.Start(tel.serve); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry server on http://%s/ (serial run: pprof and /healthz only)\n", srv.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			srv.Close(ctx)
+		}()
 	}
 	return runSerial(cfg, model, engineName, steps, dt, thermostat, every, opts, tel.log)
 }
@@ -390,6 +407,49 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 			// without a trace file; a small ring is enough for totals.
 			popt.Recorder = obs.NewRecorder(ranks, 16)
 		}
+	}
+	var srv *serve.Server
+	if tel.serve != "" {
+		if popt.Metrics == nil {
+			popt.Metrics = obs.NewRegistry()
+		}
+		if popt.Recorder == nil {
+			// Enough ring for /trace to show the last ~256 steps; phase
+			// totals cover the whole run regardless of ring depth.
+			popt.Recorder = obs.NewRecorder(ranks, 16*256)
+		}
+		// The same encoded step records go to the -metrics file (when
+		// set) and to live /steps subscribers. The sink must be an
+		// untyped nil when no file is open — a typed-nil *os.File would
+		// make the writer treat every step as a file write.
+		var sink io.Writer
+		if metricsFile != nil {
+			sink = metricsFile
+		}
+		tee := obs.NewStepTee()
+		popt.StepLog = obs.NewStepWriterTee(sink, tee)
+		srv = &serve.Server{
+			Registry: popt.Metrics,
+			Recorder: popt.Recorder,
+			Health:   popt.Health,
+			Steps:    tee,
+			Info: map[string]string{
+				"model": model.Name, "engine": engineName,
+				"ranks": strconv.Itoa(ranks), "workers": strconv.Itoa(workers),
+				"atoms": strconv.Itoa(cfg.N()), "steps": strconv.Itoa(steps),
+			},
+		}
+		if err := srv.Start(tel.serve); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry server on http://%s/ (metrics, healthz, steps, phases, trace, pprof)\n", srv.Addr())
+		defer func() {
+			// Drain gracefully: mark done, end /steps streams after their
+			// buffered lines, let in-flight scrapes finish.
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			srv.Close(ctx)
+		}()
 	}
 
 	start := time.Now()

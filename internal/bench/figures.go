@@ -119,6 +119,13 @@ type ValidateRow struct {
 	// force-kernel time, Result.ForceImbalance) — the quantity the
 	// adaptive balancer drives toward 1.
 	Imbalance float64
+	// StepMsP50/P90/P99 are per-step wall-time quantiles across all
+	// (step, rank) samples, estimated from the run's parmd.step_ms
+	// histogram buckets (obs.HistSnapshot.Quantiles) — the tail shape
+	// a mean-only column hides.
+	StepMsP50 float64
+	StepMsP90 float64
+	StepMsP99 float64
 	// Phases is the run's full per-phase time decomposition across
 	// ranks (max/mean/imbalance), for the report's breakdown table.
 	Phases []obs.PhaseStat
@@ -164,9 +171,10 @@ func validateInto(mt *obs.MultiTrace, nAtoms int, ranks []int, steps int, seed i
 				spans = 16 * (steps + 2)
 			}
 			rec := obs.NewRecorder(p, spans)
+			reg := obs.NewRegistry()
 			res, err := parmd.Run(cfg, model, parmd.Options{
 				Scheme: scheme, Cart: cart, Dt: 1.0, Steps: steps,
-				Recorder: rec,
+				Recorder: rec, Metrics: reg,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("bench: %v on %d ranks: %w", scheme, p, err)
@@ -210,6 +218,7 @@ func validateInto(mt *obs.MultiTrace, nAtoms int, ranks []int, steps int, seed i
 				syncWaitNs += s.Wait.Nanoseconds()
 			}
 			st := lm.StepTime(scheme, grain)
+			p50, p90, p99 := reg.Snapshot().Histograms["parmd.step_ms"].Quantiles()
 			out = append(out, ValidateRow{
 				Scheme: scheme,
 				Tasks:  p,
@@ -233,6 +242,9 @@ func validateInto(mt *obs.MultiTrace, nAtoms int, ranks []int, steps int, seed i
 				SyncWaitMs:        float64(syncWaitNs) / float64(p) / evals / 1e6,
 				OverlapFrac:       res.OverlapFraction(),
 				Imbalance:         res.ForceImbalance(),
+				StepMsP50:         p50,
+				StepMsP90:         p90,
+				StepMsP99:         p99,
 				Phases:            res.Phases,
 			})
 		}
@@ -313,15 +325,18 @@ func ValidateReportTrace(w io.Writer, nAtoms int, ranks []int, steps int, seed i
 	fmt.Fprintln(w, "the per-task receive-blocked share of the measured comm time, sync wait")
 	fmt.Fprintln(w, "the same workload with the overlapped exchange disabled, and overlap the")
 	fmt.Fprintln(w, "fraction of the exchange window hidden behind interior compute;")
-	fmt.Fprintln(w, "imbalance is max/mean per-rank force-kernel time (1.00 = perfect)")
+	fmt.Fprintln(w, "imbalance is max/mean per-rank force-kernel time (1.00 = perfect);")
+	fmt.Fprintln(w, "step ms p50/p90/p99 are per-(step, rank) wall-time quantiles estimated")
+	fmt.Fprintln(w, "from the run's step-time histogram buckets")
 	fmt.Fprintln(w)
 	tw = newTable(w)
-	fmt.Fprintln(tw, "scheme\ttasks\tcompute ms meas\tcompute ms model\tcomm ms meas\tcomm ms model\twait ms\tsync wait ms\toverlap\timbalance")
+	fmt.Fprintln(tw, "scheme\ttasks\tcompute ms meas\tcompute ms model\tcomm ms meas\tcomm ms model\twait ms\tsync wait ms\toverlap\timbalance\tstep ms p50\tp90\tp99")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%v\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.2f\t%.2f\n",
+		fmt.Fprintf(tw, "%v\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
 			r.Scheme, r.Tasks,
 			r.MeasuredComputeMs, r.ModelComputeMs,
-			r.MeasuredCommMs, r.ModelCommMs, r.WaitMs, r.SyncWaitMs, r.OverlapFrac, r.Imbalance)
+			r.MeasuredCommMs, r.ModelCommMs, r.WaitMs, r.SyncWaitMs, r.OverlapFrac, r.Imbalance,
+			r.StepMsP50, r.StepMsP90, r.StepMsP99)
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"parmd.steps", "parmd_steps"},
+		{"comm.halo.bytes", "comm_halo_bytes"},
+		{"phase.force:interior.max_ms", "phase_force_interior_max_ms"},
+		{"already_fine_123", "already_fine_123"},
+		{"has-dash", "has_dash"},
+		{"9starts.with.digit", "_9starts_with_digit"},
+		{"", "_"},
+		{"weird\"quote\nnewline", "weird_quote_newline"},
+	}
+	for _, c := range cases {
+		if got := PromName(c.in); got != c.want {
+			t.Errorf("PromName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitLabeled(t *testing.T) {
+	cases := []struct {
+		in               string
+		metric, key, val string
+		ok               bool
+	}{
+		{"comm.halo.bytes", "comm_bytes", "class", "halo", true},
+		{"comm.migrate.wait_ns", "comm_wait_ns", "class", "migrate", true},
+		{"phase.halo:wait.max_ms", "phase_max_ms", "phase", "halo:wait", true},
+		{"health.energy_drift.ok", "health_ok", "probe", "energy_drift", true},
+		// Not labeled: wrong family, too few or too many segments.
+		{"parmd.steps", "", "", "", false},
+		{"comm.bytes", "", "", "", false},
+		{"comm.halo.deep.bytes", "", "", "", false},
+		{"comm..bytes", "", "", "", false},
+		{"serve_uptime_seconds", "", "", "", false},
+	}
+	for _, c := range cases {
+		metric, key, val, ok := SplitLabeled(c.in)
+		if ok != c.ok || metric != c.metric || key != c.key || val != c.val {
+			t.Errorf("SplitLabeled(%q) = (%q, %q, %q, %v), want (%q, %q, %q, %v)",
+				c.in, metric, key, val, ok, c.metric, c.key, c.val, c.ok)
+		}
+	}
+}
+
+// TestCommClassNamesAgree pins the round trip between the three
+// surfaces a traffic-class counter appears on: the registry name, the
+// JSONL step-record key, and the exposition family+label.
+func TestCommClassNamesAgree(t *testing.T) {
+	for _, class := range []string{"halo", "force", "migrate", "collective", "health", "balance", "other"} {
+		reg := CommClassMetric(class, "bytes")
+		if want := "comm." + class + ".bytes"; reg != want {
+			t.Fatalf("CommClassMetric(%q) = %q, want %q", class, reg, want)
+		}
+		metric, key, val, ok := SplitLabeled(reg)
+		if !ok || metric != "comm_bytes" || key != "class" || val != class {
+			t.Fatalf("SplitLabeled(%q) = (%q, %q, %q, %v); registry and exposition drifted",
+				reg, metric, key, val, ok)
+		}
+		if got, want := CommClassKey(class, "bytes"), PromName(reg); got != want {
+			t.Fatalf("JSONL key %q != flattened registry name %q", got, want)
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{1, 2, 4})
+	// 4 observations spread over the buckets: (0,1], (1,2], (2,4], >4.
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	h.Observe(100)
+	snap := r.Snapshot().Histograms["q"]
+	p50, p90, p99 := snap.Quantiles()
+	if !(p50 > 1 && p50 <= 2) {
+		t.Errorf("p50 = %g, want in (1, 2]", p50)
+	}
+	// Overflow-bucket quantiles clamp to the last finite bound.
+	if p99 != 4 {
+		t.Errorf("p99 = %g, want clamp to 4", p99)
+	}
+	if p90 < p50 || p99 < p90 {
+		t.Errorf("quantiles not monotone: p50 %g p90 %g p99 %g", p50, p90, p99)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+}
+
+func TestStepTeeDrops(t *testing.T) {
+	tee := NewStepTee()
+	if tee.Active() {
+		t.Fatal("empty tee reports active")
+	}
+	sub := tee.Subscribe(1)
+	if !tee.Active() || tee.Subscribers() != 1 {
+		t.Fatal("subscribe did not activate the tee")
+	}
+	for i := 0; i < 10; i++ {
+		tee.Publish([]byte("line\n"))
+	}
+	if got := sub.Dropped(); got != 9 {
+		t.Errorf("subscriber dropped %d lines, want 9", got)
+	}
+	if got := tee.Dropped(); got != 9 {
+		t.Errorf("tee dropped %d lines, want 9", got)
+	}
+	if got := <-sub.Lines(); string(got) != "line\n" {
+		t.Errorf("delivered line %q", got)
+	}
+	tee.Close()
+	if _, ok := <-sub.Lines(); ok {
+		t.Error("subscriber channel still open after tee close")
+	}
+	// Nil-safety: all methods are no-ops.
+	var nilTee *StepTee
+	nilTee.Publish([]byte("x"))
+	nilTee.Close()
+	if nilTee.Active() || nilTee.Subscribe(4) != nil || nilTee.Dropped() != 0 {
+		t.Error("nil tee is not inert")
+	}
+}
+
+// TestStepWriterTeeOnly: with no file sink, the writer is active only
+// while a subscriber listens, and published lines match the encoded
+// records.
+func TestStepWriterTeeOnly(t *testing.T) {
+	tee := NewStepTee()
+	w := NewStepWriterTee(nil, tee)
+	if w.Active() {
+		t.Fatal("tee-only writer active with no subscriber")
+	}
+	w.WriteStep(StepRecord{Step: 0, Rank: 0}) // dropped: nobody listens
+	sub := tee.Subscribe(4)
+	if !w.Active() {
+		t.Fatal("writer inactive with a live subscriber")
+	}
+	w.WriteStep(StepRecord{Step: 1, Rank: 0, WallNs: 7})
+	line := <-sub.Lines()
+	if want := `"step":1`; !bytes.Contains(line, []byte(want)) {
+		t.Errorf("streamed line %q missing %q", line, want)
+	}
+	if err := w.Err(); err != nil {
+		t.Errorf("tee-only writer reported sink error: %v", err)
+	}
+	sub.Cancel()
+	if w.Active() {
+		t.Error("writer still active after the only subscriber left")
+	}
+}

@@ -15,6 +15,15 @@
 // tests in package parmd). Enabled spans write into preallocated
 // per-rank ring buffers — recording cost is two monotonic clock reads
 // and one ring store, still allocation-free.
+//
+// Ring slots and the per-phase accumulators are written and read with
+// atomic word operations, so a live reader (the telemetry HTTP server
+// of obs/serve) can snapshot PhaseStats, per-rank phase totals, and
+// the span rings while ranks are still recording: publication order
+// (slot words first, then the ring counter) plus a recheck of the
+// counter after copying lets the reader discard the slots a concurrent
+// writer may have been overwriting, and everything else is a plain
+// atomic load.
 package obs
 
 import (
@@ -74,13 +83,34 @@ func numPhases() int {
 	return len(phaseNames)
 }
 
-// span is one recorded interval. Start is nanoseconds since the
-// recorder's epoch.
+// span is one recorded interval in its ring slot: start nanoseconds
+// since the recorder's epoch, duration, and the packed step + phase.
+// Fields are atomic words so a live exporter can read slots while the
+// owning rank overwrites them (tearing between fields is handled by
+// the ring-counter recheck in snapshotSpans, not per slot).
 type span struct {
-	start int64
-	dur   int64
-	step  int32
-	phase PhaseID
+	start atomic.Int64
+	dur   atomic.Int64
+	meta  atomic.Int64 // step<<8 | phase
+}
+
+// packSpanMeta and its inverse move (step, phase) through one atomic
+// word. The arithmetic right shift recovers negative steps (-1 tags
+// pre-loop work).
+func packSpanMeta(step int32, phase PhaseID) int64 {
+	return int64(step)<<8 | int64(phase)
+}
+
+func unpackSpanMeta(meta int64) (step int32, phase PhaseID) {
+	return int32(meta >> 8), PhaseID(uint8(meta))
+}
+
+// SpanCopy is one span read out of a ring by a live snapshot.
+type SpanCopy struct {
+	StartNs int64
+	DurNs   int64
+	Step    int32
+	Phase   PhaseID
 }
 
 // Recorder records phase spans for a fixed set of ranks, each into its
@@ -143,12 +173,20 @@ func (r *Recorder) Rank(i int) *RankRecorder {
 // incoming point recorded at receive time on the receiver's track.
 // Matching endpoints share an ID, so the trace exporter can emit
 // Chrome flow events ("s"/"f") that draw message-causality arrows
-// between rank tracks in Perfetto.
+// between rank tracks in Perfetto. Fields are atomic words for the
+// same live-snapshot reason as span's.
 type flowPoint struct {
+	id   atomic.Uint64
+	ts   atomic.Int64 // nanoseconds since the recorder's epoch
+	meta atomic.Int64 // step<<1 | out (out = 1 at the sender)
+}
+
+// flowCopy is one flow point read out of a ring by a live snapshot.
+type flowCopy struct {
 	id   uint64
-	ts   int64 // nanoseconds since the recorder's epoch
+	ts   int64
 	step int32
-	out  bool // true at the sender, false at the receiver
+	out  bool
 }
 
 // RankRecorder is one rank's span sink.
@@ -156,12 +194,12 @@ type RankRecorder struct {
 	rec     *Recorder
 	rank    int
 	spans   []span
-	n       int64 // total spans recorded; ring index is n % len(spans)
+	n       atomic.Int64 // total spans recorded; ring index is n % len(spans)
 	flows   []flowPoint
-	fn      int64 // total flow points recorded; ring index is fn % len(flows)
+	fn      atomic.Int64 // total flow points recorded; ring index is fn % len(flows)
 	step    int32
-	phaseNs [MaxPhases]int64
-	_       [64]byte // pad: rank recorders sit in one slice, ranks write concurrently
+	phaseNs [MaxPhases]int64 // accessed with sync/atomic only
+	_       [64]byte         // pad: rank recorders sit in one slice, ranks write concurrently
 }
 
 // SetStep tags subsequently recorded spans with an MD step number
@@ -193,16 +231,21 @@ func (r *RankRecorder) StartSpan(phase PhaseID) Span {
 }
 
 // End closes the span, accumulating its duration into the rank's
-// per-phase total and storing it in the ring.
+// per-phase total and storing it in the ring. The slot words are
+// published before the ring counter advances, so a live snapshot
+// either sees the complete span or none of it.
 func (s Span) End() {
 	r := s.r
 	if r == nil {
 		return
 	}
 	d := int64(time.Since(r.rec.epoch)) - s.start
-	r.phaseNs[s.phase] += d
-	r.spans[r.n%int64(len(r.spans))] = span{start: s.start, dur: d, step: r.step, phase: s.phase}
-	r.n++
+	atomic.AddInt64(&r.phaseNs[s.phase], d)
+	slot := &r.spans[r.n.Load()%int64(len(r.spans))]
+	slot.start.Store(s.start)
+	slot.dur.Store(d)
+	slot.meta.Store(packSpanMeta(r.step, s.phase))
+	r.n.Add(1)
 }
 
 // flowID builds the shared flow identifier of one message: the step,
@@ -235,21 +278,24 @@ func (r *RankRecorder) FlowRecv(tag, from int) {
 }
 
 func (r *RankRecorder) putFlow(id uint64, out bool) {
-	r.flows[r.fn%int64(len(r.flows))] = flowPoint{
-		id:   id,
-		ts:   int64(time.Since(r.rec.epoch)),
-		step: r.step,
-		out:  out,
+	meta := int64(r.step) << 1
+	if out {
+		meta |= 1
 	}
-	r.fn++
+	slot := &r.flows[r.fn.Load()%int64(len(r.flows))]
+	slot.id.Store(id)
+	slot.ts.Store(int64(time.Since(r.rec.epoch)))
+	slot.meta.Store(meta)
+	r.fn.Add(1)
 }
 
-// PhaseNs returns the rank's accumulated nanoseconds in a phase.
+// PhaseNs returns the rank's accumulated nanoseconds in a phase. Safe
+// to call concurrently with recording.
 func (r *RankRecorder) PhaseNs(phase PhaseID) int64 {
 	if r == nil {
 		return 0
 	}
-	return r.phaseNs[phase]
+	return atomic.LoadInt64(&r.phaseNs[phase])
 }
 
 // CopyPhaseNs copies the rank's cumulative per-phase totals into dst —
@@ -259,7 +305,9 @@ func (r *RankRecorder) CopyPhaseNs(dst *[MaxPhases]int64) {
 		*dst = [MaxPhases]int64{}
 		return
 	}
-	*dst = r.phaseNs
+	for i := range dst {
+		dst[i] = atomic.LoadInt64(&r.phaseNs[i])
+	}
 }
 
 // Dropped returns how many spans were overwritten by ring wrap-around.
@@ -267,10 +315,75 @@ func (r *RankRecorder) Dropped() int64 {
 	if r == nil {
 		return 0
 	}
-	if d := r.n - int64(len(r.spans)); d > 0 {
+	if d := r.n.Load() - int64(len(r.spans)); d > 0 {
 		return d
 	}
 	return 0
+}
+
+// snapshotSpans appends the ring's surviving spans, oldest first, to
+// dst. It is safe to call while the owning rank records: the counter
+// is read before and after copying, and the window a concurrent
+// writer may have been overwriting — spans older than n₂ − len, whose
+// slots were reused for spans [n₁, n₂) — is discarded, so every
+// returned span is fully published.
+func (r *RankRecorder) snapshotSpans(dst []SpanCopy) []SpanCopy {
+	n1 := r.n.Load()
+	ringLen := int64(len(r.spans))
+	lo := int64(0)
+	if d := n1 - ringLen; d > 0 {
+		lo = d
+	}
+	type raw struct{ start, dur, meta int64 }
+	tmp := make([]raw, 0, n1-lo)
+	for k := lo; k < n1; k++ {
+		slot := &r.spans[k%ringLen]
+		tmp = append(tmp, raw{slot.start.Load(), slot.dur.Load(), slot.meta.Load()})
+	}
+	n2 := r.n.Load()
+	if d := n2 - ringLen; d > lo {
+		if d >= n1 {
+			tmp = tmp[:0] // the whole ring churned during the copy
+		} else {
+			tmp = tmp[d-lo:]
+		}
+	}
+	for _, t := range tmp {
+		step, phase := unpackSpanMeta(t.meta)
+		dst = append(dst, SpanCopy{StartNs: t.start, DurNs: t.dur, Step: step, Phase: phase})
+	}
+	return dst
+}
+
+// snapshotFlows is snapshotSpans for the flow-point ring.
+func (r *RankRecorder) snapshotFlows(dst []flowCopy) []flowCopy {
+	n1 := r.fn.Load()
+	ringLen := int64(len(r.flows))
+	lo := int64(0)
+	if d := n1 - ringLen; d > 0 {
+		lo = d
+	}
+	type raw struct {
+		id       uint64
+		ts, meta int64
+	}
+	tmp := make([]raw, 0, n1-lo)
+	for k := lo; k < n1; k++ {
+		slot := &r.flows[k%ringLen]
+		tmp = append(tmp, raw{slot.id.Load(), slot.ts.Load(), slot.meta.Load()})
+	}
+	n2 := r.fn.Load()
+	if d := n2 - ringLen; d > lo {
+		if d >= n1 {
+			tmp = tmp[:0]
+		} else {
+			tmp = tmp[d-lo:]
+		}
+	}
+	for _, t := range tmp {
+		dst = append(dst, flowCopy{id: t.id, ts: t.ts, step: int32(t.meta >> 1), out: t.meta&1 != 0})
+	}
+	return dst
 }
 
 // PhaseStat is one phase's per-rank time decomposition: the
@@ -293,8 +406,8 @@ func (s PhaseStat) Imbalance() float64 {
 
 // PhaseStats aggregates every rank's accumulated per-phase time into
 // one row per phase with nonzero total, in phase-registration order.
-// Call it after the recorded run completes (it reads the rank
-// accumulators unsynchronized).
+// The accumulators are read atomically, so it is safe to call while
+// ranks are still recording — the live /phases endpoint does.
 func (r *Recorder) PhaseStats() []PhaseStat {
 	if r == nil {
 		return nil
@@ -304,7 +417,7 @@ func (r *Recorder) PhaseStats() []PhaseStat {
 		per := make([]int64, len(r.ranks))
 		total := int64(0)
 		for i := range r.ranks {
-			per[i] = r.ranks[i].phaseNs[p]
+			per[i] = atomic.LoadInt64(&r.ranks[i].phaseNs[p])
 			total += per[i]
 		}
 		if total == 0 {

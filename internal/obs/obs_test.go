@@ -114,7 +114,7 @@ func TestDisabledAndNilRecorderAreFreeAndInert(t *testing.T) {
 	rr := rec.Rank(0)
 	sp = rr.StartSpan(p)
 	sp.End()
-	if rr.PhaseNs(p) != 0 || rr.n != 0 {
+	if rr.PhaseNs(p) != 0 || rr.n.Load() != 0 {
 		t.Error("disabled recorder recorded a span")
 	}
 

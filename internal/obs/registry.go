@@ -19,6 +19,13 @@ func (c *Counter) Add(d int64) { c.v.Add(d) }
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
+// Store overwrites the counter with an exact value — the end-of-run
+// reconciliation primitive: a run that published approximate per-step
+// deltas live replaces them with the authoritative total, idempotently
+// (a second Store of the same total is a no-op), without double
+// counting the live adds.
+func (c *Counter) Store(v int64) { c.v.Store(v) }
+
 // Load returns the current value.
 func (c *Counter) Load() int64 { return c.v.Load() }
 
@@ -75,6 +82,51 @@ func (h HistSnapshot) Mean() float64 {
 		return 0
 	}
 	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket
+// counts by linear interpolation inside the bucket the quantile rank
+// lands in (the first bucket interpolates from 0, matching the
+// latency-style layouts ExpBuckets produces). Observations in the
+// overflow bucket clamp to the last finite bound — the histogram
+// carries no upper limit for them. Returns 0 when empty.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Uppers) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := float64(0)
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			if i >= len(h.Uppers) {
+				return h.Uppers[len(h.Uppers)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.Uppers[i-1]
+			}
+			return lo + (h.Uppers[i]-lo)*(rank-cum)/float64(c)
+		}
+		cum = next
+	}
+	return h.Uppers[len(h.Uppers)-1]
+}
+
+// Quantiles returns the conventional p50/p90/p99 summary of the
+// snapshot — the tail view /metrics and the bench validation tables
+// surface next to the mean.
+func (h HistSnapshot) Quantiles() (p50, p90, p99 float64) {
+	return h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
 }
 
 // ExpBuckets returns n exponentially growing upper bounds starting at

@@ -1,0 +1,171 @@
+// Package serve is the live-telemetry HTTP server of the parallel MD
+// stack: an embeddable, dependency-free (net/http only) endpoint set
+// that exposes a running simulation — Prometheus text exposition of
+// the metrics registry, a health summary usable as a liveness probe,
+// a streaming NDJSON/SSE feed of per-step records, live per-phase
+// timing, and on-demand Chrome-trace snapshots — plus net/http/pprof
+// on the same mux. Every endpoint reads only lock-free or
+// mutex-guarded snapshot surfaces (obs.Registry.Snapshot, atomic
+// recorder rings, health.Monitor.Summary, the StepTee), so serving
+// never blocks or perturbs the step loop; with no subscriber
+// attached the simulation's hot path stays allocation-free.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sctuple/internal/obs"
+)
+
+// sample is one exposition line: an optional label pair and a
+// pre-formatted value.
+type sample struct {
+	labelKey, labelValue string
+	value                string
+}
+
+// family is one exposition metric family: a TYPE line plus its
+// samples, grouped so multi-class families (comm_bytes over halo,
+// migrate, …) render contiguously as the format requires.
+type family struct {
+	name    string
+	typ     string
+	samples []sample
+}
+
+// formatFloat renders a float the way the exposition format expects
+// (shortest round-trip form; integers without exponent).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the text exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// addSample files one registry metric into its exposition family,
+// lifting class-like middle segments into labels via obs.SplitLabeled
+// (comm.halo.bytes → comm_bytes{class="halo"}) and flattening
+// everything else through obs.PromName.
+func addSample(fams map[string]*family, typ, name, value string) {
+	metric, lk, lv, labeled := obs.SplitLabeled(name)
+	if !labeled {
+		metric, lk, lv = obs.PromName(name), "", ""
+	}
+	f := fams[metric]
+	if f == nil {
+		f = &family{name: metric, typ: typ}
+		fams[metric] = f
+	}
+	f.samples = append(f.samples, sample{labelKey: lk, labelValue: lv, value: value})
+}
+
+// WriteExposition renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges one sample
+// per line, histograms as cumulative _bucket/_sum/_count series plus
+// derived _p50/_p90/_p99 quantile gauges (estimated from the bucket
+// counts — see obs.HistSnapshot.Quantile). Families are emitted in
+// sorted name order with their samples sorted by label value, so the
+// output is deterministic and golden-testable.
+func WriteExposition(w io.Writer, snap obs.Snapshot) error {
+	fams := make(map[string]*family)
+	for name, v := range snap.Counters {
+		addSample(fams, "counter", name, strconv.FormatInt(v, 10))
+	}
+	for name, v := range snap.Gauges {
+		addSample(fams, "gauge", name, formatFloat(v))
+	}
+	histNames := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.samples, func(i, j int) bool {
+			return f.samples[i].labelValue < f.samples[j].labelValue
+		})
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			var err error
+			if s.labelKey == "" {
+				_, err = fmt.Fprintf(w, "%s %s\n", f.name, s.value)
+			} else {
+				// escapeLabel already applied the format's escaping; %q
+				// here would escape a second time.
+				_, err = fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n", f.name, s.labelKey, escapeLabel(s.labelValue), s.value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range histNames {
+		if err := writeHistogram(w, obs.PromName(name), snap.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram family plus its quantile
+// gauges.
+func writeHistogram(w io.Writer, name string, h obs.HistSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for i, upper := range h.Uppers {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(upper), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+		return err
+	}
+	p50, p90, p99 := h.Quantiles()
+	for _, q := range []struct {
+		suffix string
+		v      float64
+	}{{"p50", p50}, {"p90", p90}, {"p99", p99}} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s_%s gauge\n%s_%s %s\n",
+			name, q.suffix, name, q.suffix, formatFloat(q.v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

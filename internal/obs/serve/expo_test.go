@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sctuple/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSnapshot builds a deterministic registry covering every
+// exposition shape: flat counters and gauges, labeled comm/phase
+// families, a label value needing escaping, and a histogram.
+func goldenSnapshot() obs.Snapshot {
+	reg := obs.NewRegistry()
+	reg.Counter("parmd.steps").Add(42)
+	reg.Counter("parmd.tuples_evaluated").Add(123456)
+	reg.Counter("comm.halo.bytes").Add(1024)
+	reg.Counter("comm.migrate.bytes").Add(8)
+	reg.Counter("comm.halo.messages").Add(6)
+	reg.Gauge("parmd.imbalance").Set(1.25)
+	reg.Gauge("phase.force:interior.max_ms").Set(3.5)
+	reg.Gauge("phase.halo:wait.max_ms").Set(0.75)
+	reg.Gauge(`phase.odd"phase\name.max_ms`).Set(1)
+	h := reg.Histogram("parmd.step_ms", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	h.Observe(100)
+	return reg.Snapshot()
+}
+
+func TestWriteExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteExpositionDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteExposition(&a, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteExposition(&b, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two renders of the same snapshot differ (map-order leak)")
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`back\slash`, `back\\slash`},
+		{`dou"ble`, `dou\"ble`},
+		{"new\nline", `new\nline`},
+		{"all\\three\"\n", `all\\three\"\n`},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Exposition-format line shapes accepted by the test parser.
+var (
+	typeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_][a-zA-Z0-9_]*) (counter|gauge|histogram)$`)
+	sampleLine = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"\})? (\S+)$`)
+)
+
+// parseExposition validates the text format strictly enough to catch
+// real drift: every line is a TYPE or sample line; every sample
+// belongs to the most recent TYPE family (exact name, or the
+// _bucket/_sum/_count suffixes of a histogram); values parse as
+// numbers; cumulative histogram buckets never decrease and the +Inf
+// bucket equals _count. Returns the sample map name{labels} → value.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	var fam, famType string
+	var lastBucket float64
+	bucketMax := make(map[string]float64)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if m := typeLine.FindStringSubmatch(line); m != nil {
+			fam, famType = m[1], m[2]
+			lastBucket = 0
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed exposition line %q", ln+1, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		var val float64
+		if valStr == "+Inf" || valStr == "-Inf" || valStr == "NaN" {
+			t.Fatalf("line %d: non-finite sample value %q", ln+1, line)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		switch {
+		case name == fam:
+		case famType == "histogram" &&
+			(name == fam+"_bucket" || name == fam+"_sum" || name == fam+"_count"):
+		default:
+			t.Fatalf("line %d: sample %q outside its family %q (%s)", ln+1, name, fam, famType)
+		}
+		if famType == "histogram" && name == fam+"_bucket" {
+			if val < lastBucket {
+				t.Fatalf("line %d: histogram bucket decreased: %g after %g", ln+1, val, lastBucket)
+			}
+			lastBucket = val
+			bucketMax[fam] = val
+		}
+		if famType == "histogram" && name == fam+"_count" {
+			if inf := bucketMax[fam]; val != inf {
+				t.Fatalf("line %d: %s_count %g != +Inf bucket %g", ln+1, fam, val, inf)
+			}
+		}
+		samples[name+labels] = val
+	}
+	return samples
+}
+
+func TestExpositionParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteExposition(&buf, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+	checks := map[string]float64{
+		`parmd_steps`:                                           42,
+		`comm_bytes{class="halo"}`:                              1024,
+		`comm_bytes{class="migrate"}`:                           8,
+		`parmd_imbalance`:                                       1.25,
+		`phase_max_ms{phase="force:interior"}`:                  3.5,
+		fmt.Sprintf(`phase_max_ms{phase=%q}`, `odd"phase\name`): 1,
+		`parmd_step_ms_count`:                                   4,
+		`parmd_step_ms_p99`:                                     4, // overflow clamps to the last bound
+	}
+	for key, want := range checks {
+		got, ok := samples[key]
+		if !ok {
+			t.Errorf("sample %s missing from exposition", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("sample %s = %g, want %g", key, got, want)
+		}
+	}
+}

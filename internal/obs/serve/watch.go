@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"sctuple/internal/obs"
+)
+
+// WatchOptions configures the polling terminal dashboard.
+type WatchOptions struct {
+	// Every is the poll interval (default 1s).
+	Every time.Duration
+	// Iterations caps the number of polls; 0 means poll until the run
+	// reports done or a request fails.
+	Iterations int
+	// Plain disables the ANSI clear-and-redraw, appending each frame
+	// instead — for logs and non-TTY output.
+	Plain bool
+}
+
+// Watch polls a live telemetry server (base is "host:port" or a full
+// http:// URL) and renders a refreshing terminal dashboard to w:
+// health state, step progress and rate, the per-phase time table with
+// imbalance, comm bytes by traffic class, repartition count, and
+// /steps subscriber pressure. It returns nil when the watched run
+// completes, or the first request/decode error once the server stops
+// answering.
+func Watch(w io.Writer, base string, opt WatchOptions) error {
+	if opt.Every <= 0 {
+		opt.Every = time.Second
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	var prevSteps int64
+	var prevAt time.Time
+	for i := 0; opt.Iterations == 0 || i < opt.Iterations; i++ {
+		if i > 0 {
+			time.Sleep(opt.Every)
+		}
+		var hz healthzResponse
+		// /healthz intentionally answers 503 on failing probes; that is
+		// a dashboard state, not a poll error, so status codes are not
+		// checked on this endpoint.
+		if err := getJSON(client, base+"/healthz", &hz); err != nil {
+			return fmt.Errorf("watch %s: %w", base, err)
+		}
+		var ph phasesResponse
+		phErr := getJSON(client, base+"/phases", &ph)
+		var snap obs.Snapshot
+		if err := getJSON(client, base+"/registry", &snap); err != nil {
+			return fmt.Errorf("watch %s: %w", base, err)
+		}
+
+		now := time.Now()
+		var rate float64
+		steps := snap.Counters["parmd.steps"]
+		if !prevAt.IsZero() && now.After(prevAt) {
+			rate = float64(steps-prevSteps) / now.Sub(prevAt).Seconds()
+		}
+		prevSteps, prevAt = steps, now
+
+		if !opt.Plain {
+			fmt.Fprint(w, "\x1b[2J\x1b[H")
+		}
+		renderFrame(w, base, hz, ph, phErr, snap, rate)
+		if hz.Done {
+			fmt.Fprintln(w, "run complete")
+			return nil
+		}
+	}
+	return nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// The endpoint's source isn't attached on this run; leave v
+		// zero and let the renderer omit the section.
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func renderFrame(w io.Writer, base string, hz healthzResponse, ph phasesResponse, phErr error, snap obs.Snapshot, rate float64) {
+	fmt.Fprintf(w, "watching %s   health=%s   up %s\n", base, hz.Status, fmtDuration(hz.UptimeSeconds))
+	if len(hz.Info) > 0 {
+		keys := make([]string, 0, len(hz.Info))
+		for k := range hz.Info {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, k+"="+hz.Info[k])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+
+	steps := snap.Counters["parmd.steps"]
+	fmt.Fprintf(w, "  steps %d (%.1f/s)   imbalance %.3f   repartitions %d\n",
+		steps, rate, snap.Gauges["parmd.imbalance"], snap.Counters["parmd.repartitions"])
+
+	if phErr == nil && len(ph.Phases) > 0 {
+		fmt.Fprintf(w, "\n  %-18s %10s %10s %8s\n", "phase", "max ms", "mean ms", "imbal")
+		rows := append([]phaseJSON(nil), ph.Phases...)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].MaxMs > rows[j].MaxMs })
+		for _, p := range rows {
+			fmt.Fprintf(w, "  %-18s %10.1f %10.1f %8.3f\n", p.Phase, p.MaxMs, p.MeanMs, p.Imbalance)
+		}
+		fmt.Fprintf(w, "  critical path %.1f ms (%.0f%% of wall)   force imbalance %.3f\n",
+			ph.CriticalPathMs, ph.CriticalPathFraction*100, ph.ForceImbalance)
+	}
+
+	type classRow struct {
+		class string
+		bytes int64
+		msgs  int64
+	}
+	byClass := map[string]*classRow{}
+	for name, v := range snap.Counters {
+		metric, _, class, ok := obs.SplitLabeled(name)
+		if !ok || (metric != "comm_bytes" && metric != "comm_messages") {
+			continue
+		}
+		row := byClass[class]
+		if row == nil {
+			row = &classRow{class: class}
+			byClass[class] = row
+		}
+		if metric == "comm_bytes" {
+			row.bytes = v
+		} else {
+			row.msgs = v
+		}
+	}
+	if len(byClass) > 0 {
+		rows := make([]classRow, 0, len(byClass))
+		for _, r := range byClass {
+			rows = append(rows, *r)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].bytes > rows[j].bytes })
+		fmt.Fprintf(w, "\n  %-12s %12s %10s\n", "comm class", "bytes", "msgs")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-12s %12s %10d\n", r.class, fmtBytes(r.bytes), r.msgs)
+		}
+	}
+
+	if subs := snap.Gauges["serve_steps_subscribers"]; subs > 0 || snap.Counters["serve_steps_dropped_lines"] > 0 {
+		fmt.Fprintf(w, "\n  step subscribers %.0f   dropped lines %d\n",
+			subs, snap.Counters["serve_steps_dropped_lines"])
+	}
+	fmt.Fprintln(w)
+}
+
+func fmtDuration(seconds float64) string {
+	d := time.Duration(seconds * float64(time.Second))
+	return d.Truncate(time.Second).String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

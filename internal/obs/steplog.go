@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"sync"
@@ -19,19 +20,51 @@ type StepRecord struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
-// StepWriter serializes telemetry records as JSON Lines. Writes from
-// concurrent ranks are ordered by an internal mutex; errors are
-// sticky and reported once by Err, so per-step call sites stay
-// unconditional.
+// StepWriter serializes telemetry records as JSON Lines into an
+// optional file sink and an optional live StepTee — the same encoded
+// line goes to both, so on-disk logs and streamed /steps records can
+// never disagree. Writes from concurrent ranks are ordered by an
+// internal mutex; sink errors are sticky and reported once by Err, so
+// per-step call sites stay unconditional.
 type StepWriter struct {
 	mu  sync.Mutex
+	w   io.Writer // may be nil: tee-only writer
+	tee *StepTee  // may be nil: file-only writer
+	buf bytes.Buffer
 	enc *json.Encoder
 	err error
 }
 
 // NewStepWriter wraps w (typically a file) as a JSONL sink.
-func NewStepWriter(w io.Writer) *StepWriter {
-	return &StepWriter{enc: json.NewEncoder(w)}
+func NewStepWriter(w io.Writer) *StepWriter { return NewStepWriterTee(w, nil) }
+
+// NewStepWriterTee wraps an optional file sink and an optional live
+// tee. With w nil, records exist only as streamed lines — and only
+// while someone subscribes: Active gates the emitters, so an idle
+// tee-only writer costs nothing per step (no encoding, no
+// allocation).
+func NewStepWriterTee(w io.Writer, tee *StepTee) *StepWriter {
+	s := &StepWriter{w: w, tee: tee}
+	s.enc = json.NewEncoder(&s.buf)
+	return s
+}
+
+// Active reports whether a write would go anywhere: a file sink is
+// configured, or a live subscriber is attached to the tee. Emitters
+// that maintain per-step delta state check it each step and skip the
+// (allocating) record construction while it is false — the deltas
+// still advance, so a subscriber that joins mid-run sees per-step
+// values from its first full step, not cumulative totals.
+func (s *StepWriter) Active() bool {
+	return s != nil && (s.w != nil || s.tee.Active())
+}
+
+// Tee returns the writer's live tee (nil when none is attached).
+func (s *StepWriter) Tee() *StepTee {
+	if s == nil {
+		return nil
+	}
+	return s.tee
 }
 
 // WriteStep appends one step record line.
@@ -40,18 +73,29 @@ func (s *StepWriter) WriteStep(rec StepRecord) { s.WriteValue(rec) }
 // WriteValue appends an arbitrary record line — used for the final
 // registry-snapshot line ({"snapshot": …}) after the per-step stream.
 func (s *StepWriter) WriteValue(v any) {
-	if s == nil {
+	if s == nil || (s.w == nil && !s.tee.Active()) {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.err != nil {
+	s.buf.Reset()
+	if err := s.enc.Encode(v); err != nil {
+		if s.err == nil {
+			s.err = err
+		}
 		return
 	}
-	s.err = s.enc.Encode(v)
+	line := s.buf.Bytes()
+	if s.w != nil && s.err == nil {
+		if _, err := s.w.Write(line); err != nil {
+			s.err = err
+		}
+	}
+	s.tee.Publish(line)
 }
 
-// Err returns the first write error, if any.
+// Err returns the first sink write error, if any. Tee subscribers
+// cannot fail a writer — a slow one drops lines and counts them.
 func (s *StepWriter) Err() error {
 	if s == nil {
 		return nil

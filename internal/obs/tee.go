@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// StepTee fans one stream of encoded step-record lines out to any
+// number of live subscribers — the pipe between the simulation's
+// per-step JSONL emission and the /steps streaming endpoint of the
+// telemetry server. The backpressure rule is strict: Publish never
+// blocks the simulation. Each subscriber owns a bounded buffer
+// (channel); a subscriber that falls behind loses the lines that
+// arrive while its buffer is full, and both the subscriber and the
+// tee count every dropped line, so slowness is visible instead of
+// contagious.
+//
+// A nil *StepTee is a valid disabled tee: Active reports false and
+// Publish/Close are no-ops, mirroring the nil-safety contract of the
+// rest of the package.
+type StepTee struct {
+	// active is the current subscriber count, read lock-free on the
+	// publish fast path so an idle tee costs one atomic load per line.
+	active  atomic.Int32
+	dropped atomic.Int64
+
+	mu     sync.Mutex
+	subs   map[*StepSub]struct{}
+	closed bool
+}
+
+// NewStepTee builds an empty tee.
+func NewStepTee() *StepTee {
+	return &StepTee{subs: make(map[*StepSub]struct{})}
+}
+
+// Active reports whether any subscriber is attached (false on nil).
+// Emitters use it to skip record encoding entirely when nothing
+// listens and no file sink is configured.
+func (t *StepTee) Active() bool {
+	return t != nil && t.active.Load() > 0
+}
+
+// Dropped returns the total lines dropped across all subscribers,
+// past and present (0 on nil).
+func (t *StepTee) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Subscribers returns the current subscriber count (0 on nil).
+func (t *StepTee) Subscribers() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.active.Load())
+}
+
+// Publish fans line out to every subscriber without blocking: a full
+// subscriber buffer drops the line for that subscriber and counts it.
+// The line is copied once (subscribers share the copy and must treat
+// it as immutable), so callers may reuse their encoding buffer. After
+// Close, Publish is a no-op.
+func (t *StepTee) Publish(line []byte) {
+	if t == nil || t.active.Load() == 0 {
+		return
+	}
+	cp := make([]byte, len(line))
+	copy(cp, line)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	for s := range t.subs {
+		select {
+		case s.ch <- cp:
+		default:
+			s.dropped.Add(1)
+			t.dropped.Add(1)
+		}
+	}
+}
+
+// Subscribe attaches a new subscriber with a buffer of buf lines
+// (minimum 1). It returns nil on a nil or closed tee — streaming
+// handlers treat that as an immediately-ended stream.
+func (t *StepTee) Subscribe(buf int) *StepSub {
+	if t == nil {
+		return nil
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	s := &StepSub{t: t, ch: make(chan []byte, buf)}
+	t.subs[s] = struct{}{}
+	t.active.Add(1)
+	return s
+}
+
+// Close detaches every subscriber (their Lines channels close once
+// buffered lines drain — receivers see the stream end, not a cut) and
+// makes later Publish and Subscribe calls no-ops. Safe to call more
+// than once.
+func (t *StepTee) Close() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for s := range t.subs {
+		s.closeLocked()
+	}
+	clear(t.subs)
+	t.active.Store(0)
+}
+
+// StepSub is one subscriber's end of the tee.
+type StepSub struct {
+	t       *StepTee
+	ch      chan []byte
+	dropped atomic.Int64
+	closed  bool // guarded by t.mu
+}
+
+// Lines returns the subscriber's line channel. It closes when the
+// subscriber cancels or the tee closes; buffered lines are delivered
+// first either way.
+func (s *StepSub) Lines() <-chan []byte { return s.ch }
+
+// Dropped returns how many lines this subscriber lost to a full
+// buffer.
+func (s *StepSub) Dropped() int64 { return s.dropped.Load() }
+
+// Cancel detaches the subscriber and closes its channel. Safe to call
+// more than once and after tee Close.
+func (s *StepSub) Cancel() {
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.closed {
+		return
+	}
+	delete(t.subs, s)
+	t.active.Add(-1)
+	s.closeLocked()
+}
+
+// closeLocked closes the channel; callers hold t.mu and have removed
+// s from the subscriber set (or are clearing it wholesale).
+func (s *StepSub) closeLocked() {
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}

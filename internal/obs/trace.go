@@ -38,7 +38,9 @@ type TraceFile struct {
 
 // Events flattens the recorder's rings into trace events: per rank,
 // one thread-name metadata event and the recorded spans in ring order
-// (oldest surviving span first).
+// (oldest surviving span first). Safe to call while ranks are still
+// recording — the on-demand /trace endpoint snapshots a live run with
+// it (slots a concurrent writer churned during the copy are dropped).
 func (r *Recorder) Events() []TraceEvent { return r.eventsAt(0, nil) }
 
 // eventsAt appends the recorder's events under process ID pid — the
@@ -47,6 +49,8 @@ func (r *Recorder) eventsAt(pid int, events []TraceEvent) []TraceEvent {
 	if r == nil {
 		return events
 	}
+	var spans []SpanCopy
+	var flows []flowCopy
 	for i := range r.ranks {
 		rr := &r.ranks[i]
 		events = append(events, TraceEvent{
@@ -56,33 +60,25 @@ func (r *Recorder) eventsAt(pid int, events []TraceEvent) []TraceEvent {
 			Tid:  rr.rank,
 			Args: map[string]any{"name": "rank " + strconv.Itoa(rr.rank)},
 		})
-		lo := int64(0)
-		if d := rr.n - int64(len(rr.spans)); d > 0 {
-			lo = d
-		}
-		for k := lo; k < rr.n; k++ {
-			sp := rr.spans[k%int64(len(rr.spans))]
+		spans = rr.snapshotSpans(spans[:0])
+		for _, sp := range spans {
 			events = append(events, TraceEvent{
-				Name: sp.phase.Name(),
+				Name: sp.Phase.Name(),
 				Cat:  "phase",
 				Ph:   "X",
-				Ts:   float64(sp.start) / 1e3,
-				Dur:  float64(sp.dur) / 1e3,
+				Ts:   float64(sp.StartNs) / 1e3,
+				Dur:  float64(sp.DurNs) / 1e3,
 				Pid:  pid,
 				Tid:  rr.rank,
-				Args: map[string]any{"step": int(sp.step)},
+				Args: map[string]any{"step": int(sp.Step)},
 			})
 		}
 		// Flow events: one "s" (start) at the sender's send time and one
 		// "f" (finish, bound to the enclosing slice) at the receiver's
 		// receive time per message, matched by ID — Perfetto draws them
 		// as arrows between the rank tracks.
-		flo := int64(0)
-		if d := rr.fn - int64(len(rr.flows)); d > 0 {
-			flo = d
-		}
-		for k := flo; k < rr.fn; k++ {
-			fp := rr.flows[k%int64(len(rr.flows))]
+		flows = rr.snapshotFlows(flows[:0])
+		for _, fp := range flows {
 			ev := TraceEvent{
 				Name: "msg",
 				Cat:  "flow",

@@ -235,6 +235,9 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 		}
 		r.rec = opt.Recorder.Rank(p.Rank())
 		r.monitor = opt.Health
+		if opt.Metrics != nil {
+			r.live = newLiveMetrics(opt.Metrics, p, opt.Recorder)
+		}
 		if opt.Balance != nil {
 			r.initBalance(opt.Balance)
 		}
@@ -356,10 +359,19 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 				if stepHist != nil {
 					stepHist.Observe(wall.Seconds() * 1e3)
 				}
-				if opt.StepLog != nil {
+				if opt.StepLog.Active() {
 					emitStepRecord(opt.StepLog, r, p, step, wall, &prevPhase, &prevStats, &prevWait,
 						classNames, prevClass, curClass)
+				} else if opt.StepLog != nil {
+					// No file sink and no live subscriber: skip the
+					// (allocating) record build but keep the delta scratch
+					// current, so a /steps subscriber joining mid-run sees
+					// per-step values from its first full step.
+					advanceStepScratch(r, p, &prevPhase, &prevStats, &prevWait, prevClass)
 				}
+			}
+			if r.live != nil {
+				r.live.publish(r, p)
 			}
 		}
 

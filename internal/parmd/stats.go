@@ -98,6 +98,149 @@ func rankStatDeltas(cur, prev *RankStats, counters map[string]int64) {
 	}
 }
 
+// liveMetrics is one rank's in-loop registry publisher: pre-resolved
+// counter and gauge handles (resolved once at setup, so the steady
+// state is a handful of atomic adds per step — no map lookups, no
+// allocation) that keep the registry's cumulative counters current
+// while the run is still stepping, so a live /metrics scrape sees
+// real values instead of zeros. The live values are exact for
+// monotone counters (they are the same deltas the step records
+// carry) and approximate for the reduced gauges; publishMetrics
+// overwrites everything with the exact end-of-run reduction via
+// Counter.Store, so the final registry is identical whether or not a
+// live publisher ran.
+type liveMetrics struct {
+	// counters is parallel to rankStatFields; nil entries are fields
+	// that do not live-publish from this rank (virial everywhere —
+	// it's a gauge of the summed final state — and steps on every rank
+	// but 0, since the registry's steps counter is a run-global step
+	// count, not a rank-step sum).
+	counters []*obs.Counter
+	imb      *obs.Gauge
+	repart   *obs.Counter
+	rec      *obs.Recorder
+
+	classNames []string
+	classBytes []*obs.Counter
+	classMsgs  []*obs.Counter
+	classWait  []*obs.Counter
+
+	prev      RankStats
+	prevClass []comm.Stats
+	curClass  []comm.Stats
+	rank0     bool
+}
+
+// newLiveMetrics resolves this rank's registry handles. The previous
+// cumulative state starts at zero, so the first publish folds in the
+// whole pre-loop setup (initial force evaluation, adoption) and the
+// live counters track true cumulative totals from step 0 on.
+func newLiveMetrics(reg *obs.Registry, p *comm.Proc, rec *obs.Recorder) *liveMetrics {
+	lm := &liveMetrics{rec: rec, rank0: p.Rank() == 0}
+	lm.counters = make([]*obs.Counter, len(rankStatFields))
+	for i, f := range rankStatFields {
+		switch f.Name {
+		case "virial":
+		case "steps":
+			if lm.rank0 {
+				lm.counters[i] = reg.Counter("parmd.steps")
+			}
+		default:
+			lm.counters[i] = reg.Counter("parmd." + f.Name)
+		}
+	}
+	if lm.rank0 {
+		lm.imb = reg.Gauge("parmd.imbalance")
+		lm.imb.Set(1) // present from step 0; refined below and at run end
+		lm.repart = reg.Counter("parmd.repartitions")
+		reg.Gauge("parmd.ranks").Set(float64(p.Size()))
+	}
+	lm.classNames = p.ClassNames()
+	lm.classBytes = make([]*obs.Counter, len(lm.classNames))
+	lm.classMsgs = make([]*obs.Counter, len(lm.classNames))
+	lm.classWait = make([]*obs.Counter, len(lm.classNames))
+	for i, name := range lm.classNames {
+		lm.classBytes[i] = reg.Counter(obs.CommClassMetric(name, "bytes"))
+		lm.classMsgs[i] = reg.Counter(obs.CommClassMetric(name, "messages"))
+		lm.classWait[i] = reg.Counter(obs.CommClassMetric(name, "wait_ns"))
+	}
+	lm.prevClass = make([]comm.Stats, p.ClassCount())
+	lm.curClass = make([]comm.Stats, p.ClassCount())
+	return lm
+}
+
+// publish adds this rank's step deltas into the registry and, on rank
+// 0, refreshes the live force-imbalance gauge (from the balancer's
+// last collective check when one runs, else from the recorder's
+// atomic per-rank force-phase clocks). Allocation-free.
+func (lm *liveMetrics) publish(r *rankState, p *comm.Proc) {
+	for i, f := range rankStatFields {
+		c := lm.counters[i]
+		if c == nil {
+			continue
+		}
+		if d := int64(f.Get(&r.stats) - f.Get(&lm.prev)); d != 0 {
+			c.Add(d)
+		}
+	}
+	lm.prev = r.stats
+	p.ClassStatsInto(lm.curClass)
+	for i := range lm.classNames {
+		cur, prev := lm.curClass[i], lm.prevClass[i]
+		if d := cur.Bytes - prev.Bytes; d != 0 {
+			lm.classBytes[i].Add(d)
+		}
+		if d := cur.Messages - prev.Messages; d != 0 {
+			lm.classMsgs[i].Add(d)
+		}
+		if d := (cur.Wait - prev.Wait).Nanoseconds(); d != 0 {
+			lm.classWait[i].Add(d)
+		}
+		lm.prevClass[i] = cur
+	}
+	if !lm.rank0 {
+		return
+	}
+	if r.bal != nil {
+		lm.repart.Store(int64(r.bal.repartitions))
+		if r.bal.lastImb > 0 {
+			lm.imb.Set(r.bal.lastImb)
+		}
+		return
+	}
+	if lm.rec != nil {
+		n := lm.rec.Ranks()
+		var max, sum float64
+		for i := 0; i < n; i++ {
+			rr := lm.rec.Rank(i)
+			ns := float64(rr.PhaseNs(phaseForceInterior) + rr.PhaseNs(phaseForceBoundary))
+			sum += ns
+			if ns > max {
+				max = ns
+			}
+		}
+		if sum > 0 {
+			lm.imb.Set(max / (sum / float64(n)))
+		}
+	}
+}
+
+// advanceStepScratch rolls the per-step delta scratch forward without
+// building a record — the inactive-writer path (no file sink, no live
+// subscriber), so a subscriber that joins mid-run gets true per-step
+// deltas from its first full step instead of a cumulative catch-up
+// line. Allocation-free.
+func advanceStepScratch(r *rankState, p *comm.Proc,
+	prevPhase *[obs.MaxPhases]int64, prevStats *RankStats, prevWait *time.Duration,
+	prevClass []comm.Stats) {
+	*prevStats = r.stats
+	*prevWait = p.Stats().Wait
+	p.ClassStatsInto(prevClass)
+	if r.rec != nil {
+		r.rec.CopyPhaseNs(prevPhase)
+	}
+}
+
 // emitStepRecord writes one rank's telemetry line for one step: the
 // wall time, phase-time deltas (when a recorder runs), and counter
 // deltas against the previous step's cumulative state, which it then
@@ -126,7 +269,7 @@ func emitStepRecord(w *obs.StepWriter, r *rankState, p *comm.Proc, step int,
 	p.ClassStatsInto(curClass)
 	for i, name := range classNames {
 		if d := curClass[i].Bytes - prevClass[i].Bytes; d != 0 {
-			rec.Counters["comm_"+name+"_bytes"] = d
+			rec.Counters[obs.CommClassKey(name, "bytes")] = d
 		}
 		prevClass[i] = curClass[i]
 	}
@@ -199,7 +342,10 @@ func (r *Result) ForceImbalance() float64 {
 // registry: summed RankStats under parmd.*, per-class communication
 // volume and receive-wait time under comm.<class>.*, and — when a span
 // recorder ran — per-phase max-rank milliseconds and imbalance gauges
-// under phase.*.
+// under phase.*. Counters are Stored, not Added: a live publisher may
+// have been feeding per-step approximations into the same registry
+// all run, and the end-of-run reconciliation overwrites them with the
+// exact totals — the final registry is identical either way.
 func publishMetrics(reg *obs.Registry, res *Result) {
 	if reg == nil {
 		return
@@ -223,18 +369,22 @@ func publishMetrics(reg *obs.Registry, res *Result) {
 			reg.Gauge("parmd.virial").Set(sum.Virial)
 			continue
 		}
-		reg.Counter("parmd." + f.Name).Add(int64(f.Get(&sum)))
+		reg.Counter("parmd." + f.Name).Store(int64(f.Get(&sum)))
 	}
 	reg.Gauge("parmd.ranks").Set(float64(len(res.RankStats)))
+	reg.Counter("parmd.repartitions").Store(int64(res.Repartitions))
+	// parmd.imbalance is always present: the balancer's last collective
+	// measure when one ran, the whole-run force imbalance otherwise.
 	if res.BalanceChecks > 0 {
-		reg.Counter("parmd.repartitions").Add(int64(res.Repartitions))
 		reg.Gauge("parmd.imbalance").Set(res.Imbalance)
+	} else {
+		reg.Gauge("parmd.imbalance").Set(res.ForceImbalance())
 	}
 
 	for class, s := range res.CommByClass {
-		reg.Counter("comm." + class + ".messages").Add(s.Messages)
-		reg.Counter("comm." + class + ".bytes").Add(s.Bytes)
-		reg.Counter("comm." + class + ".wait_ns").Add(s.Wait.Nanoseconds())
+		reg.Counter(obs.CommClassMetric(class, "messages")).Store(s.Messages)
+		reg.Counter(obs.CommClassMetric(class, "bytes")).Store(s.Bytes)
+		reg.Counter(obs.CommClassMetric(class, "wait_ns")).Store(s.Wait.Nanoseconds())
 	}
 
 	for _, ps := range res.Phases {

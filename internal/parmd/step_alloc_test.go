@@ -3,11 +3,13 @@ package parmd
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"sctuple/internal/comm"
 	"sctuple/internal/geom"
 	"sctuple/internal/md"
 	"sctuple/internal/obs"
+	"sctuple/internal/obs/serve"
 )
 
 // TestStepLoopZeroAllocs: after warm-up, the complete parallel step —
@@ -106,5 +108,115 @@ func TestStepLoopZeroAllocs(t *testing.T) {
 				t.Error(err)
 			}
 		}
+	}
+}
+
+// TestStepTelemetryZeroAllocs: the full telemetry tail of the step
+// loop — step-time histogram observation, the inactive step writer's
+// scratch advance (a live server attached, no /steps subscriber), and
+// the live registry publisher — stays allocation-free on top of the
+// zero-alloc step. This is the exact configuration of an scmd run
+// with -serve and nobody watching.
+func TestStepTelemetryZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	cfg, model := silicaConfig(t, 4, 300, 22)
+	for i := range cfg.Pos {
+		cfg.Pos[i] = cfg.Box.Wrap(cfg.Pos[i].Add(geom.V(0.8, 0.8, 0.8)))
+	}
+	cart, _ := comm.NewCartDims(geom.IV(2, 1, 1))
+	masses := make([]float64, len(model.Species))
+	for i, s := range model.Species {
+		masses[i] = s.Mass
+	}
+	const dt = 0.5
+	dec, err := NewDecomp(cfg.Box, model.MaxCutoff(), cart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorder := obs.NewRecorder(cart.Size(), 4096)
+	reg := obs.NewRegistry()
+	stepHist := reg.Histogram("parmd.step_ms", obs.ExpBuckets(0.01, 2, 18))
+	tee := obs.NewStepTee()
+	sw := obs.NewStepWriterTee(nil, tee)
+	// The server only holds references; attaching it must not change
+	// the step loop's allocation behavior.
+	_ = &serve.Server{Registry: reg, Recorder: recorder, Steps: tee}
+
+	world := comm.NewWorld(cart.Size())
+	defineTagClasses(world)
+	err = world.Run(func(p *comm.Proc) error {
+		r, err := newRankState(p, dec, model, SchemeSC, 1, true)
+		if err != nil {
+			return err
+		}
+		r.rec = recorder.Rank(p.Rank())
+		r.live = newLiveMetrics(reg, p, recorder)
+		r.adopt(cfg)
+		if _, err := r.computeForces(); err != nil {
+			return err
+		}
+		var prevPhase [obs.MaxPhases]int64
+		prevStats := r.stats
+		var prevWait time.Duration
+		prevClass := make([]comm.Stats, p.ClassCount())
+		r.rec.CopyPhaseNs(&prevPhase)
+		p.ClassStatsInto(prevClass)
+		step := func() error {
+			start := time.Now()
+			half := 0.5 * dt * md.ForceToAccel
+			for i := 0; i < r.nOwned; i++ {
+				r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
+			}
+			for i := 0; i < r.nOwned; i++ {
+				r.gpos[i] = r.gpos[i].Add(r.vel[i].Scale(dt))
+			}
+			if err := r.migrate(); err != nil {
+				return err
+			}
+			if _, err := r.computeForces(); err != nil {
+				return err
+			}
+			for i := 0; i < r.nOwned; i++ {
+				r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
+			}
+			stepHist.Observe(time.Since(start).Seconds() * 1e3)
+			if sw.Active() {
+				return fmt.Errorf("step writer active with no subscriber")
+			}
+			advanceStepScratch(r, p, &prevPhase, &prevStats, &prevWait, prevClass)
+			r.live.publish(r, p)
+			return nil
+		}
+		var stepErr error
+		run := func() {
+			if err := step(); err != nil && stepErr == nil {
+				stepErr = err
+			}
+		}
+		for k := 0; k < 30; k++ {
+			run()
+		}
+		p.Barrier()
+		if p.Rank() != 0 {
+			for k := 0; k < 11; k++ {
+				run()
+			}
+			p.Barrier()
+			return stepErr
+		}
+		allocs := testing.AllocsPerRun(10, run)
+		p.Barrier()
+		if stepErr != nil {
+			return stepErr
+		}
+		if allocs != 0 {
+			return fmt.Errorf("telemetry step tail: %g allocs per step, want 0", allocs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Error(err)
 	}
 }
