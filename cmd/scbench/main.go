@@ -16,7 +16,10 @@
 //	scbench record            record a machine-readable benchmark (BENCH_<sha>.json)
 //	scbench compare old new   diff two recorded benchmarks; non-zero exit on regression
 //	scbench watch addr        poll a live scmd -serve run and render a terminal dashboard
-//	scbench all               everything above (except record/compare/watch)
+//	scbench analyze path      replay anomaly detectors over a postmortem bundle
+//	                          (scmd -postmortem) or step log; non-zero exit on
+//	                          hard anomalies
+//	scbench all               everything above (except record/compare/watch/analyze)
 package main
 
 import (
@@ -66,6 +69,8 @@ func main() {
 		err = runCompare(args)
 	case "watch":
 		err = runWatch(args)
+	case "analyze":
+		err = runAnalyze(args)
 	case "all":
 		err = runAll()
 	default:
@@ -79,11 +84,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scbench {patterns|imports|midpoint|fig7|fig8|fig9|ablate|validate|workers|record|compare|watch|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: scbench {patterns|imports|midpoint|fig7|fig8|fig9|ablate|validate|workers|record|compare|watch|analyze|all} [flags]")
 	fmt.Fprintln(os.Stderr, "  fig8/fig9 flags: -machine {xeon|bgq}; fig9 also -extreme")
 	fmt.Fprintln(os.Stderr, "  record flags: -out file -atoms n -steps n -ranks n -seed n -sha s")
 	fmt.Fprintln(os.Stderr, "  compare: scbench compare old.json new.json [-threshold pct] [-max-allocs n]")
 	fmt.Fprintln(os.Stderr, "  watch:   scbench watch host:port [-every dur] [-n polls] [-plain]  (pairs with scmd -serve)")
+	fmt.Fprintln(os.Stderr, "  analyze: scbench analyze {bundle-dir|steps.jsonl}  (pairs with scmd -postmortem)")
 }
 
 func machineFlag(fs *flag.FlagSet) *string {
@@ -287,6 +293,13 @@ func runWatch(args []string) error {
 	return serve.Watch(os.Stdout, pos[0], serve.WatchOptions{
 		Every: *every, Iterations: *polls, Plain: *plain,
 	})
+}
+
+func runAnalyze(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("analyze needs one path: scbench analyze {bundle-dir|steps.jsonl}")
+	}
+	return bench.AnalyzeReport(os.Stdout, args[0])
 }
 
 // gitSHA best-effort resolves HEAD; record still works outside a git

@@ -20,17 +20,22 @@ import (
 	"log/slog"
 	"math/rand"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"sctuple/internal/analysis"
 	"sctuple/internal/comm"
 	"sctuple/internal/md"
 	"sctuple/internal/obs"
+	"sctuple/internal/obs/flight"
 	"sctuple/internal/obs/health"
 	"sctuple/internal/obs/serve"
 	"sctuple/internal/parmd"
+	"sctuple/internal/perfmodel"
 	"sctuple/internal/potential"
 	"sctuple/internal/trajio"
 	"sctuple/internal/workload"
@@ -65,6 +70,9 @@ func main() {
 		healthEv   = flag.Int("health", 0, "run invariant health probes every N steps (0 = off); parallel runs only")
 		parityEv   = flag.Int("parity", 0, "SC-vs-FS tuple-parity probe every N steps (0 = off; expensive, implies -health); parallel runs only")
 		abortFail  = flag.Bool("abort-on-fail", false, "abort the run when a health probe fails")
+		postmortem = flag.String("postmortem", "", "on abort (rank failure, health fail, SIGINT/SIGTERM) write a postmortem bundle to this directory; parallel runs only")
+		faultSpec  = flag.String("fault", "", "inject a message fault: class[:N] corrupts traffic of that class (migrate, halo, force, health, balance) after N clean messages; parallel runs only")
+		modelCheck = flag.Bool("model-check", false, "calibrate the perfmodel in the background and flag steps drifting from its prediction; parallel runs only")
 		logFormat  = flag.String("log", "", "structured run log to stderr: text or json")
 	)
 	flag.Parse()
@@ -92,6 +100,7 @@ func main() {
 		healthEvery: *healthEv, parityEvery: *parityEv, abortOnFail: *abortFail,
 		noOverlap: *noOverlap,
 		balance:   *balance, balanceEvery: *balanceEv, balanceThreshold: *balanceThr,
+		postmortem: *postmortem, fault: *faultSpec, modelCheck: *modelCheck,
 	}
 	if err := run(*modelName, *engineName, *atoms, *cells, *steps, *dt, *temp, *thermostat, *ranks, *every, *seed, *voidFrac, opts, tel); err != nil {
 		fmt.Fprintln(os.Stderr, "scmd:", err)
@@ -114,6 +123,10 @@ type telemetryOpts struct {
 	balance          bool
 	balanceEvery     int
 	balanceThreshold float64
+
+	postmortem string
+	fault      string
+	modelCheck bool
 }
 
 // serialOpts carries the optional serial-run features.
@@ -193,6 +206,9 @@ func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermo
 	}
 	if tel.balance {
 		return fmt.Errorf("-balance repartitions the parallel decomposition; use -ranks > 1")
+	}
+	if tel.postmortem != "" || tel.fault != "" || tel.modelCheck {
+		return fmt.Errorf("-postmortem, -fault, and -model-check instrument the parallel stack; use -ranks > 1")
 	}
 	if tel.serve != "" {
 		// Serial runs have no registry/recorder wiring (yet); the server
@@ -374,6 +390,23 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 		Scheme: scheme, Cart: cart, Dt: dt, Steps: steps, Workers: workers, TraceEnergies: true,
 		Log: tel.log, NoOverlap: tel.noOverlap,
 	}
+	if tel.fault != "" {
+		class, afterStr, hasAfter := strings.Cut(tel.fault, ":")
+		after := 0
+		if hasAfter {
+			n, err := strconv.Atoi(afterStr)
+			if err != nil || n < 0 {
+				return fmt.Errorf("-fault %q: count after %q must be a non-negative integer", tel.fault, class)
+			}
+			after = n
+		}
+		ft, err := parmd.NewFaultTransport(cart.Size(), class, after)
+		if err != nil {
+			return err
+		}
+		popt.Transport = ft
+		fmt.Printf("fault injection: corrupting %s traffic after %d clean messages\n", class, after)
+	}
 	if tel.balance {
 		popt.Balance = &parmd.Balancer{Every: tel.balanceEvery, Threshold: tel.balanceThreshold}
 	}
@@ -408,8 +441,20 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 			popt.Recorder = obs.NewRecorder(ranks, 16)
 		}
 	}
-	var srv *serve.Server
-	if tel.serve != "" {
+	info := map[string]string{
+		"model": model.Name, "engine": engineName,
+		"ranks": strconv.Itoa(ranks), "workers": strconv.Itoa(workers),
+		"atoms": strconv.Itoa(cfg.N()), "steps": strconv.Itoa(steps),
+	}
+
+	// The flight recorder is the in-memory black box behind -serve's
+	// /history and /anomalies, the -postmortem bundle, and
+	// -model-check's residual detector. It rides the step-record line
+	// as an in-process sink, so attaching it costs no allocation per
+	// step.
+	var fl *flight.Recorder
+	var tee *obs.StepTee
+	if tel.serve != "" || tel.postmortem != "" || tel.modelCheck {
 		if popt.Metrics == nil {
 			popt.Metrics = obs.NewRegistry()
 		}
@@ -418,6 +463,12 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 			// totals cover the whole run regardless of ring depth.
 			popt.Recorder = obs.NewRecorder(ranks, 16*256)
 		}
+		if tel.serve != "" {
+			tee = obs.NewStepTee()
+		}
+		fl = flight.New(flight.Config{
+			Ranks: ranks, Registry: popt.Metrics, Tee: tee, Health: popt.Health,
+		})
 		// The same encoded step records go to the -metrics file (when
 		// set) and to live /steps subscribers. The sink must be an
 		// untyped nil when no file is open — a typed-nil *os.File would
@@ -426,23 +477,63 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 		if metricsFile != nil {
 			sink = metricsFile
 		}
-		tee := obs.NewStepTee()
 		popt.StepLog = obs.NewStepWriterTee(sink, tee)
+		popt.StepLog.SetSink(fl)
+	}
+	if tel.modelCheck {
+		// Calibration runs a few short benchmark loops; do it off the
+		// critical path and arm the residual detector whenever it lands.
+		go func() {
+			mach, err := perfmodel.LocalMachine()
+			if err != nil {
+				return
+			}
+			m, err := perfmodel.NewModel(mach)
+			if err != nil {
+				return
+			}
+			p := m.PredictStep(scheme, float64(cfg.N())/float64(ranks))
+			fl.SetPrediction(flight.Prediction{
+				ComputeNs: p.ComputeNs, CommNs: p.CommNs, TotalNs: p.TotalNs,
+			})
+		}()
+	}
+	writeBundle := func(reason string) {
+		fl.Flush()
+		if err := flight.WriteBundle(tel.postmortem, flight.BundleSources{
+			Flight: fl, Trace: popt.Recorder, Registry: popt.Metrics,
+			Health: popt.Health, Info: info, Reason: reason,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "scmd:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "scmd: postmortem bundle written to %s\n", tel.postmortem)
+	}
+	if tel.postmortem != "" {
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigCh)
+		go func() {
+			s := <-sigCh
+			fl.RecordAbort(-1, "signal: "+s.String())
+			writeBundle("signal: " + s.String())
+			os.Exit(130)
+		}()
+	}
+	var srv *serve.Server
+	if tel.serve != "" {
 		srv = &serve.Server{
 			Registry: popt.Metrics,
 			Recorder: popt.Recorder,
 			Health:   popt.Health,
 			Steps:    tee,
-			Info: map[string]string{
-				"model": model.Name, "engine": engineName,
-				"ranks": strconv.Itoa(ranks), "workers": strconv.Itoa(workers),
-				"atoms": strconv.Itoa(cfg.N()), "steps": strconv.Itoa(steps),
-			},
+			Flight:   fl,
+			Info:     info,
 		}
 		if err := srv.Start(tel.serve); err != nil {
 			return err
 		}
-		fmt.Printf("telemetry server on http://%s/ (metrics, healthz, steps, phases, trace, pprof)\n", srv.Addr())
+		fmt.Printf("telemetry server on http://%s/ (metrics, healthz, steps, phases, trace, history, anomalies, pprof)\n", srv.Addr())
 		defer func() {
 			// Drain gracefully: mark done, end /steps streams after their
 			// buffered lines, let in-flight scrapes finish.
@@ -455,6 +546,17 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 	start := time.Now()
 	res, err := parmd.Run(cfg, model, popt)
 	if err != nil {
+		if tel.postmortem != "" {
+			// Pin the abort to the step the first failing rank reported;
+			// healthy ranks unwind via comm aborts at whatever step they
+			// had reached.
+			step := -1
+			if rerrs := parmd.RankErrors(err); len(rerrs) > 0 {
+				step = rerrs[0].Step
+			}
+			fl.RecordAbort(step, err.Error())
+			writeBundle(err.Error())
+		}
 		return err
 	}
 	elapsed := time.Since(start)

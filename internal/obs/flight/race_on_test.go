@@ -1,0 +1,7 @@
+//go:build race
+
+package flight
+
+// raceEnabled lets allocation-count tests skip under the race
+// detector, whose instrumentation allocates.
+const raceEnabled = true

@@ -498,6 +498,25 @@ func (m *Monitor) Summary() Summary {
 	return s
 }
 
+// Totals returns the cumulative ok/warn/fail observation counts
+// summed over all probes (zeros on a nil monitor). Unlike Summary it
+// is allocation-free, so in-loop consumers — the flight recorder's
+// warn-streak detector samples it every step — can poll it without
+// touching the heap.
+func (m *Monitor) Totals() (ok, warn, fail int64) {
+	if m == nil {
+		return 0, 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.probes {
+		ok += st.ok
+		warn += st.warn
+		fail += st.fail
+	}
+	return ok, warn, fail
+}
+
 // Checksum64 is the FNV-1a hash the halo mirror probe runs over wire
 // payloads — cheap, allocation-free, and identical on both endpoints.
 func Checksum64(b []byte) uint64 {

@@ -112,8 +112,8 @@ func TestStepTeeDrops(t *testing.T) {
 	if got := tee.Dropped(); got != 9 {
 		t.Errorf("tee dropped %d lines, want 9", got)
 	}
-	if got := <-sub.Lines(); string(got) != "line\n" {
-		t.Errorf("delivered line %q", got)
+	if got := <-sub.Lines(); string(got.Data) != "line\n" || got.Event != "" {
+		t.Errorf("delivered line %q event %q", got.Data, got.Event)
 	}
 	tee.Close()
 	if _, ok := <-sub.Lines(); ok {
@@ -144,8 +144,8 @@ func TestStepWriterTeeOnly(t *testing.T) {
 	}
 	w.WriteStep(StepRecord{Step: 1, Rank: 0, WallNs: 7})
 	line := <-sub.Lines()
-	if want := `"step":1`; !bytes.Contains(line, []byte(want)) {
-		t.Errorf("streamed line %q missing %q", line, want)
+	if want := `"step":1`; !bytes.Contains(line.Data, []byte(want)) {
+		t.Errorf("streamed line %q missing %q", line.Data, want)
 	}
 	if err := w.Err(); err != nil {
 		t.Errorf("tee-only writer reported sink error: %v", err)

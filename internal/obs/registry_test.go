@@ -122,7 +122,7 @@ func TestStepRecordGoldenSchema(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewStepWriter(&buf)
 	w.WriteStep(StepRecord{
-		Step: 3, Rank: 1, WallNs: 100,
+		Step: 3, Rank: 1, WallNs: 100, TNs: 5000,
 		PhaseNs:  map[string]int64{"halo": 40},
 		Counters: map[string]int64{"comm_halo_bytes": 512},
 	})
@@ -133,7 +133,7 @@ func TestStepRecordGoldenSchema(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"step", "rank", "wall_ns", "phase_ns", "counters"}
+	want := []string{"step", "rank", "wall_ns", "t_ns", "phase_ns", "counters"}
 	if len(rec) != len(want) {
 		t.Errorf("record has %d keys %v, want exactly %v", len(rec), recKeys(rec), want)
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"sctuple/internal/obs"
+	"sctuple/internal/obs/flight"
 	"sctuple/internal/obs/health"
 )
 
@@ -37,6 +38,9 @@ import (
 //	GET /phases      live per-phase time decomposition JSON
 //	GET /trace       on-demand Chrome trace-event snapshot
 //	GET /registry    raw registry snapshot JSON
+//	GET /history     flight-recorder step history; ?res=1|10|100 picks
+//	                 the ring resolution, ?fields=a,b filters fields
+//	GET /anomalies   flight-recorder anomaly log JSON
 //	GET /debug/pprof net/http/pprof profiles
 type Server struct {
 	// Registry feeds /metrics and /registry.
@@ -48,6 +52,8 @@ type Server struct {
 	// Steps feeds /steps; the simulation's StepWriter must publish
 	// into the same tee (obs.NewStepWriterTee).
 	Steps *obs.StepTee
+	// Flight feeds /history and /anomalies.
+	Flight *flight.Recorder
 	// Info is static run metadata (model, scheme, ranks, …) echoed by
 	// /healthz and the index for dashboards to display.
 	Info map[string]string
@@ -119,6 +125,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/phases", s.handlePhases)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/registry", s.handleRegistry)
+	mux.HandleFunc("/history", s.handleHistory)
+	mux.HandleFunc("/anomalies", s.handleAnomalies)
 	// net/http/pprof normally registers on http.DefaultServeMux as an
 	// import side effect — a footgun for embeddable servers (anything
 	// else in the process using the default mux would leak into our
@@ -160,6 +168,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /phases    per-phase time decomposition")
 	fmt.Fprintln(w, "  /trace     Chrome trace-event snapshot")
 	fmt.Fprintln(w, "  /registry  raw registry snapshot JSON")
+	fmt.Fprintln(w, "  /history   flight-recorder step history (?res=1|10|100, ?fields=a,b)")
+	fmt.Fprintln(w, "  /anomalies flight-recorder anomaly log")
 	fmt.Fprintln(w, "  /debug/pprof")
 }
 
@@ -192,8 +202,15 @@ type healthzResponse struct {
 	// "warn", "fail" — or "none" when no health monitor is attached.
 	Status string `json:"status"`
 	// Done reports whether the run has completed (Finish was called).
-	Done          bool                  `json:"done"`
-	UptimeSeconds float64               `json:"uptime_seconds"`
+	Done          bool    `json:"done"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// UptimeMs duplicates the uptime at millisecond precision for
+	// dashboards that want integer math.
+	UptimeMs int64 `json:"uptime_ms"`
+	// Step is the latest completed step (the parmd.steps counter);
+	// StepsTotal is the run's configured step count, 0 when unknown.
+	Step          int64                 `json:"step"`
+	StepsTotal    int64                 `json:"steps_total"`
 	Info          map[string]string     `json:"info,omitempty"`
 	Probes        []health.ProbeSummary `json:"probes,omitempty"`
 }
@@ -229,8 +246,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        status,
 		Done:          s.done.Load(),
 		UptimeSeconds: s.uptime().Seconds(),
+		UptimeMs:      s.uptime().Milliseconds(),
 		Info:          s.Info,
 		Probes:        sum.Probes,
+	}
+	if s.Registry != nil {
+		resp.Step = s.Registry.Counter("parmd.steps").Load()
+	}
+	if v, ok := s.Info["steps"]; ok {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			resp.StepsTotal = n
+		}
 	}
 	writeJSON(w, code, resp)
 }
@@ -281,14 +307,20 @@ func (s *Server) handleSteps(w http.ResponseWriter, r *http.Request) {
 			if sse {
 				// Lines carry their own trailing '\n' from the JSON
 				// encoder; SSE data frames terminate with a blank line.
-				if _, err := fmt.Fprintf(w, "data: %s\n", strings.TrimRight(string(line), "\n")); err != nil {
+				// Out-of-band lines (anomalies, …) become named events.
+				if line.Event != "" {
+					if _, err := fmt.Fprintf(w, "event: %s\n", line.Event); err != nil {
+						return
+					}
+				}
+				if _, err := fmt.Fprintf(w, "data: %s\n", strings.TrimRight(string(line.Data), "\n")); err != nil {
 					return
 				}
 				if _, err := fmt.Fprint(w, "\n"); err != nil {
 					return
 				}
 			} else {
-				if _, err := w.Write(line); err != nil {
+				if _, err := w.Write(line.Data); err != nil {
 					return
 				}
 			}
@@ -385,6 +417,42 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	// WriteTrace snapshots the atomic span rings — safe while ranks
 	// still record; slots churned mid-copy are dropped, not torn.
 	_ = s.Recorder.WriteTrace(w)
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.Flight == nil {
+		http.Error(w, "step history disabled: no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	res := 1
+	switch v := r.URL.Query().Get("res"); v {
+	case "", "1", "raw":
+		res = 1
+	case "10":
+		res = 10
+	case "100":
+		res = 100
+	default:
+		http.Error(w, "res must be 1, 10, or 100", http.StatusBadRequest)
+		return
+	}
+	var fields []string
+	if v := r.URL.Query().Get("fields"); v != "" {
+		for _, f := range strings.Split(v, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				fields = append(fields, f)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, s.Flight.History(res, fields))
+}
+
+func (s *Server) handleAnomalies(w http.ResponseWriter, r *http.Request) {
+	if s.Flight == nil {
+		http.Error(w, "anomaly detection disabled: no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Flight.Anomalies())
 }
 
 func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"sctuple/internal/obs"
+	"sctuple/internal/obs/flight"
 	"sctuple/internal/obs/health"
 )
 
@@ -199,9 +200,94 @@ func TestStepsBadBuf(t *testing.T) {
 	}
 }
 
+func TestHealthzStepFields(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("parmd.steps").Store(42)
+	s := &Server{Registry: reg, Info: map[string]string{"steps": "100"}}
+	var resp healthzResponse
+	if err := json.Unmarshal(get(t, s, "/healthz").Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Step != 42 || resp.StepsTotal != 100 {
+		t.Errorf("healthz step=%d steps_total=%d, want 42/100", resp.Step, resp.StepsTotal)
+	}
+	// The raw body carries the wire field names dashboards key on.
+	body := get(t, s, "/healthz").Body.String()
+	for _, want := range []string{`"step":42`, `"steps_total":100`, `"uptime_ms":`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("healthz body missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestHistoryAndAnomalies(t *testing.T) {
+	fl := flight.New(flight.Config{Ranks: 1, RawSteps: 16})
+	for step := 0; step < 25; step++ {
+		fl.ObserveStep(obs.StepRecord{
+			Step: step, Rank: 0, WallNs: 1000,
+			PhaseNs: map[string]int64{"halo": 10},
+		})
+	}
+	fl.RecordAbort(24, "boom")
+	s := &Server{Flight: fl}
+
+	rr := get(t, s, "/history")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/history: status %d", rr.Code)
+	}
+	var hist flight.HistorySnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Res != 1 || len(hist.Records) != 16 {
+		t.Errorf("raw history res=%d records=%d, want 1/16", hist.Res, len(hist.Records))
+	}
+
+	if err := json.Unmarshal(get(t, s, "/history?res=10&fields=halo").Body.Bytes(), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Res != 10 || len(hist.Buckets) == 0 {
+		t.Fatalf("downsampled history: %+v", hist)
+	}
+	if _, ok := hist.Buckets[0].Fields["phase.halo"]; !ok {
+		t.Errorf("field filter lost phase.halo: %+v", hist.Buckets[0].Fields)
+	}
+	if _, ok := hist.Buckets[0].Fields["wall_ns"]; ok {
+		t.Errorf("field filter kept wall_ns: %+v", hist.Buckets[0].Fields)
+	}
+
+	if rr := get(t, s, "/history?res=7"); rr.Code != http.StatusBadRequest {
+		t.Errorf("bad res: code %d, want 400", rr.Code)
+	}
+
+	var anom flight.AnomalySnapshot
+	if err := json.Unmarshal(get(t, s, "/anomalies").Body.Bytes(), &anom); err != nil {
+		t.Fatal(err)
+	}
+	if anom.Total != 1 || anom.Last == nil || anom.Last.Kind != flight.KindAbort {
+		t.Errorf("/anomalies snapshot: %+v", anom)
+	}
+}
+
+func TestStepsSSEAnomalyEvent(t *testing.T) {
+	tee := obs.NewStepTee()
+	s := &Server{Steps: tee}
+	go func() {
+		for !tee.Active() {
+		}
+		fl := flight.New(flight.Config{Ranks: 1, Tee: tee})
+		fl.RecordAbort(3, "boom")
+		s.Finish()
+	}()
+	body := get(t, s, "/steps", "Accept", "text/event-stream").Body.String()
+	if !strings.Contains(body, "event: anomaly\ndata: {\"anomaly\":") {
+		t.Errorf("missing named anomaly SSE frame:\n%s", body)
+	}
+}
+
 func TestMissingSourcesAre404(t *testing.T) {
 	s := &Server{}
-	for _, target := range []string{"/phases", "/trace", "/steps"} {
+	for _, target := range []string{"/phases", "/trace", "/steps", "/history", "/anomalies"} {
 		if rr := get(t, s, target); rr.Code != http.StatusNotFound {
 			t.Errorf("%s with no source: code %d, want 404", target, rr.Code)
 		}
@@ -250,7 +336,7 @@ func TestPhasesLive(t *testing.T) {
 func TestIndexListsEndpoints(t *testing.T) {
 	s := &Server{Info: map[string]string{"model": "silica"}}
 	body := get(t, s, "/").Body.String()
-	for _, want := range []string{"/metrics", "/healthz", "/steps", "/phases", "/trace", "/debug/pprof", "model: silica"} {
+	for _, want := range []string{"/metrics", "/healthz", "/steps", "/phases", "/trace", "/history", "/anomalies", "/debug/pprof", "model: silica"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("index missing %q:\n%s", want, body)
 		}

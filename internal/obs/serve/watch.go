@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sctuple/internal/obs"
+	"sctuple/internal/obs/flight"
 )
 
 // WatchOptions configures the polling terminal dashboard.
@@ -60,6 +61,10 @@ func Watch(w io.Writer, base string, opt WatchOptions) error {
 		if err := getJSON(client, base+"/registry", &snap); err != nil {
 			return fmt.Errorf("watch %s: %w", base, err)
 		}
+		// 404-tolerant like /phases: runs without a flight recorder just
+		// omit the anomaly line.
+		var anom flight.AnomalySnapshot
+		anomErr := getJSON(client, base+"/anomalies", &anom)
 
 		now := time.Now()
 		var rate float64
@@ -72,7 +77,7 @@ func Watch(w io.Writer, base string, opt WatchOptions) error {
 		if !opt.Plain {
 			fmt.Fprint(w, "\x1b[2J\x1b[H")
 		}
-		renderFrame(w, base, hz, ph, phErr, snap, rate)
+		renderFrame(w, base, hz, ph, phErr, snap, rate, anom, anomErr)
 		if hz.Done {
 			fmt.Fprintln(w, "run complete")
 			return nil
@@ -96,7 +101,7 @@ func getJSON(client *http.Client, url string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-func renderFrame(w io.Writer, base string, hz healthzResponse, ph phasesResponse, phErr error, snap obs.Snapshot, rate float64) {
+func renderFrame(w io.Writer, base string, hz healthzResponse, ph phasesResponse, phErr error, snap obs.Snapshot, rate float64, anom flight.AnomalySnapshot, anomErr error) {
 	fmt.Fprintf(w, "watching %s   health=%s   up %s\n", base, hz.Status, fmtDuration(hz.UptimeSeconds))
 	if len(hz.Info) > 0 {
 		keys := make([]string, 0, len(hz.Info))
@@ -114,6 +119,15 @@ func renderFrame(w io.Writer, base string, hz healthzResponse, ph phasesResponse
 	steps := snap.Counters["parmd.steps"]
 	fmt.Fprintf(w, "  steps %d (%.1f/s)   imbalance %.3f   repartitions %d\n",
 		steps, rate, snap.Gauges["parmd.imbalance"], snap.Counters["parmd.repartitions"])
+
+	if anomErr == nil && anom.Total > 0 && anom.Last != nil {
+		hard := ""
+		if anom.Last.Hard {
+			hard = " HARD"
+		}
+		fmt.Fprintf(w, "  anomalies %d   last: %s step %d (score %.1f)%s\n",
+			anom.Total, anom.Last.Kind, anom.Last.Step, anom.Last.Score, hard)
+	}
 
 	if phErr == nil && len(ph.Phases) > 0 {
 		fmt.Fprintf(w, "\n  %-18s %10s %10s %8s\n", "phase", "max ms", "mean ms", "imbal")

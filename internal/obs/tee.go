@@ -58,12 +58,27 @@ func (t *StepTee) Subscribers() int {
 	return int(t.active.Load())
 }
 
-// Publish fans line out to every subscriber without blocking: a full
-// subscriber buffer drops the line for that subscriber and counts it.
-// The line is copied once (subscribers share the copy and must treat
-// it as immutable), so callers may reuse their encoding buffer. After
-// Close, Publish is a no-op.
-func (t *StepTee) Publish(line []byte) {
+// StepLine is one published line as a subscriber receives it: the
+// encoded data plus an optional event kind. The empty kind is a step
+// record (the NDJSON default); non-empty kinds ("anomaly", …) become
+// named SSE events on /steps, so out-of-band detector events ride the
+// same ordered stream as the records they annotate.
+type StepLine struct {
+	Event string
+	Data  []byte
+}
+
+// Publish fans a step-record line out to every subscriber without
+// blocking: a full subscriber buffer drops the line for that
+// subscriber and counts it. The line is copied once (subscribers
+// share the copy and must treat it as immutable), so callers may
+// reuse their encoding buffer. After Close, Publish is a no-op.
+func (t *StepTee) Publish(line []byte) { t.PublishEvent("", line) }
+
+// PublishEvent publishes a line under an event kind; the empty kind
+// is a plain step record. Same non-blocking and copy semantics as
+// Publish.
+func (t *StepTee) PublishEvent(event string, line []byte) {
 	if t == nil || t.active.Load() == 0 {
 		return
 	}
@@ -76,7 +91,7 @@ func (t *StepTee) Publish(line []byte) {
 	}
 	for s := range t.subs {
 		select {
-		case s.ch <- cp:
+		case s.ch <- StepLine{Event: event, Data: cp}:
 		default:
 			s.dropped.Add(1)
 			t.dropped.Add(1)
@@ -99,7 +114,7 @@ func (t *StepTee) Subscribe(buf int) *StepSub {
 	if t.closed {
 		return nil
 	}
-	s := &StepSub{t: t, ch: make(chan []byte, buf)}
+	s := &StepSub{t: t, ch: make(chan StepLine, buf)}
 	t.subs[s] = struct{}{}
 	t.active.Add(1)
 	return s
@@ -129,7 +144,7 @@ func (t *StepTee) Close() {
 // StepSub is one subscriber's end of the tee.
 type StepSub struct {
 	t       *StepTee
-	ch      chan []byte
+	ch      chan StepLine
 	dropped atomic.Int64
 	closed  bool // guarded by t.mu
 }
@@ -137,7 +152,7 @@ type StepSub struct {
 // Lines returns the subscriber's line channel. It closes when the
 // subscriber cancels or the tee closes; buffered lines are delivered
 // first either way.
-func (s *StepSub) Lines() <-chan []byte { return s.ch }
+func (s *StepSub) Lines() <-chan StepLine { return s.ch }
 
 // Dropped returns how many lines this subscriber lost to a full
 // buffer.

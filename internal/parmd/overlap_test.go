@@ -90,30 +90,16 @@ func TestOverlapPhasesRecorded(t *testing.T) {
 	}
 }
 
-// corruptTransport wraps the in-process channel transport and appends
-// garbage to every message in [tagLo, tagHi) bound for a matching
-// destination, so payloads stop being a whole number of wire records —
-// the fault the typed-error paths must turn into a *RankError instead
-// of a process-killing panic. It forwards RecvChan, keeping the
-// world's abort protocol able to unblock healthy ranks.
-type corruptTransport struct {
-	comm.AsyncTransport
-	tagLo, tagHi int
-	dst          func(dst int) bool // nil = every destination
-}
-
-func newCorruptTransport(ranks, tagLo, tagHi int, dst func(int) bool) *corruptTransport {
-	return &corruptTransport{
-		AsyncTransport: comm.NewChanTransport(ranks).(comm.AsyncTransport),
-		tagLo:          tagLo, tagHi: tagHi, dst: dst,
+// mustFaultTransport builds a FaultTransport or fails the test — the
+// exported fault-injection seam is also what these corruption tests
+// exercise.
+func mustFaultTransport(t *testing.T, ranks int, class string) *FaultTransport {
+	t.Helper()
+	ft, err := NewFaultTransport(ranks, class, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-}
-
-func (t *corruptTransport) Send(src, dst int, m comm.Message) {
-	if m.Tag >= t.tagLo && m.Tag < t.tagHi && (t.dst == nil || t.dst(dst)) {
-		m.Buf.Int64(0x0BAD) // 8 extra bytes: no wire record size divides them
-	}
-	t.AsyncTransport.Send(src, dst, m)
+	return ft
 }
 
 // TestMalformedHaloMessageTypedError: corrupting every halo payload
@@ -129,7 +115,7 @@ func TestMalformedHaloMessageTypedError(t *testing.T) {
 			Scheme: SchemeSC, Cart: cart, Dt: 1, Steps: 1,
 			NoOverlap: noOverlap,
 			Log:       obs.TextLogger(&logBuf, slog.LevelInfo),
-			transport: newCorruptTransport(cart.Size(), tagHalo, tagHalo+100, nil),
+			Transport: mustFaultTransport(t, cart.Size(), "halo"),
 		})
 		if err == nil {
 			t.Fatalf("noOverlap=%v: corrupted halo exchange succeeded", noOverlap)
@@ -172,7 +158,7 @@ func TestMalformedWriteBackTypedError(t *testing.T) {
 	cart, _ := comm.NewCartDims(geom.IV(2, 1, 1))
 	_, err := Run(cfg, model, Options{
 		Scheme: SchemeSC, Cart: cart, Dt: 1, Steps: 1,
-		transport: newCorruptTransport(cart.Size(), tagForce, tagForce+100, nil),
+		Transport: mustFaultTransport(t, cart.Size(), "force"),
 	})
 	if err == nil {
 		t.Fatal("corrupted write-back succeeded")
@@ -205,10 +191,11 @@ func TestMalformedWriteBackTypedError(t *testing.T) {
 func TestAbortPropagatesToHealthyRanks(t *testing.T) {
 	cfg, model := silicaConfig(t, 4, 300, 45)
 	cart, _ := comm.NewCartDims(geom.IV(2, 1, 1))
+	ft := mustFaultTransport(t, cart.Size(), "halo")
+	ft.Dst = func(dst int) bool { return dst == 0 }
 	_, err := Run(cfg, model, Options{
 		Scheme: SchemeSC, Cart: cart, Dt: 1, Steps: 1,
-		transport: newCorruptTransport(cart.Size(), tagHalo, tagHalo+100,
-			func(dst int) bool { return dst == 0 }),
+		Transport: ft,
 	})
 	if err == nil {
 		t.Fatal("run with a poisoned rank succeeded")

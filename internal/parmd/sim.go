@@ -81,10 +81,11 @@ type Options struct {
 	// for A/B latency measurement (bench.Validate's synchronous wait
 	// baseline) and debugging. The overlapped path is the default.
 	NoOverlap bool
-	// transport, when non-nil, replaces the world's default channel
-	// transport — the seam fault-injection tests use to exercise the
-	// malformed-message and abort paths.
-	transport comm.Transport
+	// Transport, when non-nil, replaces the world's default channel
+	// transport — the seam fault injection uses to exercise the
+	// malformed-message and abort paths (see FaultTransport and scmd's
+	// -fault flag).
+	Transport comm.Transport
 }
 
 // StepEnergy is one global energy sample.
@@ -176,8 +177,8 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	}
 
 	world := comm.NewWorld(opt.Cart.Size())
-	if opt.transport != nil {
-		world = comm.NewWorldTransport(opt.Cart.Size(), opt.transport)
+	if opt.Transport != nil {
+		world = comm.NewWorldTransport(opt.Cart.Size(), opt.Transport)
 	}
 	defineTagClasses(world)
 	world.SetLogger(opt.Log)
@@ -260,21 +261,14 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 			res.InitialPotential = totalPE
 		}
 
-		// Per-step emission scratch: previous cumulative phase times and
-		// counters, subtracted each step to get the step's own share.
+		// Per-step emission scratch: the emitter holds the previous
+		// cumulative phase times and counters, subtracted each step to
+		// get the step's own share. wallStart is the t_ns epoch, so
+		// every rank's timestamps share one clock.
 		logging := opt.StepLog != nil || stepHist != nil
-		var prevPhase [obs.MaxPhases]int64
-		prevStats := r.stats
-		var prevWait time.Duration
-		var classNames []string
-		var prevClass, curClass []comm.Stats
-		if logging {
-			r.rec.CopyPhaseNs(&prevPhase)
-			prevWait = p.Stats().Wait
-			classNames = p.ClassNames()
-			prevClass = make([]comm.Stats, p.ClassCount())
-			curClass = make([]comm.Stats, p.ClassCount())
-			p.ClassStatsInto(prevClass)
+		var em *stepEmitter
+		if opt.StepLog != nil {
+			em = newStepEmitter(opt.StepLog, r, p, wallStart)
 		}
 
 		if opt.Health.ParityEnabled() {
@@ -360,14 +354,13 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 					stepHist.Observe(wall.Seconds() * 1e3)
 				}
 				if opt.StepLog.Active() {
-					emitStepRecord(opt.StepLog, r, p, step, wall, &prevPhase, &prevStats, &prevWait,
-						classNames, prevClass, curClass)
-				} else if opt.StepLog != nil {
-					// No file sink and no live subscriber: skip the
-					// (allocating) record build but keep the delta scratch
-					// current, so a /steps subscriber joining mid-run sees
-					// per-step values from its first full step.
-					advanceStepScratch(r, p, &prevPhase, &prevStats, &prevWait, prevClass)
+					em.emit(step, wall)
+				} else if em != nil {
+					// No sink, no file, no live subscriber: skip the record
+					// build but keep the delta scratch current, so a /steps
+					// subscriber joining mid-run sees per-step values from
+					// its first full step.
+					em.advance()
 				}
 			}
 			if r.live != nil {

@@ -225,66 +225,110 @@ func (lm *liveMetrics) publish(r *rankState, p *comm.Proc) {
 	}
 }
 
-// advanceStepScratch rolls the per-step delta scratch forward without
-// building a record — the inactive-writer path (no file sink, no live
+// stepEmitter builds and writes one rank's per-step telemetry record:
+// the wall time, a monotonic timestamp against the run's shared epoch,
+// phase-time deltas (when a recorder runs), and counter deltas against
+// the previous step's cumulative state. All scratch is persistent —
+// the record's maps are cleared and refilled with the same keys each
+// step (Go retains map buckets across clear, so the steady state
+// allocates nothing even when a sink like the flight recorder consumes
+// every step), and the comm_<class>_bytes keys and phase names are
+// interned once at setup.
+type stepEmitter struct {
+	w     *obs.StepWriter
+	r     *rankState
+	p     *comm.Proc
+	epoch time.Time
+
+	rec        obs.StepRecord
+	prevPhase  [obs.MaxPhases]int64
+	phaseNames [obs.MaxPhases]string
+	prevStats  RankStats
+	prevWait   time.Duration
+	classNames []string
+	classKeys  []string // pre-built obs.CommClassKey(name, "bytes")
+	prevClass  []comm.Stats
+	curClass   []comm.Stats
+}
+
+// newStepEmitter builds the emitter and seeds the delta scratch from
+// the current cumulative state, so the first step's record carries
+// that step's own share rather than the setup's (initial force
+// evaluation, adoption).
+func newStepEmitter(w *obs.StepWriter, r *rankState, p *comm.Proc, epoch time.Time) *stepEmitter {
+	e := &stepEmitter{w: w, r: r, p: p, epoch: epoch}
+	e.rec.Rank = p.Rank()
+	e.classNames = p.ClassNames()
+	e.classKeys = make([]string, len(e.classNames))
+	for i, name := range e.classNames {
+		e.classKeys[i] = obs.CommClassKey(name, "bytes")
+	}
+	e.rec.Counters = make(map[string]int64, len(rankStatFields)+2+len(e.classNames))
+	if r.rec != nil {
+		e.rec.PhaseNs = make(map[string]int64, obs.MaxPhases)
+	}
+	e.prevClass = make([]comm.Stats, p.ClassCount())
+	e.curClass = make([]comm.Stats, p.ClassCount())
+	e.advance()
+	return e
+}
+
+// advance rolls the per-step delta scratch forward without building a
+// record — the inactive-writer path (no sink, no file, no live
 // subscriber), so a subscriber that joins mid-run gets true per-step
 // deltas from its first full step instead of a cumulative catch-up
 // line. Allocation-free.
-func advanceStepScratch(r *rankState, p *comm.Proc,
-	prevPhase *[obs.MaxPhases]int64, prevStats *RankStats, prevWait *time.Duration,
-	prevClass []comm.Stats) {
-	*prevStats = r.stats
-	*prevWait = p.Stats().Wait
-	p.ClassStatsInto(prevClass)
-	if r.rec != nil {
-		r.rec.CopyPhaseNs(prevPhase)
+func (e *stepEmitter) advance() {
+	e.prevStats = e.r.stats
+	e.prevWait = e.p.Stats().Wait
+	e.p.ClassStatsInto(e.prevClass)
+	if e.r.rec != nil {
+		e.r.rec.CopyPhaseNs(&e.prevPhase)
 	}
 }
 
-// emitStepRecord writes one rank's telemetry line for one step: the
-// wall time, phase-time deltas (when a recorder runs), and counter
-// deltas against the previous step's cumulative state, which it then
-// advances. owned_atoms is reported as the current absolute value, the
-// runtime's receive-wait delta rides along as comm_wait_ns, and each
-// tag class's sent-byte delta as comm_<class>_bytes — so a step log
-// can attribute a traffic spike to halo vs migrate vs write-back
-// directly. classNames/prevClass/curClass are the caller's hoisted
-// per-class scratch (prevClass carries the previous cumulative state
-// and is advanced here).
-func emitStepRecord(w *obs.StepWriter, r *rankState, p *comm.Proc, step int,
-	wall time.Duration, prevPhase *[obs.MaxPhases]int64, prevStats *RankStats, prevWait *time.Duration,
-	classNames []string, prevClass, curClass []comm.Stats) {
-	rec := obs.StepRecord{
-		Step:     step,
-		Rank:     p.Rank(),
-		WallNs:   wall.Nanoseconds(),
-		Counters: make(map[string]int64, len(rankStatFields)+1+len(classNames)),
-	}
-	rankStatDeltas(&r.stats, prevStats, rec.Counters)
-	rec.Counters["owned_atoms"] = int64(r.stats.OwnedAtoms)
-	*prevStats = r.stats
-	wait := p.Stats().Wait
-	rec.Counters["comm_wait_ns"] = (wait - *prevWait).Nanoseconds()
-	*prevWait = wait
-	p.ClassStatsInto(curClass)
-	for i, name := range classNames {
-		if d := curClass[i].Bytes - prevClass[i].Bytes; d != 0 {
-			rec.Counters[obs.CommClassKey(name, "bytes")] = d
+// emit writes this rank's telemetry record for one step and advances
+// the scratch. owned_atoms is reported as the current absolute value,
+// the runtime's receive-wait delta rides along as comm_wait_ns, and
+// each tag class's sent-byte delta as comm_<class>_bytes — so a step
+// log can attribute a traffic spike to halo vs migrate vs write-back
+// directly. Allocation-free in the steady state when no encoding
+// consumer (file sink or tee subscriber) is attached.
+func (e *stepEmitter) emit(step int, wall time.Duration) {
+	e.rec.Step = step
+	e.rec.WallNs = wall.Nanoseconds()
+	e.rec.TNs = time.Since(e.epoch).Nanoseconds()
+	clear(e.rec.Counters)
+	rankStatDeltas(&e.r.stats, &e.prevStats, e.rec.Counters)
+	e.rec.Counters["owned_atoms"] = int64(e.r.stats.OwnedAtoms)
+	e.prevStats = e.r.stats
+	wait := e.p.Stats().Wait
+	e.rec.Counters["comm_wait_ns"] = (wait - e.prevWait).Nanoseconds()
+	e.prevWait = wait
+	e.p.ClassStatsInto(e.curClass)
+	for i := range e.classNames {
+		if d := e.curClass[i].Bytes - e.prevClass[i].Bytes; d != 0 {
+			e.rec.Counters[e.classKeys[i]] = d
 		}
-		prevClass[i] = curClass[i]
+		e.prevClass[i] = e.curClass[i]
 	}
-	if r.rec != nil {
+	if e.r.rec != nil {
 		var cur [obs.MaxPhases]int64
-		r.rec.CopyPhaseNs(&cur)
-		rec.PhaseNs = make(map[string]int64)
+		e.r.rec.CopyPhaseNs(&cur)
+		clear(e.rec.PhaseNs)
 		for i := range cur {
-			if d := cur[i] - prevPhase[i]; d != 0 {
-				rec.PhaseNs[obs.PhaseID(i).Name()] = d
+			if d := cur[i] - e.prevPhase[i]; d != 0 {
+				name := e.phaseNames[i]
+				if name == "" {
+					name = obs.PhaseID(i).Name()
+					e.phaseNames[i] = name
+				}
+				e.rec.PhaseNs[name] = d
 			}
 		}
-		*prevPhase = cur
+		e.prevPhase = cur
 	}
-	w.WriteStep(rec)
+	e.w.WriteStep(e.rec)
 }
 
 // OverlapFraction returns the measured overlap efficiency of the

@@ -9,6 +9,7 @@ import (
 	"sctuple/internal/geom"
 	"sctuple/internal/md"
 	"sctuple/internal/obs"
+	"sctuple/internal/obs/flight"
 	"sctuple/internal/obs/serve"
 )
 
@@ -112,11 +113,12 @@ func TestStepLoopZeroAllocs(t *testing.T) {
 }
 
 // TestStepTelemetryZeroAllocs: the full telemetry tail of the step
-// loop — step-time histogram observation, the inactive step writer's
-// scratch advance (a live server attached, no /steps subscriber), and
-// the live registry publisher — stays allocation-free on top of the
-// zero-alloc step. This is the exact configuration of an scmd run
-// with -serve and nobody watching.
+// loop — step-time histogram observation, the step emitter building
+// full records into the flight recorder (the writer is active: a sink
+// is attached, but no file and no /steps subscriber, so nothing is
+// JSON-encoded), and the live registry publisher — stays
+// allocation-free on top of the zero-alloc step. This is the exact
+// configuration of an scmd run with -serve and nobody watching.
 func TestStepTelemetryZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates")
@@ -140,9 +142,11 @@ func TestStepTelemetryZeroAllocs(t *testing.T) {
 	stepHist := reg.Histogram("parmd.step_ms", obs.ExpBuckets(0.01, 2, 18))
 	tee := obs.NewStepTee()
 	sw := obs.NewStepWriterTee(nil, tee)
+	fl := flight.New(flight.Config{Ranks: cart.Size(), Registry: reg, Tee: tee})
+	sw.SetSink(fl)
 	// The server only holds references; attaching it must not change
 	// the step loop's allocation behavior.
-	_ = &serve.Server{Registry: reg, Recorder: recorder, Steps: tee}
+	_ = &serve.Server{Registry: reg, Recorder: recorder, Steps: tee, Flight: fl}
 
 	world := comm.NewWorld(cart.Size())
 	defineTagClasses(world)
@@ -157,12 +161,8 @@ func TestStepTelemetryZeroAllocs(t *testing.T) {
 		if _, err := r.computeForces(); err != nil {
 			return err
 		}
-		var prevPhase [obs.MaxPhases]int64
-		prevStats := r.stats
-		var prevWait time.Duration
-		prevClass := make([]comm.Stats, p.ClassCount())
-		r.rec.CopyPhaseNs(&prevPhase)
-		p.ClassStatsInto(prevClass)
+		em := newStepEmitter(sw, r, p, time.Now())
+		stepN := 0
 		step := func() error {
 			start := time.Now()
 			half := 0.5 * dt * md.ForceToAccel
@@ -181,11 +181,13 @@ func TestStepTelemetryZeroAllocs(t *testing.T) {
 			for i := 0; i < r.nOwned; i++ {
 				r.vel[i] = r.vel[i].Add(r.force[i].Scale(half / masses[r.species[i]]))
 			}
-			stepHist.Observe(time.Since(start).Seconds() * 1e3)
-			if sw.Active() {
-				return fmt.Errorf("step writer active with no subscriber")
+			wall := time.Since(start)
+			stepHist.Observe(wall.Seconds() * 1e3)
+			if !sw.Active() {
+				return fmt.Errorf("step writer inactive despite the flight sink")
 			}
-			advanceStepScratch(r, p, &prevPhase, &prevStats, &prevWait, prevClass)
+			em.emit(stepN, wall)
+			stepN++
 			r.live.publish(r, p)
 			return nil
 		}

@@ -1,0 +1,27 @@
+package perfmodel
+
+import "sctuple/internal/parmd"
+
+// StepPrediction is the model's per-step expectation in nanoseconds,
+// decomposed the way the flight recorder classifies measured phases:
+// compute (search + evaluation) versus communication (latency +
+// volume). Plain floats so the telemetry layer can consume it without
+// importing this package (which sits above parmd).
+type StepPrediction struct {
+	ComputeNs float64
+	CommNs    float64
+	TotalNs   float64
+}
+
+// PredictStep maps StepTime (seconds) onto the telemetry layer's
+// nanosecond compute/comm decomposition for one task owning nPerTask
+// atoms — the bridge scmd uses to arm the flight recorder's
+// model-residual detector.
+func (m *Model) PredictStep(scheme parmd.Scheme, nPerTask float64) StepPrediction {
+	t := m.StepTime(scheme, nPerTask)
+	return StepPrediction{
+		ComputeNs: (t.Search + t.Eval) * 1e9,
+		CommNs:    t.Comm() * 1e9,
+		TotalNs:   t.Total() * 1e9,
+	}
+}

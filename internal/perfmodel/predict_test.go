@@ -1,0 +1,32 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"sctuple/internal/parmd"
+)
+
+func TestPredictStepMatchesStepTime(t *testing.T) {
+	m, err := NewModel(IntelXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grain = 1000
+	for _, scheme := range parmd.Schemes() {
+		st := m.StepTime(scheme, grain)
+		p := m.PredictStep(scheme, grain)
+		if p.ComputeNs <= 0 || p.CommNs <= 0 {
+			t.Fatalf("%v: non-positive prediction %+v", scheme, p)
+		}
+		if math.Abs(p.ComputeNs-(st.Search+st.Eval)*1e9) > 1 {
+			t.Errorf("%v: compute %g ns, want %g", scheme, p.ComputeNs, (st.Search+st.Eval)*1e9)
+		}
+		if math.Abs(p.CommNs-st.Comm()*1e9) > 1 {
+			t.Errorf("%v: comm %g ns, want %g", scheme, p.CommNs, st.Comm()*1e9)
+		}
+		if math.Abs(p.TotalNs-(p.ComputeNs+p.CommNs)) > 1 {
+			t.Errorf("%v: total %g ns != compute+comm %g", scheme, p.TotalNs, p.ComputeNs+p.CommNs)
+		}
+	}
+}
