@@ -63,6 +63,8 @@ func main() {
 		err = runValidate(args)
 	case "workers":
 		err = runWorkers(args)
+	case "transport":
+		err = runTransport(args)
 	case "record":
 		err = runRecord(args)
 	case "compare":
@@ -84,7 +86,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scbench {patterns|imports|midpoint|fig7|fig8|fig9|ablate|validate|workers|record|compare|watch|analyze|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: scbench {patterns|imports|midpoint|fig7|fig8|fig9|ablate|validate|workers|transport|record|compare|watch|analyze|all} [flags]")
+	fmt.Fprintln(os.Stderr, "  transport: chan vs socket fabric on one workload, with a forces bit-identity check")
 	fmt.Fprintln(os.Stderr, "  fig8/fig9 flags: -machine {xeon|bgq}; fig9 also -extreme")
 	fmt.Fprintln(os.Stderr, "  record flags: -out file -atoms n -steps n -ranks n -seed n -sha s")
 	fmt.Fprintln(os.Stderr, "  compare: scbench compare old.json new.json [-threshold pct] [-max-allocs n]")
@@ -202,6 +205,17 @@ func runWorkers(args []string) error {
 	trace := fs.String("trace", "", "write the rank-parallel runs' span timelines to this Chrome trace-event file")
 	fs.Parse(args)
 	return bench.WorkersReportTrace(os.Stdout, *atoms, *ranks, []int{1, 2, 4, runtime.GOMAXPROCS(0)}, *seed, *trace)
+}
+
+func runTransport(args []string) error {
+	fs := flag.NewFlagSet("transport", flag.ExitOnError)
+	atoms := fs.Int("atoms", 3000, "atom count of the comparison system")
+	ranks := fs.Int("ranks", 4, "ranks (goroutines on chan, socket endpoints on socket)")
+	steps := fs.Int("steps", 10, "MD steps per run")
+	seed := fs.Int64("seed", 1, "workload seed")
+	network := fs.String("net", "unix", "socket network: unix or tcp (loopback)")
+	fs.Parse(args)
+	return bench.TransportReport(os.Stdout, *atoms, *ranks, *steps, *seed, *network)
 }
 
 func runRecord(args []string) error {

@@ -74,6 +74,14 @@ func main() {
 		faultSpec  = flag.String("fault", "", "inject a message fault: class[:N] corrupts traffic of that class (migrate, halo, force, health, balance) after N clean messages; parallel runs only")
 		modelCheck = flag.Bool("model-check", false, "calibrate the perfmodel in the background and flag steps drifting from its prediction; parallel runs only")
 		logFormat  = flag.String("log", "", "structured run log to stderr: text or json")
+		transport  = flag.String("transport", "chan", "parallel transport: chan (in-process goroutine ranks) or socket (one OS process per rank over a length-prefixed wire protocol)")
+		socketNet  = flag.String("socket-net", "unix", "socket transport network: unix or tcp (loopback)")
+		dumpForces = flag.String("dump-forces", "", "after a parallel run, write the final per-atom forces as hex float64 bits to this file (for bit-identity comparison across transports)")
+		killRank   = flag.Int("kill-rank", -1, "socket fault drill: this worker rank exits hard at -kill-step, exercising the fleet's failure path (-1 = off)")
+		killStep   = flag.Int("kill-step", 3, "socket fault drill: step at which -kill-rank exits")
+		workerRank = flag.Int("worker-rank", -1, "internal: run as the worker process for this rank (set by the socket launcher)")
+		rendezvous = flag.String("rendezvous", "", "internal: rendezvous address of the socket launcher")
+		sockToken  = flag.String("socket-token", "", "internal: session token of the socket launcher")
 	)
 	flag.Parse()
 
@@ -102,7 +110,12 @@ func main() {
 		balance:   *balance, balanceEvery: *balanceEv, balanceThreshold: *balanceThr,
 		postmortem: *postmortem, fault: *faultSpec, modelCheck: *modelCheck,
 	}
-	if err := run(*modelName, *engineName, *atoms, *cells, *steps, *dt, *temp, *thermostat, *ranks, *every, *seed, *voidFrac, opts, tel); err != nil {
+	sock := socketOpts{
+		transport: *transport, network: *socketNet, dump: *dumpForces,
+		killRank: *killRank, killStep: *killStep,
+		workerRank: *workerRank, rendezvous: *rendezvous, token: *sockToken,
+	}
+	if err := run(*modelName, *engineName, *atoms, *cells, *steps, *dt, *temp, *thermostat, *ranks, *every, *seed, *voidFrac, opts, tel, sock); err != nil {
 		fmt.Fprintln(os.Stderr, "scmd:", err)
 		os.Exit(1)
 	}
@@ -137,7 +150,7 @@ type serialOpts struct {
 	workers int
 }
 
-func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermostat float64, ranks, every int, seed int64, voidFrac float64, opts serialOpts, tel telemetryOpts) error {
+func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermostat float64, ranks, every int, seed int64, voidFrac float64, opts serialOpts, tel telemetryOpts, sock socketOpts) error {
 	rng := rand.New(rand.NewSource(seed))
 	var (
 		model *potential.Model
@@ -196,7 +209,17 @@ func run(modelName, engineName string, atoms, cells, steps int, dt, temp, thermo
 		if opts.traj != "" {
 			return fmt.Errorf("-traj is supported for serial runs only")
 		}
-		return runParallel(cfg, model, engineName, steps, dt, ranks, every, opts.workers, tel)
+		switch sock.transport {
+		case "socket":
+			return runSocketMode(cfg, model, engineName, steps, dt, ranks, every, opts.workers, tel, sock)
+		case "chan":
+			return runParallel(cfg, model, engineName, steps, dt, ranks, every, opts.workers, tel, sock.dump)
+		default:
+			return fmt.Errorf("-transport %q: want chan or socket", sock.transport)
+		}
+	}
+	if sock.transport != "chan" || sock.workerRank >= 0 {
+		return fmt.Errorf("-transport socket needs -ranks > 1")
 	}
 	if tel.trace != "" || tel.metrics != "" {
 		return fmt.Errorf("-trace and -metrics record the parallel stack; use -ranks > 1")
@@ -367,20 +390,13 @@ func printStructure(sys *md.System, model *potential.Model) error {
 	return nil
 }
 
-func runParallel(cfg *workload.Config, model *potential.Model, engineName string, steps int, dt float64, ranks, every, workers int, tel telemetryOpts) error {
+func runParallel(cfg *workload.Config, model *potential.Model, engineName string, steps int, dt float64, ranks, every, workers int, tel telemetryOpts, dumpForces string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var scheme parmd.Scheme
-	switch engineName {
-	case "sc":
-		scheme = parmd.SchemeSC
-	case "fs":
-		scheme = parmd.SchemeFS
-	case "hybrid":
-		scheme = parmd.SchemeHybrid
-	default:
-		return fmt.Errorf("unknown engine %q", engineName)
+	scheme, err := schemeFor(engineName)
+	if err != nil {
+		return err
 	}
 	cart := comm.NewCart(ranks)
 	fmt.Printf("engine %v on %d ranks (%v topology) × %d workers, dt %g fs, %d steps\n",
@@ -631,5 +647,5 @@ func runParallel(cfg *workload.Config, model *potential.Model, engineName string
 		}
 		fmt.Printf("telemetry records written to %s\n", tel.metrics)
 	}
-	return nil
+	return dumpForcesFile(dumpForces, res)
 }

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/parmd"
+	"sctuple/internal/potential"
+	"sctuple/internal/workload"
+)
+
+// TransportReport benchmarks the in-process channel transport against
+// the socket fabric (every rank a goroutine with its own
+// SocketTransport over the full wire protocol — the same bytes real
+// worker processes move) on the same workload, per scheme. Forces are
+// required to be bit-identical across transports; any deviation is
+// reported and fails the run, because the wire codec round-trips
+// float64 bits exactly and the reduction order is fixed by the
+// topology, not the transport.
+func TransportReport(w io.Writer, atoms, ranks, steps int, seed int64, network string) error {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := workload.UniformSilica(rng, atoms)
+	model := potential.NewSilicaModel()
+	cart := comm.NewCart(ranks)
+
+	fmt.Fprintf(w, "Transport comparison: %d-atom silica, %d ranks (%v), %d steps, socket network %s\n",
+		cfg.N(), ranks, cart.Dims, steps, network)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "scheme\ttransport\tms/step\tcomm MB\tmsgs\trecv wait ms\tforces")
+	for _, scheme := range parmd.Schemes() {
+		opt := parmd.Options{Scheme: scheme, Cart: cart, Dt: 1, Steps: steps}
+		start := time.Now()
+		chanRes, err := parmd.Run(cfg, model, opt)
+		if err != nil {
+			return fmt.Errorf("%v chan: %w", scheme, err)
+		}
+		chanMS := time.Since(start).Seconds() * 1e3 / float64(max(1, steps))
+		fmt.Fprintf(tw, "%v\tchan\t%.2f\t%.2f\t%d\t%.1f\treference\n",
+			scheme, chanMS, float64(chanRes.Comm.Bytes)/1e6, chanRes.Comm.Messages,
+			chanRes.Comm.Wait.Seconds()*1e3)
+
+		start = time.Now()
+		sockRes, err := parmd.RunSocket(cfg, model, opt, network)
+		if err != nil {
+			return fmt.Errorf("%v socket: %w", scheme, err)
+		}
+		sockMS := time.Since(start).Seconds() * 1e3 / float64(max(1, steps))
+		verdict := "bit-identical"
+		if dev, ok := forcesBitIdentical(chanRes, sockRes); !ok {
+			verdict = fmt.Sprintf("DIFFER (max |ΔF| %.2e)", dev)
+		}
+		fmt.Fprintf(tw, "%v\tsocket\t%.2f\t%.2f\t%d\t%.1f\t%s\n",
+			scheme, sockMS, float64(sockRes.Comm.Bytes)/1e6, sockRes.Comm.Messages,
+			sockRes.Comm.Wait.Seconds()*1e3, verdict)
+		if verdict != "bit-identical" {
+			tw.Flush()
+			return fmt.Errorf("%v: socket forces differ from channel forces", scheme)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nsocket ms/step includes per-rank connection setup; comm columns count the same")
+	fmt.Fprintln(w, "simulation traffic on both transports (the final wire gather is not metered).")
+	return nil
+}
+
+// forcesBitIdentical reports whether every force component matches in
+// float64 bits; when not, it also returns the largest deviation.
+func forcesBitIdentical(a, b *parmd.Result) (float64, bool) {
+	if len(a.Forces) != len(b.Forces) {
+		return math.Inf(1), false
+	}
+	identical := true
+	dev := 0.0
+	for i := range a.Forces {
+		av, bv := a.Forces[i], b.Forces[i]
+		for _, c := range [][2]float64{{av.X, bv.X}, {av.Y, bv.Y}, {av.Z, bv.Z}} {
+			if math.Float64bits(c[0]) != math.Float64bits(c[1]) {
+				identical = false
+				if d := math.Abs(c[0] - c[1]); d > dev {
+					dev = d
+				}
+			}
+		}
+	}
+	return dev, identical
+}

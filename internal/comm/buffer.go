@@ -29,6 +29,23 @@ func (b *Buffer) Len() int { return len(b.b) }
 // its steady-state capacity once and never allocates again.
 func (b *Buffer) Reset() { b.b = b.b[:0] }
 
+// Grow extends the buffer by n uninitialized bytes and returns the
+// extension for the caller to fill — the receive path of a byte-stream
+// transport reads a frame payload straight into a pooled buffer with
+// io.ReadFull(conn, buf.Grow(n)) and hands the buffer to the world
+// without copying.
+func (b *Buffer) Grow(n int) []byte {
+	old := len(b.b)
+	if cap(b.b) < old+n {
+		nb := make([]byte, old+n, old+n+(old+n)/4)
+		copy(nb, b.b)
+		b.b = nb
+	} else {
+		b.b = b.b[:old+n]
+	}
+	return b.b[old:]
+}
+
 // Int64 appends a 64-bit integer.
 func (b *Buffer) Int64(v int64) {
 	b.b = binary.LittleEndian.AppendUint64(b.b, uint64(v))
@@ -51,26 +68,66 @@ func (b *Buffer) Vec3(v geom.Vec3) {
 	b.Float64(v.Z)
 }
 
-// Reader decodes payloads produced by Buffer, in the same order.
+// DecodeError reports a decoder reading past the end of a payload — a
+// truncated or otherwise malformed message. Over the in-process
+// channel transport this would be a programming error, but a socket
+// peer can legitimately deliver garbage, so decoding must degrade into
+// a typed error that flows through the *RankError abort path instead
+// of a panic that kills the process.
+type DecodeError struct {
+	Off  int // byte offset the failed read started at
+	Need int // bytes the read wanted
+	Len  int // total payload length
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("comm: truncated payload: reading %d bytes at offset %d of %d-byte message",
+		e.Need, e.Off, e.Len)
+}
+
+// Reader decodes payloads produced by Buffer, in the same order. A
+// read past the end of the payload does not panic: it returns zero,
+// records a sticky *DecodeError (see Err), and pins the offset to the
+// end so `for rd.Remaining() > 0` decode loops terminate. Callers on
+// untrusted input check Err after decoding.
 type Reader struct {
 	b   []byte
 	off int
+	err error
 }
 
 // NewReader wraps a payload.
 func NewReader(b []byte) *Reader { return &Reader{b: b} }
 
-// Reset re-points the reader at a new payload, rewinding the offset.
-// Hot paths keep a Reader value on the stack and Reset it per message
-// instead of calling NewReader.
-func (r *Reader) Reset(b []byte) { r.b, r.off = b, 0 }
+// Reset re-points the reader at a new payload, rewinding the offset
+// and clearing any sticky decode error. Hot paths keep a Reader value
+// on the stack and Reset it per message instead of calling NewReader.
+func (r *Reader) Reset(b []byte) { r.b, r.off, r.err = b, 0, nil }
 
-// Remaining returns the number of unread bytes.
+// Remaining returns the number of unread bytes (zero once a decode
+// error has been recorded).
 func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+// Err returns the first decode failure, or nil while every read so far
+// stayed in bounds. Once set it stays set until Reset.
+func (r *Reader) Err() error { return r.err }
+
+// zeroWord backs the reads issued after a decode failure: take returns
+// a view of it so Int64/Float64/Vec3 decode to zero without branching
+// at every call site. Read-only by construction (decoders only read
+// the slices take returns).
+var zeroWord [8]byte
 
 func (r *Reader) take(n int) []byte {
 	if r.off+n > len(r.b) {
-		panic(fmt.Sprintf("comm: reading %d bytes past end of %d-byte message", n, len(r.b)))
+		if r.err == nil {
+			r.err = &DecodeError{Off: r.off, Need: n, Len: len(r.b)}
+		}
+		r.off = len(r.b)
+		if n <= len(zeroWord) {
+			return zeroWord[:n]
+		}
+		return make([]byte, n) // cold path: only after a decode error
 	}
 	s := r.b[r.off : r.off+n]
 	r.off += n

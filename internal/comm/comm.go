@@ -62,6 +62,17 @@ type World struct {
 	abortCh   chan struct{}
 	abortOnce sync.Once
 
+	// fabricMu guards fabricErr, the first failure reported by the
+	// underlying fabric (peer disconnect, malformed frame, …). It
+	// decorates the ErrAborted the unblocked ranks come back with, so
+	// "why did this world abort" survives into the error chain.
+	fabricMu  sync.Mutex
+	fabricErr error
+
+	// local lists the ranks this process executes (nil = all of them).
+	// A multi-process world (NewWorldRank) runs exactly one.
+	local []int
+
 	log *obs.Logger
 }
 
@@ -93,6 +104,26 @@ func NewWorldTransport(p int, tr Transport) *World {
 		abortCh: make(chan struct{}),
 	}
 	w.growCounters()
+	if a, ok := tr.(AbortAware); ok {
+		a.SetAbort(w.abortCh)
+	}
+	if f, ok := tr.(Fabric); ok {
+		f.OnFail(w.failFabric)
+	}
+	return w
+}
+
+// NewWorldRank builds a world of p ranks of which this process runs
+// exactly one — the multi-process form, where the transport is a real
+// fabric (e.g. a SocketTransport) and each OS process hosts one rank.
+// Run executes the SPMD function only for rank; the counter arrays
+// still span the full world, but only the local slots are written.
+func NewWorldRank(p, rank int, tr Transport) *World {
+	if rank < 0 || rank >= p {
+		panic(fmt.Sprintf("comm: local rank %d outside world of size %d", rank, p))
+	}
+	w := NewWorldTransport(p, tr)
+	w.local = []int{rank}
 	return w
 }
 
@@ -149,15 +180,38 @@ func (w *World) classOf(tag int) int {
 func (w *World) Size() int { return w.size }
 
 // ErrAborted is the error a rank comes back with when it was blocked
-// in a receive while another rank failed: the world's abort signal
-// unwound it instead of leaving it deadlocked on a message that will
-// never arrive.
+// in a receive (or a full-link send) while another rank failed: the
+// world's abort signal unwound it instead of leaving it deadlocked on
+// a message that will never arrive.
 var ErrAborted = errors.New("comm: aborted while waiting for a peer (another rank failed)")
 
-// abortSignal is the sentinel panicked by an abort-unblocked receive.
-// It unwinds the rank's SPMD function up to the recover in Run (or an
-// earlier recover installed by the caller — see IsAbort).
-type abortSignal struct{ rank, src int }
+// ProtocolError is a violation of the messaging protocol detected at
+// the comm layer: a receive whose tag does not match the next message
+// on the link, or an operation naming a rank outside the world. Over
+// the trusted in-process transport these are programming errors; over
+// a real fabric a desynced peer can produce them at runtime, so they
+// abort the world as typed errors flowing through the *RankError path
+// instead of panicking the process.
+type ProtocolError struct {
+	Rank    int // rank that detected the violation
+	Peer    int // peer involved, -1 when not applicable
+	WantTag int // expected tag (tag mismatches only)
+	GotTag  int // received tag (tag mismatches only)
+	Reason  string
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("comm: protocol error at rank %d: %s", e.Rank, e.Reason)
+}
+
+// abortSignal is the sentinel panicked by an abort-unblocked receive
+// or send, or by a rank failing with a typed comm error. It unwinds
+// the rank's SPMD function up to the recover in Run (or an earlier
+// recover installed by the caller — see IsAbort and AbortError).
+type abortSignal struct {
+	rank, src int
+	err       error // typed cause; nil for plain peer-failure aborts
+}
 
 // IsAbort reports whether a recovered panic value is the world's abort
 // sentinel. SPMD functions that install their own deferred recover
@@ -168,10 +222,65 @@ func IsAbort(v any) bool {
 	return ok
 }
 
-// abort marks the world failed and unblocks every receive selecting on
-// the abort channel. Idempotent.
+// AbortError converts a recovered abort sentinel (IsAbort(v) == true)
+// to its error: the typed cause when the unwind originated in a
+// protocol, decode, or fabric failure, plain ErrAborted when the rank
+// was simply unblocked after a peer failed. Callers with their own
+// deferred recover use this instead of hard-coding ErrAborted so typed
+// causes survive into their error chains.
+func AbortError(v any) error {
+	s, ok := v.(abortSignal)
+	if !ok || s.err == nil {
+		return ErrAborted
+	}
+	return s.err
+}
+
+// abort marks the world failed and unblocks every receive and send
+// selecting on the abort channel. Idempotent. A fabric-backed world
+// also closes the fabric so remote peers observe the failure (as EOF
+// on their links) and abort in turn — without this, killing one worker
+// process would leave every other process blocked forever.
 func (w *World) abort() {
-	w.abortOnce.Do(func() { close(w.abortCh) })
+	w.abortOnce.Do(func() {
+		close(w.abortCh)
+		if f, ok := w.tr.(Fabric); ok {
+			// Off the critical path: Close may be called from a fabric
+			// reader goroutine via OnFail → failFabric → abort, and
+			// must not deadlock against the fabric's own locks.
+			go f.Close()
+		}
+	})
+}
+
+// failFabric records the first fabric failure and aborts the world.
+// Registered as the Fabric.OnFail callback at construction.
+func (w *World) failFabric(err error) {
+	w.fabricMu.Lock()
+	if w.fabricErr == nil {
+		w.fabricErr = err
+	}
+	w.fabricMu.Unlock()
+	w.abort()
+}
+
+func (w *World) fabricError() error {
+	w.fabricMu.Lock()
+	defer w.fabricMu.Unlock()
+	return w.fabricErr
+}
+
+// abortCause builds the error an abort-unblocked rank unwinds with:
+// ErrAborted decorated with the recorded fabric failure when there is
+// one (so "why did the world abort" survives into every rank's error),
+// nil for plain peer-failure aborts (AbortError then yields the bare
+// ErrAborted). Safe to call after abortCh is closed — the fabric error
+// is written before the close.
+func (w *World) abortCause() error {
+	if fe := w.fabricError(); fe != nil {
+		return fmt.Errorf("%w (fabric: %v)", ErrAborted, fe)
+	}
+	return nil
 }
 
 // Run executes fn once per rank, each on its own goroutine, and waits
@@ -182,10 +291,17 @@ func (w *World) abort() {
 // Run reports each failing rank through the world's logger and returns
 // every rank's error joined (nil when all ranks succeeded).
 func (w *World) Run(fn func(p *Proc) error) error {
+	local := w.local
+	if local == nil {
+		local = make([]int, w.size)
+		for r := range local {
+			local[r] = r
+		}
+	}
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
-	wg.Add(w.size)
-	for r := 0; r < w.size; r++ {
+	wg.Add(len(local))
+	for _, r := range local {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
@@ -193,7 +309,7 @@ func (w *World) Run(fn func(p *Proc) error) error {
 					if !IsAbort(rec) {
 						panic(rec)
 					}
-					errs[rank] = fmt.Errorf("rank %d: %w", rank, ErrAborted)
+					errs[rank] = fmt.Errorf("rank %d: %w", rank, AbortError(rec))
 				}
 				if errs[rank] != nil {
 					w.abort()
@@ -342,6 +458,26 @@ func (p *Proc) ClassStatsInto(dst []Stats) { p.world.RankClassStatsInto(p.rank, 
 // ClassCount returns the number of tag classes of this rank's world.
 func (p *Proc) ClassCount() int { return p.world.ClassCount() }
 
+// fail aborts the world with a typed error detected by this rank and
+// unwinds the calling goroutine with the abort sentinel carrying it:
+// Run's recover (or a caller's, via AbortError) converts the sentinel
+// back to the typed error, so tag mismatches, truncated payloads, and
+// invalid-rank operations flow through the same *RankError abort path
+// as any other rank failure instead of panicking the process.
+func (p *Proc) fail(err error) {
+	p.world.failFabric(err)
+	panic(abortSignal{rank: p.rank, err: err})
+}
+
+// checkDecode aborts the world when a Reader hit a truncated payload —
+// the guard collectives and protocol decoders run after reading
+// untrusted bytes off a fabric.
+func (p *Proc) checkDecode(rd *Reader, what string) {
+	if err := rd.Err(); err != nil {
+		p.fail(fmt.Errorf("comm: rank %d decoding %s: %w", p.rank, what, err))
+	}
+}
+
 // AcquireBuffer returns an empty buffer from this rank's freelist
 // (allocating only when the list is dry). Pass it to SendBuffer — the
 // receiving rank returns it to circulation with ReleaseBuffer.
@@ -370,7 +506,8 @@ func (p *Proc) ReleaseBuffer(b *Buffer) {
 // afterwards (the receiver recycles it via ReleaseBuffer).
 func (p *Proc) SendBuffer(dst, tag int, b *Buffer) {
 	if dst < 0 || dst >= p.world.size {
-		panic(fmt.Sprintf("comm: rank %d sending to invalid rank %d", p.rank, dst))
+		p.fail(&ProtocolError{Rank: p.rank, Peer: dst,
+			Reason: fmt.Sprintf("send to invalid rank %d (world size %d)", dst, p.world.size)})
 	}
 	cls := p.world.classOf(tag)
 	p.world.msgsSent[p.rank][cls].Add(1)
@@ -399,24 +536,33 @@ func (p *Proc) recvMessage(src int) Message {
 	case m := <-ch:
 		return m
 	case <-p.world.abortCh:
-		panic(abortSignal{rank: p.rank, src: src})
+		panic(abortSignal{rank: p.rank, src: src, err: p.world.abortCause()})
 	}
 }
 
 // RecvBuffer blocks until the next message from src arrives and
 // returns its buffer; release it with ReleaseBuffer once decoded. The
 // message's tag must match; a mismatch means the SPMD protocol is out
-// of step and panics with a diagnostic.
+// of step — a desynced peer on a real fabric — and aborts the world
+// with a typed *ProtocolError.
 func (p *Proc) RecvBuffer(src, tag int) *Buffer {
 	if src < 0 || src >= p.world.size {
-		panic(fmt.Sprintf("comm: rank %d receiving from invalid rank %d", p.rank, src))
+		p.fail(&ProtocolError{Rank: p.rank, Peer: src,
+			Reason: fmt.Sprintf("receive from invalid rank %d (world size %d)", src, p.world.size)})
 	}
 	start := time.Now()
 	m := p.recvMessage(src)
 	p.world.waitNs[p.rank][p.world.classOf(tag)].Add(time.Since(start).Nanoseconds())
+	if m.Tag == tagLinkDown {
+		reason := "peer closed the connection"
+		if m.Buf != nil && m.Buf.Len() > 0 {
+			reason = string(m.Buf.Bytes())
+		}
+		p.fail(fmt.Errorf("%w (rank %d waiting on rank %d: %s)", ErrAborted, p.rank, src, reason))
+	}
 	if m.Tag != tag {
-		panic(fmt.Sprintf("comm: rank %d expected tag %d from rank %d, got %d",
-			p.rank, tag, src, m.Tag))
+		p.fail(&ProtocolError{Rank: p.rank, Peer: src, WantTag: tag, GotTag: m.Tag,
+			Reason: fmt.Sprintf("expected tag %d from rank %d, got %d", tag, src, m.Tag)})
 	}
 	return m.Buf
 }
@@ -464,7 +610,8 @@ type RecvHandle struct {
 // tag and returns its completion handle.
 func (p *Proc) IRecvBuffer(src, tag int) RecvHandle {
 	if src < 0 || src >= p.world.size {
-		panic(fmt.Sprintf("comm: rank %d posting receive from invalid rank %d", p.rank, src))
+		p.fail(&ProtocolError{Rank: p.rank, Peer: src,
+			Reason: fmt.Sprintf("posting receive from invalid rank %d (world size %d)", src, p.world.size)})
 	}
 	return RecvHandle{p: p, src: src, tag: tag}
 }
@@ -474,7 +621,7 @@ func (p *Proc) IRecvBuffer(src, tag int) RecvHandle {
 // blocked is accounted to the tag's class here, at the completion
 // point — the definition that makes receive-wait measure exposed
 // latency rather than posting overhead. A tag mismatch is a protocol
-// slip and panics, exactly like RecvBuffer.
+// slip and aborts the world, exactly like RecvBuffer.
 func (h RecvHandle) Wait() *Buffer {
 	if h.p == nil {
 		panic("comm: Wait on an unposted RecvHandle")
@@ -540,6 +687,7 @@ func (p *Proc) AllReduceFloat64(x float64, op func(a, b float64) float64) float6
 			var rd Reader
 			rd.Reset(b.Bytes())
 			acc = op(acc, rd.Float64())
+			p.checkDecode(&rd, "reduce contribution")
 			p.ReleaseBuffer(b)
 		}
 		for r := 1; r < p.world.size; r++ {
@@ -556,6 +704,7 @@ func (p *Proc) AllReduceFloat64(x float64, op func(a, b float64) float64) float6
 	var rd Reader
 	rd.Reset(rb.Bytes())
 	v := rd.Float64()
+	p.checkDecode(&rd, "reduce result")
 	p.ReleaseBuffer(rb)
 	return v
 }
@@ -584,6 +733,7 @@ func (p *Proc) AllReduceSumInt64(x int64) int64 {
 			var rd Reader
 			rd.Reset(b.Bytes())
 			acc += rd.Int64()
+			p.checkDecode(&rd, "reduce contribution")
 			p.ReleaseBuffer(b)
 		}
 		for r := 1; r < p.world.size; r++ {
@@ -600,6 +750,7 @@ func (p *Proc) AllReduceSumInt64(x int64) int64 {
 	var rd Reader
 	rd.Reset(rb.Bytes())
 	v := rd.Int64()
+	p.checkDecode(&rd, "reduce result")
 	p.ReleaseBuffer(rb)
 	return v
 }

@@ -1,8 +1,10 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -139,20 +141,52 @@ func TestBcastGather(t *testing.T) {
 	}
 }
 
-func TestTagMismatchPanics(t *testing.T) {
+// TestTagMismatchAborts: a receive whose tag does not match the next
+// message on the link means the protocol is out of step (a desynced
+// socket stream, in the distributed case) and must abort the world
+// with a typed *ProtocolError, not kill the process with a panic.
+func TestTagMismatchAborts(t *testing.T) {
 	w := NewWorld(2)
 	err := w.Run(func(pr *Proc) error {
-		defer func() { recover() }()
 		if pr.Rank() == 0 {
 			pr.Send(1, 1, nil)
 		} else {
-			pr.Recv(0, 2) // wrong tag: must panic, recovered above
+			pr.Recv(0, 2) // wrong tag: aborts the world
 			return fmt.Errorf("tag mismatch not caught")
 		}
 		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ProtocolError", err)
+	}
+	if pe.Rank != 1 || pe.Peer != 0 || pe.WantTag != 2 || pe.GotTag != 1 {
+		t.Errorf("ProtocolError %+v", pe)
+	}
+}
+
+// TestAbortUnblocksBlockedSend: a sender stuck on a full link after
+// its peer failed must unwind with ErrAborted instead of blocking
+// forever — the sender-side half of the abort protocol (receivers
+// have always selected on the abort channel).
+func TestAbortUnblocksBlockedSend(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(pr *Proc) error {
+		if pr.Rank() == 1 {
+			return fmt.Errorf("boom") // never receives anything
+		}
+		// Far more than the link buffer holds: without the abort
+		// select this blocks forever once the channel fills.
+		for i := 0; i < 10*linkBuffer; i++ {
+			pr.Send(1, 1, nil)
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted in chain", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("original failure lost: %v", err)
 	}
 }
 

@@ -1,0 +1,127 @@
+package comm
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFrameHeaderRoundTrip: every header field survives encode/decode.
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	h := frameHeader{kind: frameData, src: 3, dst: 7, tag: -2, step: 41, payload: 123}
+	b := appendFrameHeader(nil, h)
+	if len(b) != frameHeaderBytes {
+		t.Fatalf("header is %d bytes, want %d", len(b), frameHeaderBytes)
+	}
+	got, err := parseFrameHeader(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip %+v, want %+v", got, h)
+	}
+}
+
+// TestFrameHeaderRejectsTyped: truncated, wrong-magic, wrong-version,
+// and oversized-length headers come back as typed *FrameError — never
+// a panic, never silently accepted.
+func TestFrameHeaderRejectsTyped(t *testing.T) {
+	good := appendFrameHeader(nil, frameHeader{kind: frameData, payload: 10})
+	cases := map[string][]byte{
+		"truncated": good[:frameHeaderBytes-3],
+		"bad magic": append([]byte{0xde, 0xad, 0xbe, 0xef}, good[4:]...),
+		"bad version": func() []byte {
+			b := append([]byte(nil), good...)
+			b[4], b[5] = 0xff, 0xff
+			return b
+		}(),
+		"oversized length": func() []byte {
+			b := append([]byte(nil), good...)
+			b[24], b[25], b[26], b[27] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}(),
+	}
+	for name, raw := range cases {
+		var fe *FrameError
+		if _, err := parseFrameHeader(raw, 0); !errors.As(err, &fe) {
+			t.Errorf("%s: err = %v, want *FrameError", name, err)
+		}
+	}
+}
+
+// TestReadFrameHeaderEOF: a stream closing cleanly between frames is
+// io.EOF (peer shutdown, handled by link poisoning); closing mid-frame
+// is a typed *FrameError (truncation).
+func TestReadFrameHeaderEOF(t *testing.T) {
+	var hdr [frameHeaderBytes]byte
+	if _, err := readFrameHeader(bytes.NewReader(nil), &hdr, 0); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	good := appendFrameHeader(nil, frameHeader{kind: frameData})
+	var fe *FrameError
+	if _, err := readFrameHeader(bytes.NewReader(good[:5]), &hdr, 0); !errors.As(err, &fe) {
+		t.Errorf("mid-header EOF: err = %v, want *FrameError", err)
+	}
+	h := frameHeader{kind: frameData, payload: 64}
+	if _, err := readFrameHeader(bytes.NewReader(appendFrameHeader(nil, h)), &hdr, 0); err != nil {
+		t.Errorf("valid header rejected: %v", err)
+	}
+	dst := make([]byte, 64)
+	if err := readFramePayload(bytes.NewReader(make([]byte, 10)), h, dst, 0); !errors.As(err, &fe) {
+		t.Errorf("truncated payload: err = %v, want *FrameError", err)
+	}
+}
+
+// FuzzParseFrameHeader: arbitrary bytes must either decode or produce
+// a typed *FrameError — no panics, no other error types.
+func FuzzParseFrameHeader(f *testing.F) {
+	f.Add(appendFrameHeader(nil, frameHeader{kind: frameData, src: 1, dst: 2, tag: 200, step: 9, payload: 48}))
+	f.Add([]byte{})
+	f.Add(make([]byte, frameHeaderBytes))
+	f.Add(appendFrameHeader(nil, frameHeader{payload: MaxFramePayload + 1}))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		h, err := parseFrameHeader(raw, 0)
+		if err != nil {
+			var fe *FrameError
+			if !errors.As(err, &fe) {
+				t.Fatalf("non-typed error %T: %v", err, err)
+			}
+			return
+		}
+		if h.payload > MaxFramePayload {
+			t.Fatalf("accepted oversized payload %d", h.payload)
+		}
+		// A header that parsed must re-encode to the same bytes.
+		if got := appendFrameHeader(nil, h); !bytes.Equal(got, raw[:frameHeaderBytes]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", got, raw[:frameHeaderBytes])
+		}
+	})
+}
+
+// FuzzReaderDecode: arbitrary payload bytes decoded as a mixed record
+// stream must never panic; any failure must surface as *DecodeError.
+func FuzzReaderDecode(f *testing.F) {
+	var b Buffer
+	b.Int64(7)
+	b.Float64(3.14)
+	b.Int32(-1)
+	f.Add(b.Bytes())
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var rd Reader
+		rd.Reset(raw)
+		for rd.Remaining() > 0 {
+			rd.Int64()
+			rd.Int32()
+			rd.Vec3()
+		}
+		if err := rd.Err(); err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("non-typed error %T: %v", err, err)
+			}
+		}
+	})
+}

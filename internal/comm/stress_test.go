@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -98,35 +99,55 @@ func TestSelfSend(t *testing.T) {
 	}
 }
 
-// TestReaderOverrunPanics.
-func TestReaderOverrunPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("reading past end did not panic")
-		}
-	}()
+// TestReaderOverrunStickyError: reading past the end of a payload must
+// not panic — a socket peer can deliver a truncated message. The
+// reader returns zeros, records a typed *DecodeError, and pins the
+// offset so decode loops terminate.
+func TestReaderOverrunStickyError(t *testing.T) {
 	var b Buffer
 	b.Int32(1)
 	rd := NewReader(b.Bytes())
-	rd.Int64() // 8 bytes from a 4-byte message
+	if got := rd.Int64(); got != 0 { // 8 bytes from a 4-byte message
+		t.Errorf("overrun read returned %d, want 0", got)
+	}
+	var de *DecodeError
+	if err := rd.Err(); !errors.As(err, &de) {
+		t.Fatalf("Err() = %v, want *DecodeError", err)
+	} else if de.Off != 0 || de.Need != 8 || de.Len != 4 {
+		t.Errorf("DecodeError %+v", de)
+	}
+	if rd.Remaining() != 0 {
+		t.Errorf("Remaining() = %d after decode error, want 0", rd.Remaining())
+	}
+	if got := rd.Float64(); got != 0 {
+		t.Errorf("read after error returned %g, want 0", got)
+	}
+	rd.Reset(b.Bytes())
+	if rd.Err() != nil {
+		t.Error("Reset did not clear the sticky error")
+	}
+	if got := rd.Int32(); got != 1 {
+		t.Errorf("reader unusable after Reset: got %d", got)
+	}
 }
 
-// TestInvalidRankPanics.
-func TestInvalidRankPanics(t *testing.T) {
+// TestInvalidRankAborts: an operation naming a rank outside the world
+// aborts the world with a typed *ProtocolError instead of panicking
+// the process.
+func TestInvalidRankAborts(t *testing.T) {
 	w := NewWorld(2)
 	err := w.Run(func(pr *Proc) error {
 		if pr.Rank() != 0 {
 			return nil
 		}
-		defer func() {
-			if recover() == nil {
-				t.Error("send to invalid rank did not panic")
-			}
-		}()
 		pr.Send(5, 0, nil)
 		return nil
 	})
-	if err != nil {
-		t.Fatal(err)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ProtocolError", err)
+	}
+	if pe.Rank != 0 || pe.Peer != 5 {
+		t.Errorf("ProtocolError %+v", pe)
 	}
 }

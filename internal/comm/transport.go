@@ -8,6 +8,16 @@ type Message struct {
 	Buf *Buffer
 }
 
+// tagLinkDown marks a transport-synthesized message reporting that the
+// peer on a link closed its connection (EOF). It is delivered in-band
+// so a rank blocked waiting on that exact link unwinds with a typed
+// error, while ranks that never needed the dead link keep running —
+// EOF alone must not abort a world mid-shutdown, when peers that
+// finished earlier close their ends while their last frames are still
+// being drained. Never appears on the wire; far outside both user tags
+// and the reserved collective range.
+const tagLinkDown = -1 << 30
+
 // Transport moves messages between ranks. It is the seam that lets the
 // simulation stack swap the in-process channel runtime for a real
 // network fabric (sockets, RDMA, MPI) without touching any caller: the
@@ -35,11 +45,50 @@ type AsyncTransport interface {
 	RecvChan(dst, src int) <-chan Message
 }
 
+// AbortAware is the optional extension a Transport can implement to
+// make blocked sends interruptible. The World injects its abort
+// channel at construction; a send that would otherwise block forever
+// on a full link after the receiver has failed selects on the channel
+// and unwinds with the abort sentinel instead (converted to ErrAborted
+// by Run's recover), closing the sender-side half of the abort
+// protocol — receivers have always selected on abortCh in recvMessage.
+type AbortAware interface {
+	SetAbort(<-chan struct{})
+}
+
+// StepMarker is the optional extension a transport can implement to
+// receive the simulation step counter. The socket transport stamps it
+// into every frame header so captures of a broken stream carry the
+// step they broke at; the step loop calls MarkStep when the configured
+// transport implements it.
+type StepMarker interface {
+	MarkStep(step int)
+}
+
+// Fabric is a transport backed by external resources — connections,
+// file descriptors, reader goroutines — that can fail asynchronously
+// and must be torn down explicitly. The World registers OnFail so a
+// fabric failure (peer disconnect, malformed frame, I/O error) aborts
+// every local rank, and closes the fabric when it aborts so remote
+// peers observe the failure as EOF and abort their own worlds in turn:
+// that chain is how a killed worker unwinds all survivors.
+type Fabric interface {
+	AsyncTransport
+	// OnFail registers a callback invoked once with the first fabric
+	// error; if the fabric has already failed the callback fires
+	// immediately.
+	OnFail(func(error))
+	// Close tears the fabric down. Idempotent; safe to call
+	// concurrently with operations, which then fail.
+	Close() error
+}
+
 // chanTransport is the default in-process Transport: ranks are
 // goroutines and every (src, dst) link is a buffered channel with
 // strict FIFO ordering, the stand-in for MPI on the paper's clusters.
 type chanTransport struct {
 	links [][]chan Message // links[src][dst]
+	abort <-chan struct{}  // nil until SetAbort (worlds inject theirs)
 }
 
 // linkBuffer is the per-(src,dst) channel capacity. Halo exchange,
@@ -61,8 +110,26 @@ func NewChanTransport(p int) Transport {
 	return t
 }
 
+// SetAbort implements AbortAware.
+func (t *chanTransport) SetAbort(ch <-chan struct{}) { t.abort = ch }
+
 func (t *chanTransport) Send(src, dst int, m Message) {
-	t.links[src][dst] <- m
+	// Fast path: the link buffer has room (the steady state — exchange
+	// plans post a handful of messages per link per step).
+	select {
+	case t.links[src][dst] <- m:
+		return
+	default:
+	}
+	if t.abort == nil {
+		t.links[src][dst] <- m
+		return
+	}
+	select {
+	case t.links[src][dst] <- m:
+	case <-t.abort:
+		panic(abortSignal{rank: src, src: dst})
+	}
 }
 
 func (t *chanTransport) Recv(dst, src int) Message {

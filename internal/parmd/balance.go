@@ -158,7 +158,11 @@ func (r *rankState) balanceCheck() (bool, error) {
 			b.times[rank] = rd.Int64()
 			nOwned := rd.Int64()
 			r.addLayerWeights(rank, b.times[rank], nOwned, &rd)
+			err := rd.Err()
 			r.p.ReleaseBuffer(buf)
+			if err != nil {
+				return false, fmt.Errorf("decoding balance report from rank %d: %w", rank, err)
+			}
 		}
 		repartition = r.decideBalance()
 		for rank := 1; rank < r.p.Size(); rank++ {

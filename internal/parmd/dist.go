@@ -1,0 +1,133 @@
+package parmd
+
+import (
+	"fmt"
+	"time"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+)
+
+// finalAtom is one atom of the gathered end state. In-process runs
+// collect these through shared memory; worker-mode runs encode them
+// with the wire helpers below and gather them to rank 0 as the run's
+// final collective.
+type finalAtom struct {
+	id      int64
+	pos     geom.Vec3
+	vel     geom.Vec3
+	force   geom.Vec3
+	species int32
+}
+
+// finalAtomWireBytes is the encoded size of one finalAtom record:
+// id i64 + species i32 + pos/vel/force 3×Vec3.
+const finalAtomWireBytes = 8 + 4 + 3*24
+
+// encodeFinalGather serializes one rank's end-of-run contribution:
+// its finalAtom records, its RankStats counters (driven off the
+// rankStatFields table so the format tracks the struct), and its
+// per-class comm counters in ClassNames order.
+func encodeFinalGather(b *comm.Buffer, fin []finalAtom, st *RankStats, classes []comm.Stats) {
+	b.Int64(int64(len(fin)))
+	for i := range fin {
+		a := &fin[i]
+		b.Int64(a.id)
+		b.Int32(a.species)
+		b.Vec3(a.pos)
+		b.Vec3(a.vel)
+		b.Vec3(a.force)
+	}
+	b.Int64(int64(len(rankStatFields)))
+	for _, f := range rankStatFields {
+		b.Float64(f.Get(st))
+	}
+	b.Int64(int64(len(classes)))
+	for _, s := range classes {
+		b.Int64(s.Messages)
+		b.Int64(s.Bytes)
+		b.Int64(s.Wait.Nanoseconds())
+	}
+}
+
+// decodeFinalGather is the inverse of encodeFinalGather. Every count
+// is validated and every decode error surfaces typed — a truncated or
+// desynced payload from a remote worker must not panic rank 0.
+func decodeFinalGather(raw []byte, classCount int) (fin []finalAtom, st RankStats, classes []comm.Stats, err error) {
+	var rd comm.Reader
+	rd.Reset(raw)
+	n := rd.Int64()
+	if err := rd.Err(); err != nil {
+		return nil, st, nil, err
+	}
+	if n < 0 || n > int64(len(raw))/finalAtomWireBytes {
+		return nil, st, nil, fmt.Errorf("atom count %d does not fit %d payload bytes", n, len(raw))
+	}
+	fin = make([]finalAtom, n)
+	for i := range fin {
+		fin[i].id = rd.Int64()
+		fin[i].species = rd.Int32()
+		fin[i].pos = rd.Vec3()
+		fin[i].vel = rd.Vec3()
+		fin[i].force = rd.Vec3()
+	}
+	if nf := rd.Int64(); nf != int64(len(rankStatFields)) {
+		return nil, st, nil, fmt.Errorf("stat table has %d fields, want %d (version skew?)", nf, len(rankStatFields))
+	}
+	for _, f := range rankStatFields {
+		f.Set(&st, rd.Float64())
+	}
+	if nc := rd.Int64(); nc != int64(classCount) {
+		return nil, st, nil, fmt.Errorf("%d traffic classes, want %d", nc, classCount)
+	}
+	classes = make([]comm.Stats, classCount)
+	for i := range classes {
+		classes[i].Messages = rd.Int64()
+		classes[i].Bytes = rd.Int64()
+		classes[i].Wait = time.Duration(rd.Int64())
+	}
+	if err := rd.Err(); err != nil {
+		return nil, st, nil, err
+	}
+	if rd.Remaining() != 0 {
+		return nil, st, nil, fmt.Errorf("%d trailing bytes", rd.Remaining())
+	}
+	return fin, st, classes, nil
+}
+
+// gatherDistributed ships this rank's final atoms and counters to
+// rank 0 over the fabric and, on rank 0, decodes every contribution
+// into finals/res. The counters are snapshotted before the gather
+// sends so — like the in-process shared-memory collection — the
+// gather's own traffic isn't metered into the run's comm totals.
+func gatherDistributed(p *comm.Proc, r *rankState, fin []finalAtom, finals [][]finalAtom, res *Result) error {
+	classes := make([]comm.Stats, p.ClassCount())
+	p.ClassStatsInto(classes)
+	var b comm.Buffer
+	encodeFinalGather(&b, fin, &r.stats, classes)
+	parts := p.GatherTo0(b.Bytes())
+	if p.Rank() != 0 {
+		return nil
+	}
+	names := p.ClassNames()
+	res.CommByClass = make(map[string]comm.Stats, len(names))
+	for rank, part := range parts {
+		fa, st, cls, err := decodeFinalGather(part, len(names))
+		if err != nil {
+			return fmt.Errorf("final gather from rank %d: %w", rank, err)
+		}
+		finals[rank] = fa
+		res.RankStats[rank] = st
+		for i, s := range cls {
+			t := res.CommByClass[names[i]]
+			t.Messages += s.Messages
+			t.Bytes += s.Bytes
+			t.Wait += s.Wait
+			res.CommByClass[names[i]] = t
+			res.Comm.Messages += s.Messages
+			res.Comm.Bytes += s.Bytes
+			res.Comm.Wait += s.Wait
+		}
+	}
+	return nil
+}

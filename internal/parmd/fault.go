@@ -51,6 +51,15 @@ func NewFaultTransport(ranks int, class string, after int) (*FaultTransport, err
 	}, nil
 }
 
+// SetAbort forwards the world's abort channel to the wrapped channel
+// transport so blocked sends stay interruptible under injection (the
+// interface-typed embed does not promote the extension).
+func (t *FaultTransport) SetAbort(ch <-chan struct{}) {
+	if a, ok := t.AsyncTransport.(comm.AbortAware); ok {
+		a.SetAbort(ch)
+	}
+}
+
 // Send forwards the message, appending 8 garbage bytes (no wire record
 // size divides them) once the class's clean-message budget is spent.
 func (t *FaultTransport) Send(src, dst int, m comm.Message) {
@@ -88,6 +97,14 @@ func NewDelayTransport(ranks int, class string, after, count int, delay time.Dur
 		lo:             r[0], hi: r[1],
 		after: int64(after), count: int64(count), delay: delay,
 	}, nil
+}
+
+// SetAbort forwards the world's abort channel to the wrapped channel
+// transport, exactly like FaultTransport.SetAbort.
+func (t *DelayTransport) SetAbort(ch <-chan struct{}) {
+	if a, ok := t.AsyncTransport.(comm.AbortAware); ok {
+		a.SetAbort(ch)
+	}
 }
 
 // Matched returns how many messages of the target class have been

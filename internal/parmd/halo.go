@@ -116,7 +116,11 @@ func (r *rankState) finishHalo() error {
 		r.stats.HaloMessages++
 		sp := r.rec.StartSpan(phaseHalo)
 		if r.healthStep {
-			r.mirrorCheck(ph, st.sentSum, health.Checksum64(recv.Bytes()))
+			if err := r.mirrorCheck(ph, st.sentSum, health.Checksum64(recv.Bytes())); err != nil {
+				r.p.ReleaseBuffer(recv)
+				sp.End()
+				return r.rankErr("health", err)
+			}
 		}
 		err := r.appendHalo(pi, recv)
 		if err == nil && pi+1 < len(r.plan.Halo) {
@@ -162,7 +166,11 @@ func (r *rankState) appendHalo(pi int, recv *comm.Buffer) error {
 		r.force = append(r.force, geom.Vec3{})
 		st.recvCount++
 	}
+	err := rd.Err()
 	r.p.ReleaseBuffer(recv)
+	if err != nil {
+		return fmt.Errorf("decoding halo message from rank %d: %w", r.plan.Halo[pi].RecvPeer, err)
+	}
 	r.stats.AtomsImported += int64(st.recvCount)
 	return nil
 }
@@ -215,7 +223,11 @@ func (r *rankState) writeBackForces() error {
 		for _, idx := range st.sendIdx {
 			r.force[idx] = r.force[idx].Add(getForce(&rd))
 		}
+		err := rd.Err()
 		r.p.ReleaseBuffer(recv)
+		if err != nil {
+			return r.rankErr("writeback", fmt.Errorf("decoding force write-back from rank %d: %w", ph.SendPeer, err))
+		}
 	}
 	return nil
 }

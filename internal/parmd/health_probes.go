@@ -1,6 +1,8 @@
 package parmd
 
 import (
+	"fmt"
+
 	"sctuple/internal/cell"
 	"sctuple/internal/comm"
 	"sctuple/internal/core"
@@ -17,7 +19,7 @@ import (
 // FIFO ordering guarantees the checksum message follows the halo
 // payload it audits, so the extra exchange can never be confused with
 // simulation traffic.
-func (r *rankState) mirrorCheck(ph *HaloPhase, sentSum, recvSum uint64) {
+func (r *rankState) mirrorCheck(ph *HaloPhase, sentSum, recvSum uint64) error {
 	buf := r.p.AcquireBuffer()
 	buf.Int64(int64(sentSum))
 	tag := tagHealth + (ph.Tag - tagHalo)
@@ -25,8 +27,13 @@ func (r *rankState) mirrorCheck(ph *HaloPhase, sentSum, recvSum uint64) {
 	var rd comm.Reader
 	rd.Reset(recv.Bytes())
 	remoteSent := uint64(rd.Int64())
+	err := rd.Err()
 	r.p.ReleaseBuffer(recv)
+	if err != nil {
+		return fmt.Errorf("decoding halo-mirror checksum from rank %d: %w", ph.RecvPeer, err)
+	}
 	r.monitor.ObserveHaloMirror(r.curStep, r.p.Rank(), recvSum, remoteSent)
+	return nil
 }
 
 // runHealthProbes executes the end-of-step invariant probes on a

@@ -87,7 +87,11 @@ func (r *rankState) migrateAxis(axis int, mp *MigratePhase) error {
 			r.nOwned++
 			r.stats.AtomsMigrated++
 		}
+		err := rd.Err()
 		r.p.ReleaseBuffer(recv)
+		if err != nil {
+			return fmt.Errorf("decoding migration message from rank %d: %w", mp.RecvPeer[di], err)
+		}
 	}
 	// Any leaver or arrival changes the owned set, so the ID-order walk
 	// of the Hybrid evaluation must be rebuilt (a canonical re-sort also

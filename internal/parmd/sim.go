@@ -72,7 +72,8 @@ type Options struct {
 	// Because every rank runs in one process here, the figure covers
 	// the whole world's steady-state step loop — integration,
 	// migration, binning and canonical sort, halo exchange, force
-	// evaluation, write-back, and reductions.
+	// evaluation, write-back, and reductions. (In Worker mode the
+	// counter is per OS process, so the figure covers rank 0 only.)
 	MeasureAllocs bool
 	// NoOverlap disables the overlapped (split-phase) halo exchange and
 	// completes every receive before force evaluation begins. Both
@@ -84,8 +85,21 @@ type Options struct {
 	// Transport, when non-nil, replaces the world's default channel
 	// transport — the seam fault injection uses to exercise the
 	// malformed-message and abort paths (see FaultTransport and scmd's
-	// -fault flag).
+	// -fault flag), and the socket fabric plugs genuinely distributed
+	// execution into (see RunSocket and scmd -transport socket).
 	Transport comm.Transport
+	// Worker, when non-nil, marks this process as a single rank of a
+	// multi-process world: Run executes only Worker.Rank over the
+	// (required) Transport, gathers the final state and per-rank
+	// counters to rank 0 over the wire, and returns a Result whose
+	// global fields (Final, Forces, RankStats, Comm) are populated on
+	// rank 0 only. nil (the default) runs every rank in-process.
+	Worker *WorkerRank
+}
+
+// WorkerRank identifies the one rank a worker process executes.
+type WorkerRank struct {
+	Rank int
 }
 
 // StepEnergy is one global energy sample.
@@ -176,9 +190,21 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 		}
 	}
 
-	world := comm.NewWorld(opt.Cart.Size())
-	if opt.Transport != nil {
+	var world *comm.World
+	switch {
+	case opt.Worker != nil:
+		if opt.Transport == nil {
+			return nil, fmt.Errorf("parmd: Worker mode requires an explicit Transport")
+		}
+		if opt.Worker.Rank < 0 || opt.Worker.Rank >= opt.Cart.Size() {
+			return nil, fmt.Errorf("parmd: worker rank %d outside topology of %d ranks",
+				opt.Worker.Rank, opt.Cart.Size())
+		}
+		world = comm.NewWorldRank(opt.Cart.Size(), opt.Worker.Rank, opt.Transport)
+	case opt.Transport != nil:
 		world = comm.NewWorldTransport(opt.Cart.Size(), opt.Transport)
+	default:
+		world = comm.NewWorld(opt.Cart.Size())
 	}
 	defineTagClasses(world)
 	world.SetLogger(opt.Log)
@@ -192,13 +218,6 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	var stepHist *obs.Histogram
 	if opt.Metrics != nil {
 		stepHist = opt.Metrics.Histogram("parmd.step_ms", obs.ExpBuckets(0.01, 2, 18))
-	}
-	type finalAtom struct {
-		id      int64
-		pos     geom.Vec3
-		vel     geom.Vec3
-		force   geom.Vec3
-		species int32
 	}
 	finals := make([][]finalAtom, world.Size())
 
@@ -216,7 +235,9 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 				if !comm.IsAbort(rec) {
 					panic(rec)
 				}
-				ferr = comm.ErrAborted
+				// AbortError keeps the fabric's typed cause (peer death,
+				// protocol desync) instead of flattening to the sentinel.
+				ferr = comm.AbortError(rec)
 			}
 			if ferr != nil {
 				var re *RankError
@@ -275,6 +296,12 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 			r.prewarmParity(cfg.N())
 		}
 
+		// The socket fabric stamps outgoing frames with the current
+		// step so wire captures and failure reports carry simulation
+		// time; the channel transport doesn't implement the marker, so
+		// the per-step branch below is a nil check in-process.
+		marker, _ := opt.Transport.(comm.StepMarker)
+
 		var mallocs0 uint64
 		if opt.MeasureAllocs && opt.Steps > 0 {
 			p.Barrier()
@@ -293,6 +320,9 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 			}
 			r.rec.SetStep(step)
 			r.curStep = step
+			if marker != nil {
+				marker.MarkStep(step)
+			}
 			r.healthStep = opt.Health.Due(step)
 			// Velocity Verlet: half kick, drift, migrate, forces,
 			// half kick.
@@ -378,8 +408,11 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 			p.Barrier() // no rank gathers (and allocates) before the read
 		}
 
-		// Gather final state (shared-memory collection; the comm
-		// counters only meter the simulation's own traffic).
+		// Gather final state. In-process, the collection is
+		// shared-memory (the comm counters only meter the simulation's
+		// own traffic); in worker mode the same records travel the wire
+		// to rank 0, with the per-rank counters snapshotted first so
+		// the gather's own traffic isn't counted either way.
 		fin := make([]finalAtom, r.nOwned)
 		for i := 0; i < r.nOwned; i++ {
 			fin[i] = finalAtom{
@@ -390,8 +423,12 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 				species: r.species[i],
 			}
 		}
-		finals[p.Rank()] = fin
-		res.RankStats[p.Rank()] = r.stats
+		if opt.Worker == nil {
+			finals[p.Rank()] = fin
+			res.RankStats[p.Rank()] = r.stats
+		} else if err := gatherDistributed(p, r, fin, finals, res); err != nil {
+			return r.rankErr("gather", err)
+		}
 		if r.bal != nil && p.Rank() == 0 {
 			res.BalanceChecks = r.bal.checks
 			res.Repartitions = r.bal.repartitions
@@ -407,6 +444,22 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 	opt.Log.Info("parmd run complete",
 		"steps", opt.Steps, "wall_ms", float64(res.Wall.Nanoseconds())/1e6,
 		"healthy", res.Health.Healthy())
+
+	if opt.Worker != nil && opt.Worker.Rank != 0 {
+		// Non-root workers shipped their state to rank 0 and hold no
+		// gathered fields: their Result carries this process's own
+		// counters and phase decomposition only.
+		res.Comm = world.TotalStats()
+		res.CommByClass = make(map[string]comm.Stats)
+		for _, name := range world.ClassNames() {
+			res.CommByClass[name] = world.ClassStats(name)
+		}
+		res.Phases = opt.Recorder.PhaseStats()
+		if err := opt.StepLog.Err(); err != nil {
+			return nil, fmt.Errorf("parmd: telemetry step log: %w", err)
+		}
+		return res, nil
+	}
 
 	// Assemble the global final state ordered by atom ID.
 	var all []finalAtom
@@ -435,10 +488,14 @@ func Run(cfg *workload.Config, model *potential.Model, opt Options) (*Result, er
 		res.Forces[i] = a.force
 	}
 	res.Final = final
-	res.Comm = world.TotalStats()
-	res.CommByClass = make(map[string]comm.Stats)
-	for _, name := range world.ClassNames() {
-		res.CommByClass[name] = world.ClassStats(name)
+	if opt.Worker == nil {
+		// In worker mode rank 0 already summed these from the wire
+		// gather (every process meters only its own rank).
+		res.Comm = world.TotalStats()
+		res.CommByClass = make(map[string]comm.Stats)
+		for _, name := range world.ClassNames() {
+			res.CommByClass[name] = world.ClassStats(name)
+		}
 	}
 	res.Phases = opt.Recorder.PhaseStats()
 	publishMetrics(opt.Metrics, res)

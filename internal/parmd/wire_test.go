@@ -1,0 +1,170 @@
+package parmd
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"sctuple/internal/comm"
+	"sctuple/internal/geom"
+)
+
+// TestWireRecordRoundTrip: every simulation record type survives
+// encode/decode bit-exactly, including non-finite and signed-zero
+// floats — the property the socket transport's bit-identity guarantee
+// rests on.
+func TestWireRecordRoundTrip(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	var b comm.Buffer
+	putHaloAtom(&b, 1<<40, 3, geom.IV(-1, 7, 2), geom.V(1.5, negZero, math.Inf(1)))
+	putMigrant(&b, -9, 1, geom.V(math.MaxFloat64, 2, 3), geom.V(-4, 5e-324, 6))
+	putForce(&b, geom.V(math.Pi, -math.E, negZero))
+	if got, want := b.Len(), HaloAtomWireBytes+MigrantWireBytes+ForceWireBytes; got != want {
+		t.Fatalf("encoded %d bytes, want %d", got, want)
+	}
+	var rd comm.Reader
+	rd.Reset(b.Bytes())
+	id, sp, ec, lp := getHaloAtom(&rd)
+	if id != 1<<40 || sp != 3 || ec != geom.IV(-1, 7, 2) {
+		t.Errorf("halo atom: id=%d sp=%d ec=%v", id, sp, ec)
+	}
+	if math.Float64bits(lp.Y) != math.Float64bits(negZero) || !math.IsInf(lp.Z, 1) {
+		t.Errorf("halo position bits not preserved: %v", lp)
+	}
+	mid, msp, g, v := getMigrant(&rd)
+	if mid != -9 || msp != 1 || g.X != math.MaxFloat64 || v.Y != 5e-324 {
+		t.Errorf("migrant: id=%d sp=%d g=%v v=%v", mid, msp, g, v)
+	}
+	f := getForce(&rd)
+	if f.X != math.Pi || math.Float64bits(f.Z) != math.Float64bits(negZero) {
+		t.Errorf("force: %v", f)
+	}
+	if rd.Remaining() != 0 || rd.Err() != nil {
+		t.Errorf("remaining=%d err=%v", rd.Remaining(), rd.Err())
+	}
+}
+
+// TestWireTruncatedTypedError: decoding a truncated record stream must
+// surface a typed *comm.DecodeError, never panic — a socket peer can
+// deliver short payloads.
+func TestWireTruncatedTypedError(t *testing.T) {
+	var b comm.Buffer
+	putMigrant(&b, 1, 2, geom.V(1, 2, 3), geom.V(4, 5, 6))
+	for cut := 1; cut < MigrantWireBytes; cut++ {
+		var rd comm.Reader
+		rd.Reset(b.Bytes()[:cut])
+		getMigrant(&rd)
+		var de *comm.DecodeError
+		if err := rd.Err(); !errors.As(err, &de) {
+			t.Fatalf("cut=%d: err = %v, want *comm.DecodeError", cut, err)
+		}
+	}
+}
+
+// TestFinalGatherRoundTrip: the distributed end-of-run gather encoding
+// round-trips atoms, the full RankStats table, and per-class comm
+// counters.
+func TestFinalGatherRoundTrip(t *testing.T) {
+	fin := []finalAtom{
+		{id: 0, pos: geom.V(1, 2, 3), vel: geom.V(-1, 0, 1), force: geom.V(9, 8, 7), species: 1},
+		{id: 41, pos: geom.V(0.5, 0.25, 0.125), vel: geom.V(2, 4, 8), force: geom.V(0, math.Copysign(0, -1), 0), species: 0},
+	}
+	var st RankStats
+	for i, f := range rankStatFields {
+		f.Set(&st, float64(i*i)+0.5)
+	}
+	classes := []comm.Stats{
+		{Messages: 10, Bytes: 480, Wait: 3 * time.Millisecond},
+		{Messages: 0, Bytes: 0, Wait: 0},
+		{Messages: 7, Bytes: 8, Wait: time.Nanosecond},
+	}
+	var b comm.Buffer
+	encodeFinalGather(&b, fin, &st, classes)
+
+	gotFin, gotSt, gotCls, err := decodeFinalGather(b.Bytes(), len(classes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotFin) != len(fin) {
+		t.Fatalf("decoded %d atoms, want %d", len(gotFin), len(fin))
+	}
+	for i := range fin {
+		if gotFin[i] != fin[i] {
+			t.Errorf("atom %d: %+v, want %+v", i, gotFin[i], fin[i])
+		}
+	}
+	for _, f := range rankStatFields {
+		if f.Get(&gotSt) != f.Get(&st) {
+			t.Errorf("stat %s: %g, want %g", f.Name, f.Get(&gotSt), f.Get(&st))
+		}
+	}
+	for i := range classes {
+		if gotCls[i] != classes[i] {
+			t.Errorf("class %d: %+v, want %+v", i, gotCls[i], classes[i])
+		}
+	}
+}
+
+// TestFinalGatherRejectsMalformed: class-count and stat-table skew,
+// truncation, and trailing garbage all come back as errors.
+func TestFinalGatherRejectsMalformed(t *testing.T) {
+	var b comm.Buffer
+	var st RankStats
+	encodeFinalGather(&b, []finalAtom{{id: 1}}, &st, make([]comm.Stats, 2))
+	good := b.Bytes()
+	if _, _, _, err := decodeFinalGather(good, 2); err != nil {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	if _, _, _, err := decodeFinalGather(good, 3); err == nil {
+		t.Error("class-count skew accepted")
+	}
+	if _, _, _, err := decodeFinalGather(good[:len(good)-4], 2); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, _, _, err := decodeFinalGather(append(append([]byte(nil), good...), 0), 2); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, _, _, err := decodeFinalGather(nil, 2); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+// FuzzDecodeFinalGather: arbitrary bytes must decode or fail cleanly —
+// never panic, never allocate absurdly (the atom count is validated
+// against the payload size before the slice is made).
+func FuzzDecodeFinalGather(f *testing.F) {
+	var b comm.Buffer
+	var st RankStats
+	encodeFinalGather(&b, []finalAtom{{id: 1, species: 2}}, &st, make([]comm.Stats, 5))
+	f.Add(b.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		decodeFinalGather(raw, 5)
+	})
+}
+
+// FuzzWireRecordDecode: the three exchange records decoded from
+// arbitrary bytes must never panic; failures are typed.
+func FuzzWireRecordDecode(f *testing.F) {
+	var b comm.Buffer
+	putHaloAtom(&b, 1, 2, geom.IV(3, 4, 5), geom.V(6, 7, 8))
+	f.Add(b.Bytes())
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var rd comm.Reader
+		rd.Reset(raw)
+		for rd.Remaining() > 0 {
+			getHaloAtom(&rd)
+			getMigrant(&rd)
+			getForce(&rd)
+		}
+		if err := rd.Err(); err != nil {
+			var de *comm.DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("non-typed error %T: %v", err, err)
+			}
+		}
+	})
+}
